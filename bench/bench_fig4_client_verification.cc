@@ -1,0 +1,102 @@
+// Figure 4: time to verify that a single client's input is a valid one-hot
+// vector, as a function of the input dimension M.
+//
+// Two contenders, as in the paper:
+//   - PRIO/Poplar-style sketching over secret shares (information-theoretic,
+//     O(M) field ops, but vulnerable to the Figure 1 attacks), and
+//   - this work's Sigma-OR proofs on aggregated Pedersen commitments
+//     (malicious-server-proof, but public-key crypto: O(M) exponentiations).
+// Both grow linearly in M; the gap is the "cost of robustness" the paper
+// estimates at about an order of magnitude on its Rust/M1 stack.
+#include <cstdio>
+
+#include "src/baseline/prio_sketch.h"
+#include "src/common/timer.h"
+#include "src/core/client.h"
+
+namespace {
+
+using G = vdp::ModP512;
+using S = G::Scalar;
+
+struct Point {
+  double sigma_client_ms;  // client: build shares + commitments + proofs
+  double sigma_server_ms;  // verifier: check proofs + sum-to-one
+  double sketch_client_ms;  // client: build shares + Beaver pair
+  double sketch_server_ms;  // servers: linear sketches + opens
+};
+
+Point Measure(size_t dims, size_t reps, const vdp::Pedersen<G>& ped, vdp::SecureRng& rng) {
+  vdp::ProtocolConfig config;
+  config.epsilon = 1.0;
+  config.num_provers = 2;
+  config.num_bins = dims;
+  config.session_id = "fig4";
+
+  Point p{};
+  vdp::Stopwatch timer;
+
+  // --- Sigma-OR path -------------------------------------------------------
+  std::vector<vdp::ClientBundle<G>> bundles;
+  timer.Reset();
+  for (size_t i = 0; i < reps; ++i) {
+    bundles.push_back(vdp::MakeClientBundle<G>(i % dims, i, config, ped, rng));
+  }
+  p.sigma_client_ms = timer.ElapsedMillis() / reps;
+  timer.Reset();
+  for (size_t i = 0; i < reps; ++i) {
+    if (!vdp::ValidateClientUpload(bundles[i].upload, i, config, ped)) {
+      std::fprintf(stderr, "FATAL: client invalid\n");
+      std::exit(1);
+    }
+  }
+  p.sigma_server_ms = timer.ElapsedMillis() / reps;
+
+  // --- Sketch path ---------------------------------------------------------
+  std::vector<vdp::SketchSubmission<S>> subs;
+  timer.Reset();
+  for (size_t i = 0; i < reps; ++i) {
+    subs.push_back(vdp::MakeSketchSubmission<S>(i % dims, 2, dims, rng));
+  }
+  p.sketch_client_ms = timer.ElapsedMillis() / reps;
+  std::vector<S> r;
+  for (size_t m = 0; m < dims; ++m) {
+    r.push_back(S::Random(rng));
+  }
+  timer.Reset();
+  for (size_t i = 0; i < reps; ++i) {
+    if (!vdp::RunSketchValidation(subs[i], r).accepted) {
+      std::fprintf(stderr, "FATAL: sketch rejected honest client\n");
+      std::exit(1);
+    }
+  }
+  p.sketch_server_ms = timer.ElapsedMillis() / reps;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4 reproduction: one-hot client validation vs input dimension M\n");
+  std::printf("group %s, K = 2 servers; per-client cost, averaged over repetitions\n\n",
+              G::Name().c_str());
+  std::printf("%6s | %15s %15s | %16s %16s | %9s\n", "M", "SigmaOR cli(ms)", "SigmaOR srv(ms)",
+              "sketch cli (ms)", "sketch srv (ms)", "srv ratio");
+
+  vdp::Pedersen<G> ped;
+  vdp::SecureRng rng("fig4");
+  for (size_t dims : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    size_t reps = dims >= 64 ? 2 : 4;
+    Point p = Measure(dims, reps, ped, rng);
+    std::printf("%6zu | %15.2f %15.2f | %16.4f %16.4f | %9.0fx\n", dims, p.sigma_client_ms,
+                p.sigma_server_ms, p.sketch_client_ms, p.sketch_server_ms,
+                p.sigma_server_ms / std::max(p.sketch_server_ms, 1e-6));
+  }
+
+  std::printf("\nshape: both families are linear in M; the Sigma-OR path pays a constant\n");
+  std::printf("factor for malicious-server robustness (public-key ops per coordinate).\n");
+  std::printf("The paper's Rust implementation put the gap at ~one order of magnitude; a\n");
+  std::printf("pure-field-arithmetic sketch baseline (as here) widens it -- see\n");
+  std::printf("EXPERIMENTS.md for the discussion.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// The two Figure 1 attacks, executable: both succeed undetected against the
+// sketch baseline and are prevented/detected by Pi_Bin (see
+// tests/baseline/attacks_test.cc for the side-by-side).
+#ifndef SRC_BASELINE_ATTACKS_H_
+#define SRC_BASELINE_ATTACKS_H_
+
+#include <string>
+
+#include "src/baseline/prio_sketch.h"
+
+namespace vdp {
+
+struct AttackReport {
+  bool client_accepted = false;   // did validation pass?
+  bool attributable = false;      // can honest parties name the cheater?
+  std::string narrative;
+};
+
+// Figure 1a: a corrupted server excludes an honest client by shifting its
+// own quad broadcast. Validation fails, the honest client is dropped, and
+// the transcript is indistinguishable from a genuinely cheating client.
+template <GroupScalar S>
+AttackReport RunSketchExclusionAttack(size_t num_servers, size_t dims, size_t corrupt_server,
+                                      SecureRng& rng) {
+  auto submission = MakeSketchSubmission<S>(/*choice=*/0, num_servers, dims, rng);
+  std::vector<S> r;
+  for (size_t m = 0; m < dims; ++m) {
+    r.push_back(S::Random(rng));
+  }
+  std::vector<SketchTamper<S>> tamper(num_servers, SketchTamper<S>{S::Zero(), S::Zero()});
+  tamper[corrupt_server].quad_delta = S::FromU64(1);  // any nonzero shift
+  auto outcome = RunSketchValidation(submission, r, &tamper);
+
+  AttackReport report;
+  report.client_accepted = outcome.accepted;
+  // The opened test values are sums of anonymous broadcasts; nothing in the
+  // transcript singles out the corrupted server.
+  report.attributable = false;
+  report.narrative = outcome.accepted
+                         ? "exclusion attack failed (client still accepted)"
+                         : "honest client rejected; cheater unidentifiable in transcript";
+  return report;
+}
+
+// Figure 1b: a client submits an out-of-language input and leaks its blinds
+// to one corrupted server, which cancels the deviation from its own
+// broadcasts. Validation passes and the illegal input enters the aggregate.
+template <GroupScalar S>
+AttackReport RunSketchInclusionAttack(const std::vector<uint64_t>& illegal_input,
+                                      size_t num_servers, size_t corrupt_server,
+                                      SecureRng& rng) {
+  auto submission = MakeRawSketchSubmission<S>(illegal_input, num_servers, rng);
+  std::vector<S> r;
+  for (size_t m = 0; m < illegal_input.size(); ++m) {
+    r.push_back(S::Random(rng));
+  }
+  // The colluding client computes exactly what the opened checks would show
+  // (it knows x and r is public) and hands the corrections to the server.
+  auto deviation = ComputeSketchDeviation(submission, r);
+  std::vector<SketchTamper<S>> tamper(num_servers, SketchTamper<S>{S::Zero(), S::Zero()});
+  tamper[corrupt_server].sum_delta = -deviation.sum_deviation;
+  tamper[corrupt_server].quad_delta = -deviation.quad_deviation;
+  auto outcome = RunSketchValidation(submission, r, &tamper);
+
+  AttackReport report;
+  report.client_accepted = outcome.accepted;
+  report.attributable = false;
+  report.narrative = outcome.accepted
+                         ? "illegal input accepted; honest servers saw all checks pass"
+                         : "inclusion attack failed";
+  return report;
+}
+
+}  // namespace vdp
+
+#endif  // SRC_BASELINE_ATTACKS_H_

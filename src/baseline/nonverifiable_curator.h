@@ -1,0 +1,53 @@
+// The non-verifiable trusted curator the paper's Section 6 compares against:
+// "simply summing over n inputs, sampling one draw of Binomial noise and
+// aggregating the results". No commitments, no proofs -- and no way for an
+// analyst to tell faithful noise from adversarial bias.
+#ifndef SRC_BASELINE_NONVERIFIABLE_CURATOR_H_
+#define SRC_BASELINE_NONVERIFIABLE_CURATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dp/binomial.h"
+
+namespace vdp {
+
+struct NonVerifiableResult {
+  uint64_t raw = 0;       // count + Binomial(nb, 1/2)
+  double debiased = 0;    // raw - nb/2
+};
+
+class NonVerifiableCurator {
+ public:
+  NonVerifiableCurator(double epsilon, double delta) : mech_(epsilon, delta) {}
+
+  NonVerifiableResult Release(const std::vector<uint32_t>& bits, SecureRng& rng) const {
+    uint64_t count = 0;
+    for (uint32_t b : bits) {
+      count += b;
+    }
+    NonVerifiableResult result;
+    result.raw = mech_.Apply(count, rng);
+    result.debiased = mech_.Debias(result.raw);
+    return result;
+  }
+
+  // The attack the paper opens with: release an arbitrary value and call it
+  // noise. Indistinguishable from an honest release to any analyst.
+  NonVerifiableResult ReleaseBiased(const std::vector<uint32_t>& bits, int64_t bias,
+                                    SecureRng& rng) const {
+    NonVerifiableResult result = Release(bits, rng);
+    result.raw = static_cast<uint64_t>(static_cast<int64_t>(result.raw) + bias);
+    result.debiased = mech_.Debias(result.raw);
+    return result;
+  }
+
+  const BinomialMechanism& mechanism() const { return mech_; }
+
+ private:
+  BinomialMechanism mech_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_BASELINE_NONVERIFIABLE_CURATOR_H_

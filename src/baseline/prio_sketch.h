@@ -1,0 +1,191 @@
+// PRIO/Poplar-style lightweight client validation (the baseline of Figure 4
+// and the victim of the Figure 1 attacks).
+//
+// Clients secret-share a claimed one-hot vector x in Z_q^M plus a Beaver pair
+// (a, a^2). After inputs are fixed, servers sample a public random vector r
+// and check, over shares only,
+//   (1) <1, x> = 1                         (sum-to-one, linear)
+//   (2) <r, x>^2 - <r*r, x> = 0            (one-hot quadratic sketch)
+// using the client-supplied pair to square the shared value. The checks are
+// information-theoretic, need no public-key operations, and cost O(M) field
+// multiplications -- which is exactly why PRIO/Poplar are fast. The price:
+// the opened values are sums of per-server broadcasts, so a single malicious
+// server can shift them (excluding an honest client) or cancel a colluding
+// client's deviation (admitting an illegal input), and the honest servers
+// cannot attribute the cheat. ΠBin closes both holes at the cost measured in
+// bench_fig4_client_verification.
+#ifndef SRC_BASELINE_PRIO_SKETCH_H_
+#define SRC_BASELINE_PRIO_SKETCH_H_
+
+#include <vector>
+
+#include "src/group/group.h"
+#include "src/share/additive.h"
+
+namespace vdp {
+
+template <GroupScalar S>
+struct SketchSubmission {
+  std::vector<std::vector<S>> x_shares;  // [K][M]
+  std::vector<S> a_shares;               // [K], shares of blind a
+  std::vector<S> c_shares;               // [K], shares of c = a^2
+};
+
+// Honest client: one-hot vector with 1 in `choice`.
+template <GroupScalar S>
+SketchSubmission<S> MakeSketchSubmission(uint32_t choice, size_t num_servers, size_t dims,
+                                         SecureRng& rng) {
+  std::vector<S> x(dims, S::Zero());
+  x[choice] = S::One();
+  SketchSubmission<S> sub;
+  sub.x_shares.resize(num_servers);
+  for (size_t m = 0; m < dims; ++m) {
+    auto shares = ShareAdditive(x[m], num_servers, rng);
+    for (size_t k = 0; k < num_servers; ++k) {
+      sub.x_shares[k].push_back(shares[k]);
+    }
+  }
+  S a = S::Random(rng);
+  sub.a_shares = ShareAdditive(a, num_servers, rng);
+  sub.c_shares = ShareAdditive(a * a, num_servers, rng);
+  return sub;
+}
+
+// Malicious client: arbitrary vector (e.g. two votes, or weight 5).
+template <GroupScalar S>
+SketchSubmission<S> MakeRawSketchSubmission(const std::vector<uint64_t>& x_raw,
+                                            size_t num_servers, SecureRng& rng) {
+  SketchSubmission<S> sub;
+  sub.x_shares.resize(num_servers);
+  for (uint64_t v : x_raw) {
+    auto shares = ShareAdditive(S::FromU64(v), num_servers, rng);
+    for (size_t k = 0; k < num_servers; ++k) {
+      sub.x_shares[k].push_back(shares[k]);
+    }
+  }
+  S a = S::Random(rng);
+  sub.a_shares = ShareAdditive(a, num_servers, rng);
+  sub.c_shares = ShareAdditive(a * a, num_servers, rng);
+  return sub;
+}
+
+// Per-server broadcast in the validation round. The opened values are the
+// coordinate-wise sums over servers; nobody can tell *which* party made an
+// opened value nonzero.
+template <GroupScalar S>
+struct SketchBroadcast {
+  S sum_share;   // share of <1, x> - 1
+  S d_share;     // share of z - a  (z = <r, x>)
+  S quad_share;  // share of z^2 - z* (completed after d is public)
+};
+
+struct SketchOutcome {
+  bool accepted = false;
+  // The two opened test values (zero for honest runs). These are the entire
+  // public "evidence" -- note they carry no attribution.
+  bool sum_zero = false;
+  bool quad_zero = false;
+};
+
+// Additive deltas a (corrupted) server applies to its own broadcasts -- the
+// hook the Figure 1 attacks use.
+template <GroupScalar S>
+struct SketchTamper {
+  S sum_delta;
+  S quad_delta;
+};
+
+// Runs the validation among the servers; `tamper` (optional, per-server) is
+// added to each server's broadcasts. r must have the submission's dimension.
+template <GroupScalar S>
+SketchOutcome RunSketchValidation(const SketchSubmission<S>& sub, const std::vector<S>& r,
+                                  const std::vector<SketchTamper<S>>* tamper = nullptr) {
+  const size_t num_servers = sub.x_shares.size();
+  const size_t dims = r.size();
+
+  // Stage 1: local linear functionals + opening of d = z - a.
+  std::vector<S> z_shares(num_servers, S::Zero());
+  std::vector<S> zstar_shares(num_servers, S::Zero());
+  std::vector<SketchBroadcast<S>> broadcasts(num_servers);
+  for (size_t k = 0; k < num_servers; ++k) {
+    S sum = S::Zero();
+    for (size_t m = 0; m < dims; ++m) {
+      const S& xm = sub.x_shares[k][m];
+      sum += xm;
+      z_shares[k] += r[m] * xm;
+      zstar_shares[k] += r[m] * r[m] * xm;
+    }
+    broadcasts[k].sum_share = (k == 0) ? sum - S::One() : sum;
+    if (tamper != nullptr) {
+      broadcasts[k].sum_share += (*tamper)[k].sum_delta;
+    }
+    broadcasts[k].d_share = z_shares[k] - sub.a_shares[k];
+  }
+  S d = S::Zero();
+  for (size_t k = 0; k < num_servers; ++k) {
+    d += broadcasts[k].d_share;
+  }
+
+  // Stage 2: Beaver completion of z^2 = d^2 + 2*d*a + c, minus z*.
+  for (size_t k = 0; k < num_servers; ++k) {
+    S z2_share = d * sub.a_shares[k] + d * sub.a_shares[k] + sub.c_shares[k];
+    if (k == 0) {
+      z2_share += d * d;
+    }
+    broadcasts[k].quad_share = z2_share - zstar_shares[k];
+    if (tamper != nullptr) {
+      broadcasts[k].quad_share += (*tamper)[k].quad_delta;
+    }
+  }
+
+  S sum_total = S::Zero();
+  S quad_total = S::Zero();
+  for (size_t k = 0; k < num_servers; ++k) {
+    sum_total += broadcasts[k].sum_share;
+    quad_total += broadcasts[k].quad_share;
+  }
+
+  SketchOutcome outcome;
+  outcome.sum_zero = sum_total.IsZero();
+  outcome.quad_zero = quad_total.IsZero();
+  outcome.accepted = outcome.sum_zero && outcome.quad_zero;
+  return outcome;
+}
+
+// What a colluding client can hand a corrupted server in the Figure 1b
+// attack: the exact values the two opened tests *would* take, so the server
+// can cancel them. The client can compute both because it knows x, a, c and
+// r is public by then.
+template <GroupScalar S>
+struct SketchDeviation {
+  S sum_deviation;   // <1, x> - 1
+  S quad_deviation;  // z^2 - z*
+};
+
+template <GroupScalar S>
+SketchDeviation<S> ComputeSketchDeviation(const SketchSubmission<S>& sub,
+                                          const std::vector<S>& r) {
+  const size_t num_servers = sub.x_shares.size();
+  const size_t dims = r.size();
+  // Reconstruct the plaintext vector (the client knows it).
+  S sum = S::Zero();
+  S z = S::Zero();
+  S zstar = S::Zero();
+  for (size_t m = 0; m < dims; ++m) {
+    S xm = S::Zero();
+    for (size_t k = 0; k < num_servers; ++k) {
+      xm += sub.x_shares[k][m];
+    }
+    sum += xm;
+    z += r[m] * xm;
+    zstar += r[m] * r[m] * xm;
+  }
+  SketchDeviation<S> dev;
+  dev.sum_deviation = sum - S::One();
+  dev.quad_deviation = z * z - zstar;
+  return dev;
+}
+
+}  // namespace vdp
+
+#endif  // SRC_BASELINE_PRIO_SKETCH_H_

@@ -1,0 +1,37 @@
+#include "src/baseline/protocol_registry.h"
+
+#include <sstream>
+
+namespace vdp {
+
+const std::vector<ProtocolProperties>& Table2Registry() {
+  static const std::vector<ProtocolProperties> registry = {
+      {"Cryptographic RR", "AJL04", true, false, true, false},
+      {"Verifiable Randomization Mechanism", "KCY21", true, false, true, true},
+      {"Securely Sampling Biased Coins", "CSU19", true, true, false, false},
+      {"MPC-DP heavy hitters", "BK21", false, true, false, true},
+      {"PRIO", "CGB17", false, true, false, true},
+      {"Brave STAR", "DSQ+21", false, false, false, false},
+      {"Sparse Histograms", "BBG+20", false, true, false, false},
+      {"Crypt-eps", "RCWH+20", false, true, false, false},
+      {"Poplar", "BBCG+22", true, true, false, false},
+      {"This work (Pi_Bin)", "paper", true, true, true, true},
+  };
+  return registry;
+}
+
+std::string RenderTable2() {
+  std::ostringstream out;
+  auto mark = [](bool b) { return b ? "  yes   " : "   -    "; };
+  out << "Protocol                                 | Active | Central |  Audit | ZeroLk |\n";
+  out << "-----------------------------------------+--------+---------+--------+--------+\n";
+  for (const auto& p : Table2Registry()) {
+    std::string name = p.name + " [" + p.citation + "]";
+    name.resize(41, ' ');
+    out << name << "|" << mark(p.active_security) << "|" << mark(p.central_dp) << " |"
+        << mark(p.auditable) << "|" << mark(p.zero_leakage) << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace vdp

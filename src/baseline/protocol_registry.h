@@ -1,0 +1,30 @@
+// The protocol-property matrix of Table 2: which MPC-DP systems provide
+// active security, central-model DP error, public auditability, and zero
+// leakage. bench_table2_matrix prints it next to the empirical error
+// comparison that backs the Central DP column.
+#ifndef SRC_BASELINE_PROTOCOL_REGISTRY_H_
+#define SRC_BASELINE_PROTOCOL_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+namespace vdp {
+
+struct ProtocolProperties {
+  std::string name;
+  std::string citation;
+  bool active_security;  // tolerates arbitrarily deviating participants
+  bool central_dp;       // O(1/eps) error independent of client count
+  bool auditable;        // output correctness publicly verifiable
+  bool zero_leakage;     // nothing beyond the DP output is revealed
+};
+
+// Rows of Table 2, in the paper's order.
+const std::vector<ProtocolProperties>& Table2Registry();
+
+// Renders the registry as an aligned text table (the bench prints this).
+std::string RenderTable2();
+
+}  // namespace vdp
+
+#endif  // SRC_BASELINE_PROTOCOL_REGISTRY_H_

@@ -1,0 +1,31 @@
+#include "src/commit/hash_commitment.h"
+
+#include "src/common/serialize.h"
+
+namespace vdp {
+
+std::pair<Sha256::Digest, HashCommitment::Opening> HashCommitment::Commit(BytesView message,
+                                                                          SecureRng& rng) {
+  Opening opening;
+  opening.message = Bytes(message.begin(), message.end());
+  opening.randomness = rng.RandomBytes(kRandomnessSize);
+  return {Recompute(opening), std::move(opening)};
+}
+
+Sha256::Digest HashCommitment::Recompute(const Opening& opening) {
+  Writer w;
+  w.Blob(opening.message);
+  w.Raw(opening.randomness);
+  return Sha256::TaggedHash(StrView("vdp/hash-commitment"), w.bytes());
+}
+
+bool HashCommitment::Verify(const Sha256::Digest& commitment, const Opening& opening) {
+  if (opening.randomness.size() != kRandomnessSize) {
+    return false;
+  }
+  Sha256::Digest recomputed = Recompute(opening);
+  return ConstantTimeEqual(BytesView(recomputed.data(), recomputed.size()),
+                           BytesView(commitment.data(), commitment.size()));
+}
+
+}  // namespace vdp

@@ -1,0 +1,35 @@
+// Hash-based commitments: Com(m, r) = SHA-256(ds || len(m) || m || r).
+//
+// Binding under collision resistance and hiding in the random-oracle model.
+// Not homomorphic -- the protocols that only need commit/reveal (Morra's coin
+// flipping) can use this as a cheaper drop-in for Pedersen; the ablation in
+// bench_morra quantifies the difference.
+#ifndef SRC_COMMIT_HASH_COMMITMENT_H_
+#define SRC_COMMIT_HASH_COMMITMENT_H_
+
+#include "src/common/rng.h"
+#include "src/common/sha256.h"
+
+namespace vdp {
+
+class HashCommitment {
+ public:
+  static constexpr size_t kRandomnessSize = 32;
+
+  struct Opening {
+    Bytes message;
+    Bytes randomness;  // kRandomnessSize bytes
+  };
+
+  // Commits to `message` with fresh randomness.
+  static std::pair<Sha256::Digest, Opening> Commit(BytesView message, SecureRng& rng);
+
+  // Recomputes the commitment for a claimed opening.
+  static Sha256::Digest Recompute(const Opening& opening);
+
+  static bool Verify(const Sha256::Digest& commitment, const Opening& opening);
+};
+
+}  // namespace vdp
+
+#endif  // SRC_COMMIT_HASH_COMMITMENT_H_

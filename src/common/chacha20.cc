@@ -1,0 +1,87 @@
+#include "src/common/chacha20.h"
+
+#include <cstring>
+
+namespace vdp {
+namespace {
+
+inline uint32_t RotL(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = RotL(d, 16);
+  c += d;
+  b ^= c;
+  b = RotL(b, 12);
+  a += b;
+  d ^= a;
+  d = RotL(d, 8);
+  c += d;
+  b ^= c;
+  b = RotL(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const std::array<uint8_t, kKeySize>& key,
+                   const std::array<uint8_t, kNonceSize>& nonce, uint32_t initial_counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = LoadLe32(key.data() + 4 * i);
+  }
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) {
+    state_[13 + i] = LoadLe32(nonce.data() + 4 * i);
+  }
+}
+
+void ChaCha20::NextBlock(uint8_t out[kBlockSize]) {
+  std::array<uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    StoreLe32(out + 4 * i, x[i] + state_[i]);
+  }
+  state_[12] += 1;  // Counter overflow after 256 GiB is out of scope here.
+}
+
+void ChaCha20::Fill(uint8_t* out, size_t len) {
+  uint8_t block[kBlockSize];
+  while (len >= kBlockSize) {
+    NextBlock(out);
+    out += kBlockSize;
+    len -= kBlockSize;
+  }
+  if (len > 0) {
+    NextBlock(block);
+    std::memcpy(out, block, len);
+  }
+}
+
+}  // namespace vdp

@@ -1,0 +1,36 @@
+// RFC 8439 ChaCha20 block function and keystream. Backs the deterministic
+// random generator used everywhere in the library.
+#ifndef SRC_COMMON_CHACHA20_H_
+#define SRC_COMMON_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace vdp {
+
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kBlockSize = 64;
+
+  ChaCha20(const std::array<uint8_t, kKeySize>& key,
+           const std::array<uint8_t, kNonceSize>& nonce, uint32_t initial_counter = 0);
+
+  // Writes the keystream block for the current counter and advances it.
+  void NextBlock(uint8_t out[kBlockSize]);
+
+  // Fills an arbitrary-length buffer with keystream.
+  void Fill(uint8_t* out, size_t len);
+
+  uint32_t counter() const { return state_[12]; }
+
+ private:
+  std::array<uint32_t, 16> state_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_COMMON_CHACHA20_H_

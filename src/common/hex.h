@@ -1,0 +1,20 @@
+// Hex encoding/decoding for test vectors, debugging, and parameter files.
+#ifndef SRC_COMMON_HEX_H_
+#define SRC_COMMON_HEX_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace vdp {
+
+// Lower-case hex string, two characters per byte.
+std::string HexEncode(BytesView data);
+
+// Accepts upper or lower case; returns nullopt on odd length or bad digits.
+std::optional<Bytes> HexDecode(const std::string& hex);
+
+}  // namespace vdp
+
+#endif  // SRC_COMMON_HEX_H_

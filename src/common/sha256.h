@@ -1,0 +1,38 @@
+// FIPS 180-4 SHA-256. Used for Fiat-Shamir transcripts, hash commitments, and
+// hash-to-group derivation. Streaming interface plus one-shot helpers.
+#ifndef SRC_COMMON_SHA256_H_
+#define SRC_COMMON_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace vdp {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  Sha256& Update(BytesView data);
+  Digest Finalize();  // The object must not be reused after Finalize().
+
+  static Digest Hash(BytesView data);
+  // Domain-separated hash: H(len(tag) || tag || data).
+  static Digest TaggedHash(BytesView tag, BytesView data);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_bytes_ = 0;
+  std::array<uint8_t, 64> buffer_{};
+  size_t buffered_ = 0;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_COMMON_SHA256_H_

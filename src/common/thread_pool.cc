@@ -1,0 +1,93 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+
+namespace vdp {
+
+ThreadPool::ThreadPool(size_t worker_count) {
+  if (worker_count == 0) {
+    worker_count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(worker_count);
+  for (size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // shutting down
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  size_t shards = std::min(count, workers_.size());
+  if (shards <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done_shards{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto shard_body = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= count) {
+        break;
+      }
+      fn(i);
+    }
+    if (done_shards.fetch_add(1) + 1 == shards) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_one();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t s = 0; s + 1 < shards; ++s) {
+      tasks_.push(shard_body);
+    }
+  }
+  work_available_.notify_all();
+  shard_body();  // The calling thread participates as the final shard.
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done_shards.load() == shards; });
+}
+
+ThreadPool& GlobalPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace vdp

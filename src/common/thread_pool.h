@@ -1,0 +1,47 @@
+// Fixed-size worker pool with a blocking ParallelFor. The paper notes that the
+// Sigma-OR proofs for distinct coins/coordinates are independent and can be
+// created and verified on separate cores; this pool backs those batch paths.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vdp {
+
+class ThreadPool {
+ public:
+  // worker_count == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [0, count), blocking until all iterations finish.
+  // Iterations must not throw.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool shutting_down_ = false;
+};
+
+// Process-wide pool sized to the machine; use for batch crypto operations.
+ThreadPool& GlobalPool();
+
+}  // namespace vdp
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,30 @@
+// Monotonic stopwatch used by benchmarks, examples, and the per-stage timing
+// report that reproduces Table 1.
+#ifndef SRC_COMMON_TIMER_H_
+#define SRC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace vdp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_COMMON_TIMER_H_

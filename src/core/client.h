@@ -1,0 +1,150 @@
+// Client-side input preparation and the public validation rule (Line 2-3 of
+// Figure 2).
+//
+// A client holding choice x builds: additive shares of the (bit or one-hot)
+// encoding for each of the K provers, Pedersen commitments to every share
+// (broadcast publicly), a Sigma-OR proof per bin that the *aggregated*
+// commitment opens to a bit, and -- for M > 1 -- the total randomness that
+// opens the product of all bin commitments to exactly one (one-hot check).
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/commit/pedersen.h"
+#include "src/core/messages.h"
+#include "src/core/params.h"
+#include "src/share/additive.h"
+
+namespace vdp {
+
+template <PrimeOrderGroup G>
+struct ClientBundle {
+  ClientUploadMsg<G> upload;              // public broadcast
+  std::vector<ClientShareMsg<G>> shares;  // [K], sent privately to each prover
+};
+
+// Fiat-Shamir context for client i's bin-m validity proof.
+inline std::string ClientProofContext(const std::string& session_id, size_t client_index,
+                                      size_t bin) {
+  return session_id + "/client/" + std::to_string(client_index) + "/bin/" + std::to_string(bin);
+}
+
+// Builds an honest client's messages. For M == 1, `choice` is the bit value
+// (0 or 1); for M > 1, `choice` selects the one-hot bin and must be < M.
+template <PrimeOrderGroup G>
+ClientBundle<G> MakeClientBundle(uint32_t choice, size_t client_index,
+                                 const ProtocolConfig& config, const Pedersen<G>& ped,
+                                 SecureRng& rng) {
+  using S = typename G::Scalar;
+  const size_t k = config.num_provers;
+  const size_t m = config.num_bins;
+
+  ClientBundle<G> bundle;
+  bundle.shares.resize(k);
+  bundle.upload.commitments.resize(k);
+  for (size_t p = 0; p < k; ++p) {
+    bundle.shares[p].values.resize(m);
+    bundle.shares[p].randomness.resize(m);
+    bundle.upload.commitments[p].resize(m);
+  }
+
+  S total_randomness = S::Zero();
+  for (size_t bin = 0; bin < m; ++bin) {
+    int bit = (m == 1) ? static_cast<int>(choice) : (choice == bin ? 1 : 0);
+    S value = S::FromU64(static_cast<uint64_t>(bit));
+    auto value_shares = ShareAdditive(value, k, rng);
+
+    S bin_randomness = S::Zero();
+    for (size_t p = 0; p < k; ++p) {
+      S r = S::Random(rng);
+      bundle.shares[p].values[bin] = value_shares[p];
+      bundle.shares[p].randomness[bin] = r;
+      bundle.upload.commitments[p][bin] = ped.Commit(value_shares[p], r);
+      bin_randomness += r;
+    }
+    total_randomness += bin_randomness;
+
+    // Aggregated commitment c_{i,bin} = prod_k c_{i,k,bin} = Com(bit, sum r).
+    auto aggregated = G::Identity();
+    for (size_t p = 0; p < k; ++p) {
+      aggregated = G::Mul(aggregated, bundle.upload.commitments[p][bin]);
+    }
+    bundle.upload.bin_proofs.push_back(OrProve(
+        ped, aggregated, bit, bin_randomness, rng,
+        ClientProofContext(config.session_id, client_index, bin)));
+  }
+  bundle.upload.sum_randomness = total_randomness;
+  return bundle;
+}
+
+// The public Line-3 check. Anyone (verifier, provers, bystanders) can run it
+// from broadcast data alone; this is what makes the client record public and
+// resolves the Figure 1 disputes.
+template <PrimeOrderGroup G>
+bool ValidateClientUpload(const ClientUploadMsg<G>& upload, size_t client_index,
+                          const ProtocolConfig& config, const Pedersen<G>& ped,
+                          std::string* reason = nullptr) {
+  auto fail = [&](const char* why) {
+    if (reason != nullptr) {
+      *reason = why;
+    }
+    return false;
+  };
+  const size_t k = config.num_provers;
+  const size_t m = config.num_bins;
+  if (upload.commitments.size() != k || upload.bin_proofs.size() != m) {
+    return fail("malformed upload shape");
+  }
+  for (const auto& row : upload.commitments) {
+    if (row.size() != m) {
+      return fail("malformed upload shape");
+    }
+  }
+
+  auto product_all = G::Identity();
+  for (size_t bin = 0; bin < m; ++bin) {
+    auto aggregated = G::Identity();
+    for (size_t p = 0; p < k; ++p) {
+      aggregated = G::Mul(aggregated, upload.commitments[p][bin]);
+    }
+    product_all = G::Mul(product_all, aggregated);
+    if (!OrVerify(ped, aggregated, upload.bin_proofs[bin],
+                  ClientProofContext(config.session_id, client_index, bin))) {
+      return fail("bin OR proof invalid");
+    }
+  }
+
+  if (m > 1) {
+    // One-hot: the product over bins must open to exactly 1 with the
+    // disclosed total randomness (Appendix C, final paragraph).
+    using S = typename G::Scalar;
+    if (!ped.Verify(product_all, S::One(), upload.sum_randomness)) {
+      return fail("bins do not sum to one");
+    }
+  }
+  return true;
+}
+
+// Prover-side consistency check of a privately received share against the
+// public commitments (a malicious client could send garbage to one prover).
+template <PrimeOrderGroup G>
+bool ClientShareConsistent(const ClientShareMsg<G>& share,
+                           const std::vector<typename G::Element>& expected_commitments,
+                           const Pedersen<G>& ped) {
+  if (share.values.size() != expected_commitments.size() ||
+      share.randomness.size() != expected_commitments.size()) {
+    return false;
+  }
+  for (size_t bin = 0; bin < share.values.size(); ++bin) {
+    if (!ped.Verify(expected_commitments[bin], share.values[bin], share.randomness[bin])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vdp
+
+#endif  // SRC_CORE_CLIENT_H_

@@ -1,0 +1,49 @@
+// M-bin verifiable DP histograms and plurality queries on top of Pi_Bin.
+//
+// A histogram is M parallel counting queries; clients contribute one-hot
+// vectors validated by the Line-3 machinery. The helpers here answer the
+// paper's motivating question ("which topping won the election, and can we
+// trust the answer?").
+#ifndef SRC_CORE_HISTOGRAM_H_
+#define SRC_CORE_HISTOGRAM_H_
+
+#include <algorithm>
+
+#include "src/core/protocol.h"
+
+namespace vdp {
+
+struct HistogramSummary {
+  std::vector<double> estimates;  // debiased per-bin counts
+  size_t winner = 0;              // argmax bin
+  double winner_estimate = 0;
+  double total = 0;
+};
+
+inline HistogramSummary SummarizeHistogram(const ProtocolResult& result) {
+  HistogramSummary summary;
+  summary.estimates = result.histogram;
+  if (!summary.estimates.empty()) {
+    auto it = std::max_element(summary.estimates.begin(), summary.estimates.end());
+    summary.winner = static_cast<size_t>(it - summary.estimates.begin());
+    summary.winner_estimate = *it;
+  }
+  for (double v : summary.estimates) {
+    summary.total += v;
+  }
+  return summary;
+}
+
+// Runs a verifiable DP plurality election: every client votes for one of
+// `num_bins` candidates. Returns the protocol result plus the winning bin.
+template <PrimeOrderGroup G>
+std::pair<ProtocolResult, HistogramSummary> RunVerifiableElection(
+    ProtocolConfig config, const std::vector<uint32_t>& votes, SecureRng& rng,
+    ThreadPool* pool = nullptr) {
+  ProtocolResult result = RunHonestProtocol<G>(config, votes, rng, pool);
+  return {result, SummarizeHistogram(result)};
+}
+
+}  // namespace vdp
+
+#endif  // SRC_CORE_HISTOGRAM_H_

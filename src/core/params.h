@@ -1,0 +1,47 @@
+// Protocol configuration shared by clients, provers and the verifier.
+#ifndef SRC_CORE_PARAMS_H_
+#define SRC_CORE_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/dp/binomial.h"
+
+namespace vdp {
+
+// Which protocol realizes the O_morra oracle.
+enum class MorraMode {
+  kPedersen,  // Algorithm 1 verbatim: one committed Z_q contribution per coin
+  kSeed,      // hash-committed seeds, coins from XORed ChaCha20 streams
+};
+
+struct ProtocolConfig {
+  // Privacy target; determines the number of private coins per noise draw.
+  double epsilon = 1.0;
+  double delta = 1.0 / 1024;
+
+  // K >= 1 provers (K = 1 is the trusted curator model).
+  size_t num_provers = 1;
+
+  // M >= 1 histogram bins; clients contribute a one-hot vector (M > 1) or a
+  // single bit (M = 1).
+  size_t num_bins = 1;
+
+  MorraMode morra_mode = MorraMode::kPedersen;
+
+  // Domain separation for all Fiat-Shamir transcripts of this run.
+  std::string session_id = "vdp-session";
+
+  // Coins per prover per bin (Lemma 2.1).
+  uint64_t NumCoins() const { return NumCoinsForPrivacy(epsilon, delta); }
+
+  // Publicly known additive offset of the raw output: each of the K provers
+  // adds Binomial(nb, 1/2) noise per bin, so the mean offset is K * nb / 2.
+  double ExpectedOffset() const {
+    return static_cast<double>(num_provers) * static_cast<double>(NumCoins()) / 2.0;
+  }
+};
+
+}  // namespace vdp
+
+#endif  // SRC_CORE_PARAMS_H_

@@ -1,0 +1,58 @@
+// Protocol verdicts: every way a run can fail, with attribution.
+//
+// Failures are values, not exceptions -- a rejected run is a *result* the
+// public verifier reports (and, per the paper, a public record of who
+// cheated), not an error condition inside the library.
+#ifndef SRC_CORE_VERDICT_H_
+#define SRC_CORE_VERDICT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vdp {
+
+enum class VerdictCode {
+  kAccept,
+  kClientRejected,      // client input failed validation (expected; excluded)
+  kCoinProofInvalid,    // prover's private coin is not a commitment to a bit (Line 5-6)
+  kMorraAborted,        // public-coin generation failed / participant cheated (Line 7-8)
+  kFinalCheckFailed,    // commitment product mismatch (Line 13, Eq. 10)
+  kMalformedMessage,    // undecodable protocol message
+};
+
+inline const char* VerdictCodeName(VerdictCode code) {
+  switch (code) {
+    case VerdictCode::kAccept:
+      return "accept";
+    case VerdictCode::kClientRejected:
+      return "client-rejected";
+    case VerdictCode::kCoinProofInvalid:
+      return "coin-proof-invalid";
+    case VerdictCode::kMorraAborted:
+      return "morra-aborted";
+    case VerdictCode::kFinalCheckFailed:
+      return "final-check-failed";
+    case VerdictCode::kMalformedMessage:
+      return "malformed-message";
+  }
+  return "unknown";
+}
+
+inline constexpr size_t kNoParty = static_cast<size_t>(-1);
+
+struct Verdict {
+  VerdictCode code = VerdictCode::kAccept;
+  size_t cheating_prover = kNoParty;  // index of the prover caught cheating
+  std::string detail;
+
+  bool accepted() const { return code == VerdictCode::kAccept; }
+
+  static Verdict Accept() { return Verdict{}; }
+  static Verdict Reject(VerdictCode code, size_t prover, std::string detail) {
+    return Verdict{code, prover, std::move(detail)};
+  }
+};
+
+}  // namespace vdp
+
+#endif  // SRC_CORE_VERDICT_H_

@@ -1,0 +1,121 @@
+// The public verifier of Pi_Bin (Figure 2, left column).
+//
+// Everything the verifier consumes is broadcast, so any bystander can rerun
+// these checks -- this is what makes the protocol publicly auditable
+// (Table 2's "Auditable" column).
+#ifndef SRC_CORE_VERIFIER_H_
+#define SRC_CORE_VERIFIER_H_
+
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/messages.h"
+#include "src/core/verdict.h"
+
+namespace vdp {
+
+template <PrimeOrderGroup G>
+class PublicVerifier {
+ public:
+  using Element = typename G::Element;
+  using Scalar = typename G::Scalar;
+
+  PublicVerifier(const ProtocolConfig& config, Pedersen<G> ped)
+      : config_(config), ped_(std::move(ped)) {}
+
+  const Pedersen<G>& pedersen() const { return ped_; }
+
+  // Line 3: public client validation; returns indices of accepted clients.
+  // Validations are independent, so they fan out across the pool when given.
+  std::vector<size_t> ValidateClients(const std::vector<ClientUploadMsg<G>>& uploads,
+                                      std::vector<std::string>* reasons = nullptr,
+                                      ThreadPool* pool = nullptr) const {
+    std::vector<uint8_t> ok(uploads.size(), 0);
+    std::vector<std::string> why(uploads.size());
+    auto work = [&](size_t i) {
+      ok[i] = ValidateClientUpload(uploads[i], i, config_, ped_, &why[i]) ? 1 : 0;
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(uploads.size(), work);
+    } else {
+      for (size_t i = 0; i < uploads.size(); ++i) {
+        work(i);
+      }
+    }
+    std::vector<size_t> accepted;
+    for (size_t i = 0; i < uploads.size(); ++i) {
+      if (ok[i] != 0) {
+        accepted.push_back(i);
+      } else if (reasons != nullptr) {
+        reasons->push_back("client " + std::to_string(i) + ": " + why[i]);
+      }
+    }
+    return accepted;
+  }
+
+  // Lines 5-6: every private coin commitment must prove membership in LBit.
+  bool CheckCoinProofs(size_t prover_index, const ProverCoinsMsg<G>& msg,
+                       ThreadPool* pool = nullptr) const {
+    const size_t bins = config_.num_bins;
+    const size_t nb = config_.NumCoins();
+    if (msg.coin_commitments.size() != bins || msg.coin_proofs.size() != bins) {
+      return false;
+    }
+    for (size_t bin = 0; bin < bins; ++bin) {
+      if (msg.coin_commitments[bin].size() != nb || msg.coin_proofs[bin].size() != nb) {
+        return false;
+      }
+      std::string context = config_.session_id + "/prover/" + std::to_string(prover_index) +
+                            "/coins/bin/" + std::to_string(bin);
+      if (!OrVerifyBatch(ped_, msg.coin_commitments[bin], msg.coin_proofs[bin], context, pool)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Line 12: fold the public bit into the coin commitment. When b = 1 the
+  // committed value flips to 1 - v without the verifier ever seeing v:
+  // Com(1,0) * Com(v,s)^{-1} = Com(1-v, -s).
+  Element UpdateCoinCommitment(const Element& commitment, bool bit) const {
+    if (!bit) {
+      return commitment;
+    }
+    return G::Mul(ped_.Commit(Scalar::One(), Scalar::Zero()), G::Inverse(commitment));
+  }
+
+  // Line 13 (Eq. 10) for prover k: the product of accepted client-share
+  // commitments and updated coin commitments must open to (y_k, z_k).
+  bool CheckFinal(size_t prover_index, const std::vector<ClientUploadMsg<G>>& uploads,
+                  const std::vector<size_t>& accepted_clients, const ProverCoinsMsg<G>& coins,
+                  const std::vector<std::vector<bool>>& public_bits,
+                  const ProverOutputMsg<G>& output) const {
+    const size_t bins = config_.num_bins;
+    const size_t nb = config_.NumCoins();
+    if (output.y.size() != bins || output.z.size() != bins) {
+      return false;
+    }
+    for (size_t bin = 0; bin < bins; ++bin) {
+      Element lhs = G::Identity();
+      for (size_t client : accepted_clients) {
+        lhs = G::Mul(lhs, uploads[client].commitments[prover_index][bin]);
+      }
+      for (size_t j = 0; j < nb; ++j) {
+        lhs = G::Mul(lhs, UpdateCoinCommitment(coins.coin_commitments[bin][j],
+                                               public_bits[bin][j]));
+      }
+      if (lhs != ped_.Commit(output.y[bin], output.z[bin])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_CORE_VERIFIER_H_

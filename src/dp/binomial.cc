@@ -1,0 +1,54 @@
+#include "src/dp/binomial.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdp {
+
+uint64_t NumCoinsForPrivacy(double epsilon, double delta) {
+  if (epsilon <= 0 || delta <= 0 || delta >= 1) {
+    throw std::invalid_argument("NumCoinsForPrivacy: need epsilon > 0 and delta in (0,1)");
+  }
+  double raw = 100.0 * std::log(2.0 / delta) / (epsilon * epsilon);
+  auto coins = static_cast<uint64_t>(std::ceil(raw));
+  return coins < kMinBinomialCoins ? kMinBinomialCoins : coins;
+}
+
+double EpsilonForCoins(uint64_t num_coins, double delta) {
+  if (num_coins == 0 || delta <= 0 || delta >= 1) {
+    throw std::invalid_argument("EpsilonForCoins: need coins > 0 and delta in (0,1)");
+  }
+  return 10.0 * std::sqrt(std::log(2.0 / delta) / static_cast<double>(num_coins));
+}
+
+uint64_t SampleBinomialHalf(uint64_t n, SecureRng& rng) {
+  uint64_t ones = 0;
+  uint64_t full_words = n / 64;
+  for (uint64_t i = 0; i < full_words; ++i) {
+    ones += static_cast<uint64_t>(std::popcount(rng.NextU64()));
+  }
+  uint64_t tail = n % 64;
+  if (tail > 0) {
+    uint64_t mask = (tail == 64) ? ~uint64_t{0} : ((uint64_t{1} << tail) - 1);
+    ones += static_cast<uint64_t>(std::popcount(rng.NextU64() & mask));
+  }
+  return ones;
+}
+
+BinomialMechanism::BinomialMechanism(double epsilon, double delta)
+    : epsilon_(epsilon), delta_(delta), num_coins_(NumCoinsForPrivacy(epsilon, delta)) {}
+
+uint64_t BinomialMechanism::Apply(uint64_t true_count, SecureRng& rng) const {
+  return true_count + SampleBinomialHalf(num_coins_, rng);
+}
+
+double BinomialMechanism::ExpectedOffset(size_t noise_draws) const {
+  return static_cast<double>(noise_draws) * static_cast<double>(num_coins_) / 2.0;
+}
+
+double BinomialMechanism::Debias(uint64_t raw_output, size_t noise_draws) const {
+  return static_cast<double>(raw_output) - ExpectedOffset(noise_draws);
+}
+
+}  // namespace vdp

@@ -1,0 +1,59 @@
+// The Binomial mechanism (paper Lemma 2.1).
+//
+// Adding Z ~ Binomial(nb, 1/2) to a 1-sensitive counting query is (eps,
+// delta)-DP with eps = 10 * sqrt(ln(2/delta) / nb), i.e. the number of coins
+// needed for a target (eps, delta) is nb = ceil(100 * ln(2/delta) / eps^2).
+// The mechanism is deliberately built from fair Bernoulli coins because fair
+// coins are exactly what the verifiable pipeline (Morra + XOR + Sigma-OR) can
+// certify.
+#ifndef SRC_DP_BINOMIAL_H_
+#define SRC_DP_BINOMIAL_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace vdp {
+
+// Lemma 2.1 requires nb > 30; we round up to that floor when the formula
+// yields fewer coins.
+inline constexpr uint64_t kMinBinomialCoins = 31;
+
+// nb(eps, delta) = ceil(100 * ln(2/delta) / eps^2), clamped to > 30.
+// Requires eps > 0 and 0 < delta < 1.
+uint64_t NumCoinsForPrivacy(double epsilon, double delta);
+
+// The epsilon achieved by nb coins at a given delta (inverse of the above).
+double EpsilonForCoins(uint64_t num_coins, double delta);
+
+// Exact Binomial(n, 1/2) sample via popcount over the DRBG stream.
+uint64_t SampleBinomialHalf(uint64_t n, SecureRng& rng);
+
+class BinomialMechanism {
+ public:
+  // Configures the mechanism for a target privacy level.
+  BinomialMechanism(double epsilon, double delta);
+
+  uint64_t num_coins() const { return num_coins_; }
+  double epsilon() const { return epsilon_; }
+  double delta() const { return delta_; }
+
+  // Raw mechanism output: true_count + Binomial(nb, 1/2). The +nb/2 offset is
+  // public; consumers subtract ExpectedOffset() for an unbiased estimate.
+  uint64_t Apply(uint64_t true_count, SecureRng& rng) const;
+
+  // The publicly known mean of the added noise (nb / 2 per noise draw).
+  double ExpectedOffset(size_t noise_draws = 1) const;
+
+  // Debiased point estimate given the raw output.
+  double Debias(uint64_t raw_output, size_t noise_draws = 1) const;
+
+ private:
+  double epsilon_;
+  double delta_;
+  uint64_t num_coins_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_DP_BINOMIAL_H_

@@ -1,0 +1,79 @@
+// (eps, delta) accounting for composed releases.
+//
+// The histogram protocol adds independent Binomial noise per bin; because the
+// bins partition the clients (each contributes to exactly one bin with the
+// rest fixed at zero... more precisely the one-hot vector has L_inf
+// sensitivity 1 and L_1 sensitivity 2), per-coordinate guarantees compose.
+// These helpers implement the standard bookkeeping: basic (sequential)
+// composition, parallel composition over disjoint data, and Lemma B.1's
+// sensitivity scaling (eps*Delta, delta*Delta).
+#ifndef SRC_DP_COMPOSITION_H_
+#define SRC_DP_COMPOSITION_H_
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vdp {
+
+struct PrivacyBudget {
+  double epsilon = 0;
+  double delta = 0;
+};
+
+// Basic sequential composition: budgets add.
+inline PrivacyBudget ComposeSequential(const std::vector<PrivacyBudget>& releases) {
+  PrivacyBudget total;
+  for (const auto& r : releases) {
+    total.epsilon += r.epsilon;
+    total.delta += r.delta;
+  }
+  return total;
+}
+
+// Parallel composition over disjoint sub-populations: the max dominates.
+inline PrivacyBudget ComposeParallel(const std::vector<PrivacyBudget>& releases) {
+  PrivacyBudget total;
+  for (const auto& r : releases) {
+    total.epsilon = std::max(total.epsilon, r.epsilon);
+    total.delta = std::max(total.delta, r.delta);
+  }
+  return total;
+}
+
+// Advanced composition (Dwork-Rothblum-Vadhan): k-fold adaptive composition
+// of (eps, delta)-DP mechanisms is (eps', k*delta + delta')-DP with
+// eps' = sqrt(2k ln(1/delta')) * eps + k * eps * (e^eps - 1).
+inline PrivacyBudget ComposeAdvanced(PrivacyBudget per_release, size_t k, double delta_prime) {
+  if (delta_prime <= 0 || delta_prime >= 1) {
+    throw std::invalid_argument("ComposeAdvanced: delta_prime must be in (0,1)");
+  }
+  PrivacyBudget total;
+  double kd = static_cast<double>(k);
+  total.epsilon = std::sqrt(2.0 * kd * std::log(1.0 / delta_prime)) * per_release.epsilon +
+                  kd * per_release.epsilon * (std::exp(per_release.epsilon) - 1.0);
+  total.delta = kd * per_release.delta + delta_prime;
+  return total;
+}
+
+// Lemma B.1 sensitivity scaling: adding (eps, delta, k)-smooth noise to a
+// query of L1 sensitivity Delta yields (eps*Delta, delta*Delta)-DP.
+inline PrivacyBudget ScaleBySensitivity(PrivacyBudget per_unit, double l1_sensitivity) {
+  if (l1_sensitivity < 0) {
+    throw std::invalid_argument("ScaleBySensitivity: sensitivity must be non-negative");
+  }
+  return PrivacyBudget{per_unit.epsilon * l1_sensitivity, per_unit.delta * l1_sensitivity};
+}
+
+// The histogram released by Pi_Bin: per-bin Binomial noise at (eps, delta),
+// one-hot client vectors (L1 sensitivity 2 between neighboring datasets that
+// change one client's bin; L1 sensitivity 1 for add/remove neighbors).
+inline PrivacyBudget HistogramBudget(double per_bin_epsilon, double per_bin_delta,
+                                     bool swap_neighbors) {
+  double sensitivity = swap_neighbors ? 2.0 : 1.0;
+  return ScaleBySensitivity(PrivacyBudget{per_bin_epsilon, per_bin_delta}, sensitivity);
+}
+
+}  // namespace vdp
+
+#endif  // SRC_DP_COMPOSITION_H_

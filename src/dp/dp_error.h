@@ -1,0 +1,40 @@
+// Empirical DP-Error (paper Definition 6): Err = E[|Q(X) - M(X,Q)|], the
+// expected L1 distance between the true query answer and the mechanism
+// output, estimated by Monte Carlo.
+#ifndef SRC_DP_DP_ERROR_H_
+#define SRC_DP_DP_ERROR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+
+namespace vdp {
+
+struct DpErrorEstimate {
+  double mean_abs_error = 0;   // estimate of Err
+  double mean_signed_error = 0;  // bias check; ~0 for debiased mechanisms
+  int trials = 0;
+};
+
+// `mechanism` maps (true_count, rng) to a debiased estimate of the count.
+inline DpErrorEstimate EstimateDpError(
+    int64_t true_count, const std::function<double(int64_t, SecureRng&)>& mechanism, int trials,
+    SecureRng& rng) {
+  DpErrorEstimate est;
+  est.trials = trials;
+  for (int i = 0; i < trials; ++i) {
+    double out = mechanism(true_count, rng);
+    double err = out - static_cast<double>(true_count);
+    est.mean_abs_error += std::abs(err);
+    est.mean_signed_error += err;
+  }
+  est.mean_abs_error /= trials;
+  est.mean_signed_error /= trials;
+  return est;
+}
+
+}  // namespace vdp
+
+#endif  // SRC_DP_DP_ERROR_H_

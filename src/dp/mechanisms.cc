@@ -1,0 +1,52 @@
+#include "src/dp/mechanisms.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vdp {
+namespace {
+
+// Uniform double in (0, 1): 53 random mantissa bits, never exactly 0.
+double UniformUnit(SecureRng& rng) {
+  uint64_t mantissa = rng.NextU64() >> 11;
+  return (static_cast<double>(mantissa) + 0.5) * 0x1.0p-53;
+}
+
+}  // namespace
+
+DiscreteLaplace::DiscreteLaplace(double epsilon, double sensitivity) : epsilon_(epsilon) {
+  if (epsilon <= 0 || sensitivity <= 0) {
+    throw std::invalid_argument("DiscreteLaplace: epsilon and sensitivity must be positive");
+  }
+  alpha_ = std::exp(-epsilon / sensitivity);
+}
+
+int64_t DiscreteLaplace::Sample(SecureRng& rng) const {
+  // Difference of two geometric variables is two-sided geometric.
+  auto geometric = [this, &rng] {
+    double u = UniformUnit(rng);
+    return static_cast<int64_t>(std::floor(std::log(u) / std::log(alpha_)));
+  };
+  return geometric() - geometric();
+}
+
+RandomizedResponse::RandomizedResponse(double epsilon) {
+  if (epsilon <= 0) {
+    throw std::invalid_argument("RandomizedResponse: epsilon must be positive");
+  }
+  double e = std::exp(epsilon);
+  p_ = e / (1.0 + e);
+}
+
+int RandomizedResponse::Perturb(int bit, SecureRng& rng) const {
+  bool truthful = UniformUnit(rng) < p_;
+  return truthful ? bit : 1 - bit;
+}
+
+double RandomizedResponse::DebiasedCount(uint64_t observed_ones, uint64_t n) const {
+  double no = static_cast<double>(observed_ones);
+  double nn = static_cast<double>(n);
+  return (no - nn * (1.0 - p_)) / (2.0 * p_ - 1.0);
+}
+
+}  // namespace vdp

@@ -1,0 +1,52 @@
+// Classical DP baselines used for comparison benchmarks.
+//
+// DiscreteLaplace is the textbook central-model mechanism (error O(1/eps));
+// RandomizedResponse is the local-model baseline (error O(sqrt(n)/eps)).
+// Together with the Binomial mechanism they back the empirical error
+// comparison that accompanies Table 2.
+#ifndef SRC_DP_MECHANISMS_H_
+#define SRC_DP_MECHANISMS_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace vdp {
+
+// Two-sided geometric ("discrete Laplace") noise: P(k) proportional to
+// alpha^|k| with alpha = exp(-eps/sensitivity).
+class DiscreteLaplace {
+ public:
+  explicit DiscreteLaplace(double epsilon, double sensitivity = 1.0);
+
+  int64_t Sample(SecureRng& rng) const;
+  int64_t Apply(int64_t true_count, SecureRng& rng) const { return true_count + Sample(rng); }
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  double alpha_;  // exp(-eps/sensitivity)
+};
+
+// Warner's randomized response for a single bit: report the true bit with
+// probability p = e^eps / (1 + e^eps), the flipped bit otherwise.
+class RandomizedResponse {
+ public:
+  explicit RandomizedResponse(double epsilon);
+
+  int Perturb(int bit, SecureRng& rng) const;
+
+  // Unbiased estimate of the true count of ones from perturbed reports:
+  // (observed - n(1-p)) / (2p - 1).
+  double DebiasedCount(uint64_t observed_ones, uint64_t n) const;
+
+  double truth_probability() const { return p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_DP_MECHANISMS_H_

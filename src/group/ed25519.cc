@@ -1,0 +1,240 @@
+#include "src/group/ed25519.h"
+
+namespace vdp {
+namespace {
+
+GePoint IdentityPoint() {
+  GePoint p;
+  p.x = Fe25519::Zero();
+  p.y = Fe25519::One();
+  p.z = Fe25519::One();
+  p.t = Fe25519::Zero();
+  return p;
+}
+
+GePoint NegatePoint(const GePoint& p) {
+  GePoint r = p;
+  r.x = Fe25519::Neg(p.x);
+  r.t = Fe25519::Neg(p.t);
+  return r;
+}
+
+bool PointsEqual(const GePoint& a, const GePoint& b) {
+  // x1/z1 == x2/z2  <=>  x1 z2 == x2 z1 (same for y).
+  return Fe25519::Mul(a.x, b.z) == Fe25519::Mul(b.x, a.z) &&
+         Fe25519::Mul(a.y, b.z) == Fe25519::Mul(b.y, a.z);
+}
+
+bool OnCurve(const Fe25519& x, const Fe25519& y) {
+  // -x^2 + y^2 == 1 + d x^2 y^2
+  Fe25519 xx = Fe25519::Square(x);
+  Fe25519 yy = Fe25519::Square(y);
+  Fe25519 lhs = Fe25519::Sub(yy, xx);
+  Fe25519 rhs = Fe25519::Add(Fe25519::One(),
+                             Fe25519::Mul(Ed25519Group::D(), Fe25519::Mul(xx, yy)));
+  return lhs == rhs;
+}
+
+}  // namespace
+
+const BigInt<4>& Ed25519Group::ScalarTag::Order() {
+  static const BigInt<4> l = *BigInt<4>::FromHex(
+      "1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed");
+  return l;
+}
+
+const Fe25519& Ed25519Group::D() {
+  static const Fe25519 d = [] {
+    // d = -121665 / 121666 mod p (the defining constant of edwards25519).
+    Fe25519 num = Fe25519::Neg(Fe25519::FromU64(121665));
+    Fe25519 den = Fe25519::FromU64(121666);
+    return Fe25519::Mul(num, den.Invert());
+  }();
+  return d;
+}
+
+Ed25519Group::Element::Element() : p_(IdentityPoint()) {}
+
+bool operator==(const Ed25519Group::Element& a, const Ed25519Group::Element& b) {
+  return PointsEqual(a.p_, b.p_);
+}
+
+Ed25519Group::Element Ed25519Group::Identity() { return Element(); }
+
+Ed25519Group::Element Ed25519Group::Generator() {
+  static const GePoint base = [] {
+    // The standard base point has y = 4/5 and "even" (non-negative) x.
+    Fe25519 y = Fe25519::Mul(Fe25519::FromU64(4), Fe25519::FromU64(5).Invert());
+    Fe25519 yy = Fe25519::Square(y);
+    Fe25519 u = Fe25519::Sub(yy, Fe25519::One());
+    Fe25519 v = Fe25519::Add(Fe25519::Mul(D(), yy), Fe25519::One());
+    Fe25519 x = *Fe25519::Mul(u, v.Invert()).Sqrt();
+    if (x.IsNegative()) {
+      x = Fe25519::Neg(x);
+    }
+    GePoint p;
+    p.x = x;
+    p.y = y;
+    p.z = Fe25519::One();
+    p.t = Fe25519::Mul(x, y);
+    return p;
+  }();
+  return Element(base);
+}
+
+// Unified addition (add-2008-hwcd with a = -1); complete on this curve, so it
+// also serves as doubling.
+GePoint Ed25519Group::Add(const GePoint& p, const GePoint& q) {
+  Fe25519 a = Fe25519::Mul(p.x, q.x);
+  Fe25519 b = Fe25519::Mul(p.y, q.y);
+  Fe25519 c = Fe25519::Mul(Fe25519::Mul(p.t, D()), q.t);
+  Fe25519 d2 = Fe25519::Mul(p.z, q.z);
+  Fe25519 e = Fe25519::Sub(
+      Fe25519::Sub(Fe25519::Mul(Fe25519::Add(p.x, p.y), Fe25519::Add(q.x, q.y)), a), b);
+  Fe25519 f = Fe25519::Sub(d2, c);
+  Fe25519 g = Fe25519::Add(d2, c);
+  Fe25519 h = Fe25519::Add(b, a);  // B - aA with a = -1
+  GePoint r;
+  r.x = Fe25519::Mul(e, f);
+  r.y = Fe25519::Mul(g, h);
+  r.t = Fe25519::Mul(e, h);
+  r.z = Fe25519::Mul(f, g);
+  return r;
+}
+
+GePoint Ed25519Group::ScalarMult(const GePoint& p, const BigInt<4>& e) {
+  // 4-bit window, variable time (acceptable: exponents in this library are
+  // either public or blinded at the protocol level).
+  GePoint table[16];
+  table[0] = IdentityPoint();
+  table[1] = p;
+  for (int i = 2; i < 16; ++i) {
+    table[i] = Add(table[i - 1], p);
+  }
+  GePoint acc = IdentityPoint();
+  size_t bits = e.BitLength();
+  size_t windows = (bits + 3) / 4;
+  for (size_t w = windows; w-- > 0;) {
+    for (int i = 0; i < 4; ++i) {
+      acc = Add(acc, acc);
+    }
+    uint32_t nib = 0;
+    for (int b = 3; b >= 0; --b) {
+      size_t bit = w * 4 + static_cast<size_t>(b);
+      nib = (nib << 1) | ((bit < bits && e.Bit(bit)) ? 1u : 0u);
+    }
+    if (nib != 0) {
+      acc = Add(acc, table[nib]);
+    }
+  }
+  return acc;
+}
+
+Ed25519Group::Element Ed25519Group::Mul(const Element& a, const Element& b) {
+  return Element(Add(a.p_, b.p_));
+}
+
+Ed25519Group::Element Ed25519Group::Exp(const Element& base, const Scalar& e) {
+  return Element(ScalarMult(base.p_, e.value()));
+}
+
+Ed25519Group::Element Ed25519Group::Inverse(const Element& a) {
+  return Element(NegatePoint(a.p_));
+}
+
+Bytes Ed25519Group::Encode(const Element& e) {
+  Fe25519 zinv = e.p_.z.Invert();
+  Fe25519 x = Fe25519::Mul(e.p_.x, zinv);
+  Fe25519 y = Fe25519::Mul(e.p_.y, zinv);
+  auto bytes = y.ToBytes();
+  if (x.IsNegative()) {
+    bytes[31] |= 0x80;
+  }
+  return Bytes(bytes.begin(), bytes.end());
+}
+
+std::optional<GePoint> Ed25519Group::Decompress(BytesView bytes) {
+  if (bytes.size() != kElementSize) {
+    return std::nullopt;
+  }
+  Bytes y_bytes(bytes.begin(), bytes.end());
+  bool sign = (y_bytes[31] & 0x80) != 0;
+  y_bytes[31] &= 0x7f;
+  auto y = Fe25519::FromBytes(y_bytes);
+  if (!y.has_value()) {
+    return std::nullopt;
+  }
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  Fe25519 yy = Fe25519::Square(*y);
+  Fe25519 u = Fe25519::Sub(yy, Fe25519::One());
+  Fe25519 v = Fe25519::Add(Fe25519::Mul(D(), yy), Fe25519::One());
+  auto x = Fe25519::Mul(u, v.Invert()).Sqrt();
+  if (!x.has_value()) {
+    return std::nullopt;
+  }
+  if (x->IsZero() && sign) {
+    return std::nullopt;  // -0 is not a valid encoding
+  }
+  if (x->IsNegative() != sign) {
+    *x = Fe25519::Neg(*x);
+  }
+  if (!OnCurve(*x, *y)) {
+    return std::nullopt;
+  }
+  GePoint p;
+  p.x = *x;
+  p.y = *y;
+  p.z = Fe25519::One();
+  p.t = Fe25519::Mul(*x, *y);
+  return p;
+}
+
+bool Ed25519Group::InSubgroup(const Element& e) {
+  GePoint le = ScalarMult(e.p_, ScalarTag::Order());
+  return PointsEqual(le, IdentityPoint());
+}
+
+std::optional<Ed25519Group::Element> Ed25519Group::Decode(BytesView bytes) {
+  auto p = Decompress(bytes);
+  if (!p.has_value()) {
+    return std::nullopt;
+  }
+  Element e(*p);
+  if (!InSubgroup(e)) {
+    return std::nullopt;
+  }
+  return e;
+}
+
+Ed25519Group::Element Ed25519Group::HashToGroup(BytesView domain, BytesView msg) {
+  for (uint64_t counter = 0;; ++counter) {
+    Sha256 h;
+    h.Update(StrView("vdp/ed25519-hash-to-group"));
+    uint8_t dlen = static_cast<uint8_t>(domain.size());
+    h.Update(BytesView(&dlen, 1));
+    h.Update(domain);
+    h.Update(msg);
+    uint8_t ctr[8];
+    for (int i = 0; i < 8; ++i) {
+      ctr[i] = static_cast<uint8_t>(counter >> (8 * i));
+    }
+    h.Update(BytesView(ctr, 8));
+    Sha256::Digest digest = h.Finalize();
+    Bytes candidate(digest.begin(), digest.end());
+    candidate[31] &= 0x7f;  // interpret as a y coordinate with positive x
+    auto p = Decompress(candidate);
+    if (!p.has_value()) {
+      continue;
+    }
+    // Clear the cofactor: 8P lies in the prime-order subgroup.
+    GePoint p2 = Add(*p, *p);
+    GePoint p4 = Add(p2, p2);
+    GePoint p8 = Add(p4, p4);
+    if (PointsEqual(p8, IdentityPoint())) {
+      continue;  // hashed into the torsion subgroup; try the next counter
+    }
+    return Element(p8);
+  }
+}
+
+}  // namespace vdp

@@ -1,0 +1,82 @@
+// Edwards25519: the prime-order subgroup of the twisted Edwards curve
+// -x^2 + y^2 = 1 + d x^2 y^2 over GF(2^255 - 19).
+//
+// The group exposed here is the order-l subgroup (l = 2^252 + 27742...).
+// Decode() performs a full subgroup check, and HashToGroup clears the
+// cofactor, so every Element handled by the protocols has prime order. This
+// substitutes for the paper's Ristretto instantiation (see DESIGN.md).
+#ifndef SRC_GROUP_ED25519_H_
+#define SRC_GROUP_ED25519_H_
+
+#include <string>
+
+#include "src/common/sha256.h"
+#include "src/group/ed25519_field.h"
+#include "src/group/scalar_field.h"
+
+namespace vdp {
+
+// Point in extended homogeneous coordinates (x = X/Z, y = Y/Z, T = XY/Z).
+struct GePoint {
+  Fe25519 x;
+  Fe25519 y;
+  Fe25519 z;
+  Fe25519 t;
+};
+
+class Ed25519Group {
+ public:
+  static constexpr size_t kElementSize = 32;
+
+  struct ScalarTag {
+    static const BigInt<4>& Order();  // l = 2^252 + 27742317777372353535851937790883648493
+  };
+  using Scalar = ScalarField<4, ScalarTag>;
+
+  class Element {
+   public:
+    Element();  // identity
+
+    const GePoint& point() const { return p_; }
+
+    friend bool operator==(const Element& a, const Element& b);
+    friend bool operator!=(const Element& a, const Element& b) { return !(a == b); }
+
+   private:
+    friend class Ed25519Group;
+    explicit Element(const GePoint& p) : p_(p) {}
+    GePoint p_;
+  };
+
+  static std::string Name() { return "ed25519"; }
+
+  static Element Identity();
+  static Element Generator();
+
+  static Element Mul(const Element& a, const Element& b);  // point addition
+  static Element Exp(const Element& base, const Scalar& e);  // scalar multiplication
+  static Element Inverse(const Element& a);  // point negation
+  static Element ExpG(const Scalar& e) { return Exp(Generator(), e); }
+
+  // Compressed encoding: canonical y with the sign bit of x in bit 255.
+  static Bytes Encode(const Element& e);
+  // Strict decode: canonical encoding, on curve, and in the order-l subgroup.
+  static std::optional<Element> Decode(BytesView bytes);
+
+  static bool InSubgroup(const Element& e);
+
+  // Try-and-increment onto the curve followed by cofactor clearing.
+  static Element HashToGroup(BytesView domain, BytesView msg);
+
+  // Curve constant d = -121665/121666 (derived, not hard-coded).
+  static const Fe25519& D();
+
+ private:
+  static GePoint Add(const GePoint& a, const GePoint& b);
+  static GePoint ScalarMult(const GePoint& p, const BigInt<4>& e);
+  static std::optional<GePoint> Decompress(BytesView bytes);
+};
+
+}  // namespace vdp
+
+#endif  // SRC_GROUP_ED25519_H_

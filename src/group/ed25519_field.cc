@@ -1,0 +1,265 @@
+#include "src/group/ed25519_field.h"
+
+namespace vdp {
+namespace {
+
+constexpr uint64_t kMask51 = (uint64_t{1} << 51) - 1;
+
+// 2p limb constants so subtraction never underflows for loosely reduced inputs.
+constexpr uint64_t kTwoP0 = 0xfffffffffffda;  // 2 * (2^51 - 19)
+constexpr uint64_t kTwoP1234 = 0xffffffffffffe;  // 2 * (2^51 - 1)
+
+inline uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const BigInt<4>& Fe25519::P() {
+  static const BigInt<4> p = [] {
+    BigInt<4> v;
+    v.limb[0] = ~uint64_t{0} - 18;  // 2^64 - 19
+    v.limb[1] = ~uint64_t{0};
+    v.limb[2] = ~uint64_t{0};
+    v.limb[3] = ~uint64_t{0} >> 1;  // 2^63 - 1
+    return v;
+  }();
+  return p;
+}
+
+Fe25519 Fe25519::FromU64(uint64_t x) {
+  Fe25519 r;
+  r.v_[0] = x & kMask51;
+  r.v_[1] = x >> 51;
+  return r;
+}
+
+void Fe25519::CarryReduce() {
+  // Two passes bring every limb below 2^51 + epsilon and keep value mod p.
+  for (int pass = 0; pass < 2; ++pass) {
+    uint64_t c;
+    c = v_[0] >> 51;
+    v_[0] &= kMask51;
+    v_[1] += c;
+    c = v_[1] >> 51;
+    v_[1] &= kMask51;
+    v_[2] += c;
+    c = v_[2] >> 51;
+    v_[2] &= kMask51;
+    v_[3] += c;
+    c = v_[3] >> 51;
+    v_[3] &= kMask51;
+    v_[4] += c;
+    c = v_[4] >> 51;
+    v_[4] &= kMask51;
+    v_[0] += 19 * c;
+  }
+}
+
+Fe25519 Fe25519::Add(const Fe25519& a, const Fe25519& b) {
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) {
+    r.v_[i] = a.v_[i] + b.v_[i];
+  }
+  r.CarryReduce();
+  return r;
+}
+
+Fe25519 Fe25519::Sub(const Fe25519& a, const Fe25519& b) {
+  Fe25519 r;
+  r.v_[0] = a.v_[0] + kTwoP0 - b.v_[0];
+  r.v_[1] = a.v_[1] + kTwoP1234 - b.v_[1];
+  r.v_[2] = a.v_[2] + kTwoP1234 - b.v_[2];
+  r.v_[3] = a.v_[3] + kTwoP1234 - b.v_[3];
+  r.v_[4] = a.v_[4] + kTwoP1234 - b.v_[4];
+  r.CarryReduce();
+  return r;
+}
+
+Fe25519 Fe25519::Mul(const Fe25519& a, const Fe25519& b) {
+  using u128 = unsigned __int128;
+  const uint64_t a0 = a.v_[0], a1 = a.v_[1], a2 = a.v_[2], a3 = a.v_[3], a4 = a.v_[4];
+  const uint64_t b0 = b.v_[0], b1 = b.v_[1], b2 = b.v_[2], b3 = b.v_[3], b4 = b.v_[4];
+  const uint64_t b1_19 = 19 * b1, b2_19 = 19 * b2, b3_19 = 19 * b3, b4_19 = 19 * b4;
+
+  u128 t0 = static_cast<u128>(a0) * b0 + static_cast<u128>(a1) * b4_19 +
+            static_cast<u128>(a2) * b3_19 + static_cast<u128>(a3) * b2_19 +
+            static_cast<u128>(a4) * b1_19;
+  u128 t1 = static_cast<u128>(a0) * b1 + static_cast<u128>(a1) * b0 +
+            static_cast<u128>(a2) * b4_19 + static_cast<u128>(a3) * b3_19 +
+            static_cast<u128>(a4) * b2_19;
+  u128 t2 = static_cast<u128>(a0) * b2 + static_cast<u128>(a1) * b1 +
+            static_cast<u128>(a2) * b0 + static_cast<u128>(a3) * b4_19 +
+            static_cast<u128>(a4) * b3_19;
+  u128 t3 = static_cast<u128>(a0) * b3 + static_cast<u128>(a1) * b2 +
+            static_cast<u128>(a2) * b1 + static_cast<u128>(a3) * b0 +
+            static_cast<u128>(a4) * b4_19;
+  u128 t4 = static_cast<u128>(a0) * b4 + static_cast<u128>(a1) * b3 +
+            static_cast<u128>(a2) * b2 + static_cast<u128>(a3) * b1 +
+            static_cast<u128>(a4) * b0;
+
+  Fe25519 r;
+  uint64_t c;
+  r.v_[0] = static_cast<uint64_t>(t0) & kMask51;
+  c = static_cast<uint64_t>(t0 >> 51);
+  t1 += c;
+  r.v_[1] = static_cast<uint64_t>(t1) & kMask51;
+  c = static_cast<uint64_t>(t1 >> 51);
+  t2 += c;
+  r.v_[2] = static_cast<uint64_t>(t2) & kMask51;
+  c = static_cast<uint64_t>(t2 >> 51);
+  t3 += c;
+  r.v_[3] = static_cast<uint64_t>(t3) & kMask51;
+  c = static_cast<uint64_t>(t3 >> 51);
+  t4 += c;
+  r.v_[4] = static_cast<uint64_t>(t4) & kMask51;
+  c = static_cast<uint64_t>(t4 >> 51);
+  r.v_[0] += 19 * c;
+  c = r.v_[0] >> 51;
+  r.v_[0] &= kMask51;
+  r.v_[1] += c;
+  return r;
+}
+
+Fe25519 Fe25519::Pow(const Fe25519& a, const BigInt<4>& e) {
+  Fe25519 acc = One();
+  for (size_t i = e.BitLength(); i-- > 0;) {
+    acc = Square(acc);
+    if (e.Bit(i)) {
+      acc = Mul(acc, a);
+    }
+  }
+  return acc;
+}
+
+Fe25519 Fe25519::Invert() const {
+  // a^(p-2), p - 2 = 2^255 - 21.
+  BigInt<4> e = P();
+  BigInt<4>::SubInto(e, e, BigInt<4>::FromU64(2));
+  return Pow(*this, e);
+}
+
+std::optional<Fe25519> Fe25519::Sqrt() const {
+  // p = 5 mod 8: candidate = a^((p+3)/8); fix up with sqrt(-1) when needed.
+  static const BigInt<4> kExp = [] {
+    BigInt<4> e = P();
+    BigInt<4>::AddInto(e, e, BigInt<4>::FromU64(3));
+    e.ShiftRight1();
+    e.ShiftRight1();
+    e.ShiftRight1();
+    return e;
+  }();
+  static const Fe25519 kSqrtM1 = [] {
+    // 2^((p-1)/4) is a square root of -1 for p = 5 mod 8.
+    BigInt<4> e = P();
+    BigInt<4>::SubInto(e, e, BigInt<4>::One());
+    e.ShiftRight1();
+    e.ShiftRight1();
+    return Pow(FromU64(2), e);
+  }();
+
+  Fe25519 x = Pow(*this, kExp);
+  Fe25519 xx = Square(x);
+  if (xx == *this) {
+    return x;
+  }
+  if (xx == Neg(*this)) {
+    return Mul(x, kSqrtM1);
+  }
+  return std::nullopt;
+}
+
+bool Fe25519::IsZero() const {
+  auto bytes = ToBytes();
+  uint8_t acc = 0;
+  for (uint8_t b : bytes) {
+    acc |= b;
+  }
+  return acc == 0;
+}
+
+bool Fe25519::IsNegative() const { return (ToBytes()[0] & 1) != 0; }
+
+bool operator==(const Fe25519& a, const Fe25519& b) { return a.ToBytes() == b.ToBytes(); }
+
+std::array<uint8_t, Fe25519::kEncodedSize> Fe25519::ToBytes() const {
+  Fe25519 t = *this;
+  t.CarryReduce();
+  // q = 1 iff value >= p (valid because limbs are < 2^51 after CarryReduce).
+  uint64_t q = (t.v_[0] + 19) >> 51;
+  q = (t.v_[1] + q) >> 51;
+  q = (t.v_[2] + q) >> 51;
+  q = (t.v_[3] + q) >> 51;
+  q = (t.v_[4] + q) >> 51;
+  // value mod p = value + 19q, truncated to 255 bits.
+  t.v_[0] += 19 * q;
+  uint64_t c;
+  c = t.v_[0] >> 51;
+  t.v_[0] &= kMask51;
+  t.v_[1] += c;
+  c = t.v_[1] >> 51;
+  t.v_[1] &= kMask51;
+  t.v_[2] += c;
+  c = t.v_[2] >> 51;
+  t.v_[2] &= kMask51;
+  t.v_[3] += c;
+  c = t.v_[3] >> 51;
+  t.v_[3] &= kMask51;
+  t.v_[4] += c;
+  t.v_[4] &= kMask51;  // drop bit 255
+
+  std::array<uint8_t, kEncodedSize> out{};
+  uint64_t words[4];
+  words[0] = t.v_[0] | (t.v_[1] << 51);
+  words[1] = (t.v_[1] >> 13) | (t.v_[2] << 38);
+  words[2] = (t.v_[2] >> 26) | (t.v_[3] << 25);
+  words[3] = (t.v_[3] >> 39) | (t.v_[4] << 12);
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      out[8 * w + i] = static_cast<uint8_t>(words[w] >> (8 * i));
+    }
+  }
+  return out;
+}
+
+std::optional<Fe25519> Fe25519::FromBytes(BytesView bytes) {
+  if (bytes.size() != kEncodedSize || (bytes[31] & 0x80) != 0) {
+    return std::nullopt;
+  }
+  Fe25519 r;
+  r.v_[0] = LoadLe64(bytes.data()) & kMask51;
+  r.v_[1] = (LoadLe64(bytes.data() + 6) >> 3) & kMask51;
+  r.v_[2] = (LoadLe64(bytes.data() + 12) >> 6) & kMask51;
+  r.v_[3] = (LoadLe64(bytes.data() + 19) >> 1) & kMask51;
+  r.v_[4] = (LoadLe64(bytes.data() + 24) >> 12) & kMask51;
+  // Reject non-canonical encodings (value >= p).
+  auto canonical = r.ToBytes();
+  if (!std::equal(canonical.begin(), canonical.end(), bytes.begin())) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+BigInt<4> Fe25519::ToBigInt() const {
+  auto bytes = ToBytes();
+  BigInt<4> v;
+  for (size_t i = 0; i < 32; ++i) {
+    v.limb[i / 8] |= static_cast<uint64_t>(bytes[i]) << (8 * (i % 8));
+  }
+  return v;
+}
+
+Fe25519 Fe25519::FromBigInt(const BigInt<4>& value) {
+  Bytes le(32);
+  for (size_t i = 0; i < 32; ++i) {
+    le[i] = static_cast<uint8_t>(value.limb[i / 8] >> (8 * (i % 8)));
+  }
+  auto fe = FromBytes(le);
+  return fe.value_or(Fe25519());
+}
+
+}  // namespace vdp

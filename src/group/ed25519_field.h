@@ -1,0 +1,74 @@
+// Field arithmetic modulo 2^255 - 19 with 5 radix-51 limbs (portable).
+//
+// Backs the Edwards25519 group, the library's elliptic-curve instantiation of
+// the commitment scheme (the paper benchmarks "Pedersen commitments over
+// elliptic curves using the prime order Ristretto group"; see DESIGN.md for
+// the cofactor-clearing substitution).
+#ifndef SRC_GROUP_ED25519_FIELD_H_
+#define SRC_GROUP_ED25519_FIELD_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/common/bytes.h"
+#include "src/math/bigint.h"
+
+namespace vdp {
+
+class Fe25519 {
+ public:
+  static constexpr size_t kEncodedSize = 32;
+
+  constexpr Fe25519() : v_{0, 0, 0, 0, 0} {}
+
+  static Fe25519 Zero() { return Fe25519(); }
+  static Fe25519 One() { return FromU64(1); }
+  static Fe25519 FromU64(uint64_t x);
+
+  static Fe25519 Add(const Fe25519& a, const Fe25519& b);
+  static Fe25519 Sub(const Fe25519& a, const Fe25519& b);
+  static Fe25519 Mul(const Fe25519& a, const Fe25519& b);
+  static Fe25519 Square(const Fe25519& a) { return Mul(a, a); }
+  static Fe25519 Neg(const Fe25519& a) { return Sub(Zero(), a); }
+
+  // a^e for an arbitrary 256-bit exponent (square-and-multiply).
+  static Fe25519 Pow(const Fe25519& a, const BigInt<4>& e);
+
+  // Multiplicative inverse (a^(p-2)); Zero maps to Zero.
+  Fe25519 Invert() const;
+
+  // Square root if one exists (p = 5 mod 8 method). Returns nullopt for
+  // non-residues. The returned root is the principal one; callers pick sign.
+  std::optional<Fe25519> Sqrt() const;
+
+  bool IsZero() const;
+  // Sign convention of RFC 8032: "negative" iff the canonical encoding is odd.
+  bool IsNegative() const;
+
+  friend bool operator==(const Fe25519& a, const Fe25519& b);
+  friend bool operator!=(const Fe25519& a, const Fe25519& b) { return !(a == b); }
+
+  // Canonical little-endian 32-byte encoding (fully reduced).
+  std::array<uint8_t, kEncodedSize> ToBytes() const;
+
+  // Strict decode: rejects values >= p and wrong lengths. Bit 255 must be 0
+  // (point codecs strip the sign bit before calling this).
+  static std::optional<Fe25519> FromBytes(BytesView bytes);
+
+  // Conversion to/from the generic big-integer type (for cross-validation).
+  BigInt<4> ToBigInt() const;
+  static Fe25519 FromBigInt(const BigInt<4>& v);  // value must be < p
+
+  static const BigInt<4>& P();  // 2^255 - 19
+
+ private:
+  void CarryReduce();
+
+  // Limbs in radix 2^51; loosely reduced (each < 2^52) between operations.
+  uint64_t v_[5];
+};
+
+}  // namespace vdp
+
+#endif  // SRC_GROUP_ED25519_FIELD_H_

@@ -1,0 +1,67 @@
+// Fixed-base exponentiation with a precomputed window table.
+//
+// Pedersen commitments exponentiate the same two generators millions of times
+// per protocol run; a comb table turns each exponentiation into one group
+// multiplication per 4-bit window of the exponent (no squarings). The table
+// costs ~16 * ceil(bits/4) group elements and is built once per generator.
+#ifndef SRC_GROUP_FIXED_BASE_H_
+#define SRC_GROUP_FIXED_BASE_H_
+
+#include <vector>
+
+#include "src/group/group.h"
+
+namespace vdp {
+
+template <PrimeOrderGroup G>
+class FixedBaseTable {
+ public:
+  using Element = typename G::Element;
+  using Scalar = typename G::Scalar;
+
+  explicit FixedBaseTable(const Element& base) {
+    size_t bits = Scalar::Order().BitLength();
+    size_t windows = (bits + 3) / 4;
+    rows_.resize(windows);
+    Element window_base = base;  // base^(16^w)
+    for (size_t w = 0; w < windows; ++w) {
+      auto& row = rows_[w];
+      row.reserve(16);
+      row.push_back(G::Identity());
+      for (int i = 1; i < 16; ++i) {
+        row.push_back(G::Mul(row.back(), window_base));
+      }
+      // Next row's base: base^(16^(w+1)) = (base^(16^w))^16.
+      Element sq = G::Mul(window_base, window_base);   // ^2
+      sq = G::Mul(sq, sq);                             // ^4
+      sq = G::Mul(sq, sq);                             // ^8
+      window_base = G::Mul(sq, sq);                    // ^16
+    }
+  }
+
+  // base^e using one multiplication per nonzero window.
+  Element Exp(const Scalar& e) const {
+    const auto& v = e.value();
+    Element acc = G::Identity();
+    size_t bits = v.BitLength();
+    size_t windows = std::min(rows_.size(), (bits + 3) / 4);
+    for (size_t w = 0; w < windows; ++w) {
+      uint32_t nib = 0;
+      for (int b = 3; b >= 0; --b) {
+        size_t bit = w * 4 + static_cast<size_t>(b);
+        nib = (nib << 1) | ((bit < bits && v.Bit(bit)) ? 1u : 0u);
+      }
+      if (nib != 0) {
+        acc = G::Mul(acc, rows_[w][nib]);
+      }
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<std::vector<Element>> rows_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_GROUP_FIXED_BASE_H_

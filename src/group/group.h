@@ -1,0 +1,75 @@
+// The prime-order group abstraction every protocol layer builds on.
+//
+// A PrimeOrderGroup is a cyclic group of prime order q where the discrete
+// logarithm problem is assumed hard, together with its scalar field Z_q.
+// Two backends are provided: Schnorr groups over Z_p* (modp_group.h) and the
+// Edwards25519 subgroup (ed25519.h). Protocol code is generic over the
+// backend; explicit instantiations live at the bottom of the protocol .cc
+// files.
+#ifndef SRC_GROUP_GROUP_H_
+#define SRC_GROUP_GROUP_H_
+
+#include <concepts>
+#include <optional>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/group/ed25519.h"
+#include "src/group/modp_group.h"
+#include "src/group/schnorr_group.h"
+
+namespace vdp {
+
+template <typename S>
+concept GroupScalar = requires(const S& s, SecureRng& rng, BytesView bytes) {
+  { S::Zero() } -> std::same_as<S>;
+  { S::One() } -> std::same_as<S>;
+  { S::Random(rng) } -> std::same_as<S>;
+  { S::FromU64(uint64_t{}) } -> std::same_as<S>;
+  { S::FromBytesWide(bytes) } -> std::same_as<S>;
+  { S::Decode(bytes) } -> std::same_as<std::optional<S>>;
+  { s + s } -> std::same_as<S>;
+  { s - s } -> std::same_as<S>;
+  { s* s } -> std::same_as<S>;
+  { -s } -> std::same_as<S>;
+  { s.Inverse() } -> std::same_as<S>;
+  { s.Encode() } -> std::same_as<Bytes>;
+  { s == s } -> std::convertible_to<bool>;
+};
+
+template <typename G>
+concept PrimeOrderGroup =
+    GroupScalar<typename G::Scalar> &&
+    requires(const typename G::Element& e, const typename G::Scalar& s, BytesView bytes) {
+      { G::Name() } -> std::convertible_to<std::string>;
+      { G::Identity() } -> std::same_as<typename G::Element>;
+      { G::Generator() } -> std::same_as<typename G::Element>;
+      { G::Mul(e, e) } -> std::same_as<typename G::Element>;
+      { G::Exp(e, s) } -> std::same_as<typename G::Element>;
+      { G::ExpG(s) } -> std::same_as<typename G::Element>;
+      { G::Inverse(e) } -> std::same_as<typename G::Element>;
+      { G::Encode(e) } -> std::same_as<Bytes>;
+      { G::Decode(bytes) } -> std::same_as<std::optional<typename G::Element>>;
+      { G::HashToGroup(bytes, bytes) } -> std::same_as<typename G::Element>;
+      { e == e } -> std::convertible_to<bool>;
+    };
+
+static_assert(PrimeOrderGroup<ModP256>);
+static_assert(PrimeOrderGroup<ModP512>);
+static_assert(PrimeOrderGroup<ModP1024>);
+static_assert(PrimeOrderGroup<ModP2048>);
+static_assert(PrimeOrderGroup<Ed25519Group>);
+static_assert(PrimeOrderGroup<Schnorr512>);
+static_assert(PrimeOrderGroup<Schnorr2048>);
+
+// Division (exponentiation by the inverse is never needed; this is the group
+// operation with the second operand inverted): a / b = a * b^{-1}.
+template <PrimeOrderGroup G>
+typename G::Element Div(const typename G::Element& a, const typename G::Element& b) {
+  return G::Mul(a, G::Inverse(b));
+}
+
+}  // namespace vdp
+
+#endif  // SRC_GROUP_GROUP_H_

@@ -1,0 +1,60 @@
+#include "src/group/modp_params.h"
+
+#include <stdexcept>
+
+namespace vdp {
+namespace {
+
+template <size_t L>
+ModPParams<L> MakeParams(const char* p_hex) {
+  auto p = BigInt<L>::FromHex(p_hex);
+  if (!p.has_value()) {
+    throw std::logic_error("bad hard-coded prime");
+  }
+  ModPParams<L> params;
+  params.p = *p;
+  params.q = *p;
+  BigInt<L>::SubInto(params.q, params.q, BigInt<L>::One());
+  params.q.ShiftRight1();
+  params.g = 4;  // 2^2 is a quadratic residue; any non-identity QR generates the order-q group
+  return params;
+}
+
+}  // namespace
+
+const ModPParams<4>& ModP256Params() {
+  static const ModPParams<4> params = MakeParams<4>(
+      "dbe9f9f63d95fe684c6f3cf76db3caf6ef4b7cd5130565e79f68a3ea74fdf9b7");
+  return params;
+}
+
+const ModPParams<8>& ModP512Params() {
+  static const ModPParams<8> params = MakeParams<8>(
+      "b0bcaef9afed33c017b99edeab6c784d51b6b9705b23e46d5b0111cc063bbe07"
+      "f793df0dee28fa6bcf7230c355c7eff0a68c23c4c3c9d8cad71e2ca52d9b47a7");
+  return params;
+}
+
+const ModPParams<16>& ModP1024Params() {
+  static const ModPParams<16> params = MakeParams<16>(
+      "e22969ca762a76d7d4cbeb6a96716e6be27aaa74068cf887e09290ce8757ae3b"
+      "04fb5d9dc6b07efb90ede13351fbd0daf4bc0e45506433ab8ac1defabc960859"
+      "d3f38e1e1f11f51e0eb64ba1751a75a20bad018db01a3743a351c2c599cb5a6d"
+      "efbd9805b9f581c4dfe34c9c768516407f660067ff88aa920b375bfc178e863f");
+  return params;
+}
+
+const ModPParams<32>& ModP2048Params() {
+  static const ModPParams<32> params = MakeParams<32>(
+      "9f81159495a9a1c4f6ed4014a2ecf1ab8cc52bfc744f767a57234743a0d0ed10"
+      "2267540c163e15071fde8596c955be930718fe007e1497029cc944b2d0ef6db6"
+      "d43ecadae39e8b87e67d3b3503169bb8a2700010f4a698fc18843323b5f95105"
+      "69fd87ec1e261787c45081584bee72fd4f58075361233d69a5f31de3900d51ab"
+      "ebb62aa167cb69ef2b72b9c71e2cdeb3997dd7c869520a8072c2efae79e4a262"
+      "8cba7a6c5cb83fd16980b9c01b89850235d75340a78bfba6b1541836de3043e3"
+      "2ffa3d84f21719651eec990ace65460a4976b012aa19c244e58c53c26e8b87b2"
+      "cf4bb087653107935e46b7f32688c6fb54bf778d8b5856284f99bf5388f4e0cf");
+  return params;
+}
+
+}  // namespace vdp

@@ -1,0 +1,128 @@
+// Prime-order subgroup of Z_p* with a short (256-bit) order q.
+//
+// Same algebra as ModPGroup, but scalars are 4 limbs regardless of the
+// modulus size, so exponentiation costs ~256 squarings instead of ~|p|.
+// Decode() checks subgroup membership with one q-exponentiation; HashToGroup
+// clears the (p-1)/q cofactor.
+#ifndef SRC_GROUP_SCHNORR_GROUP_H_
+#define SRC_GROUP_SCHNORR_GROUP_H_
+
+#include <string>
+
+#include "src/common/sha256.h"
+#include "src/group/scalar_field.h"
+#include "src/group/schnorr_params.h"
+
+namespace vdp {
+
+template <size_t L, const SchnorrParams<L>& (*Params)()>
+class SchnorrGroup {
+ public:
+  static constexpr size_t kLimbs = L;
+  static constexpr size_t kElementSize = BigInt<L>::kBytes;
+
+  struct ScalarTag {
+    static const BigInt<4>& Order() { return Params().q; }
+  };
+  using Scalar = ScalarField<4, ScalarTag>;
+
+  class Element {
+   public:
+    Element() : v_(BigInt<L>::One()) {}
+
+    const BigInt<L>& value() const { return v_; }
+
+    friend bool operator==(const Element& a, const Element& b) { return a.v_ == b.v_; }
+    friend bool operator!=(const Element& a, const Element& b) { return a.v_ != b.v_; }
+
+   private:
+    friend class SchnorrGroup;
+    explicit Element(const BigInt<L>& v) : v_(v) {}
+    BigInt<L> v_;
+  };
+
+  static std::string Name() { return "schnorr-" + std::to_string(L * 64) + "-q256"; }
+
+  static Element Identity() { return Element(); }
+  static Element Generator() { return Element(Params().g); }
+
+  static Element Mul(const Element& a, const Element& b) {
+    return Element(PCtx().MulMod(a.v_, b.v_));
+  }
+
+  static Element Exp(const Element& base, const Scalar& e) {
+    return Element(PCtx().ExpMod(base.v_, e.value()));
+  }
+
+  static Element Inverse(const Element& a) { return Element(PCtx().Inverse(a.v_)); }
+
+  static Element ExpG(const Scalar& e) { return Exp(Generator(), e); }
+
+  static Bytes Encode(const Element& e) { return e.v_.ToBytesBe(); }
+
+  static std::optional<Element> Decode(BytesView bytes) {
+    if (bytes.size() != kElementSize) {
+      return std::nullopt;
+    }
+    auto v = BigInt<L>::FromBytesBe(bytes);
+    if (!v.has_value() || v->IsZero() || *v >= Params().p) {
+      return std::nullopt;
+    }
+    Element e(*v);
+    if (!InSubgroup(e)) {
+      return std::nullopt;
+    }
+    return e;
+  }
+
+  static bool InSubgroup(const Element& e) {
+    return PCtx().template ExpMod<4>(e.v_, Params().q) == BigInt<L>::One();
+  }
+
+  // Hash to a field element, then clear the cofactor so the result lands in
+  // the order-q subgroup.
+  static Element HashToGroup(BytesView domain, BytesView msg) {
+    for (uint64_t counter = 0;; ++counter) {
+      Sha256 h;
+      h.Update(StrView("vdp/schnorr-hash-to-group"));
+      uint8_t dlen = static_cast<uint8_t>(domain.size());
+      h.Update(BytesView(&dlen, 1));
+      h.Update(domain);
+      h.Update(msg);
+      uint8_t ctr[8];
+      for (int i = 0; i < 8; ++i) {
+        ctr[i] = static_cast<uint8_t>(counter >> (8 * i));
+      }
+      h.Update(BytesView(ctr, 8));
+      Bytes wide;
+      Sha256::Digest block = h.Finalize();
+      while (wide.size() < kElementSize) {
+        wide.insert(wide.end(), block.begin(), block.end());
+        block = Sha256::Hash(BytesView(block.data(), block.size()));
+      }
+      wide.resize(kElementSize);
+      auto u = BigInt<L>::FromBytesBe(wide);
+      BigInt<L> reduced = Mod(*u, Params().p);
+      if (reduced.IsZero()) {
+        continue;
+      }
+      BigInt<L> cleared = PCtx().ExpMod(reduced, Params().cofactor);
+      if (cleared != BigInt<L>::One()) {
+        return Element(cleared);
+      }
+    }
+  }
+
+ private:
+  static const MontgomeryCtx<L>& PCtx() {
+    static const MontgomeryCtx<L> ctx(Params().p);
+    return ctx;
+  }
+};
+
+using Schnorr512 = SchnorrGroup<8, Schnorr512Params>;
+using Schnorr2048 = SchnorrGroup<32, Schnorr2048Params>;
+
+}  // namespace vdp
+
+#endif  // SRC_GROUP_SCHNORR_GROUP_H_

@@ -1,0 +1,61 @@
+#include "src/group/schnorr_params.h"
+
+#include <stdexcept>
+
+namespace vdp {
+namespace {
+
+template <size_t L>
+SchnorrParams<L> MakeParams(const char* p_hex, const char* q_hex, const char* g_hex) {
+  auto p = BigInt<L>::FromHex(p_hex);
+  auto q = BigInt<4>::FromHex(q_hex);
+  auto g = BigInt<L>::FromHex(g_hex);
+  if (!p || !q || !g) {
+    throw std::logic_error("bad hard-coded Schnorr parameters");
+  }
+  SchnorrParams<L> params;
+  params.p = *p;
+  params.q = *q;
+  params.g = *g;
+  // cofactor = (p - 1) / q, exact by construction (revalidated in tests).
+  BigInt<L> p_minus_1 = *p;
+  BigInt<L>::SubInto(p_minus_1, p_minus_1, BigInt<L>::One());
+  params.cofactor = DivMod(p_minus_1, q->template Resize<L>()).quotient;
+  return params;
+}
+
+}  // namespace
+
+const SchnorrParams<8>& Schnorr512Params() {
+  static const SchnorrParams<8> params = MakeParams<8>(
+      "9c513b3ba085f7deac85d537eb0da8d65aba848973ae4cd5f49d0089dcd25f3b"
+      "29bc08c8027c853b871a2112e0ccd8ac8c38904264a6046945cda027468b9593",
+      "a1af2c6cfd7936d831a085893018886133ffcc32cfa83b7b4889c9eedd1af88f",
+      "07effabe563852159d316ad8628a29b7c3f626661d1c5bc789a71531c08464f4"
+      "75447e8094bb18facf96c7a5fa120a73d751e08fb48232bd5a5e432b782b1511");
+  return params;
+}
+
+const SchnorrParams<32>& Schnorr2048Params() {
+  static const SchnorrParams<32> params = MakeParams<32>(
+      "9dbf4dffab940e40473c16df505a9c5b233cb01ec0c03b1798c35b0c7cf82e49"
+      "f6e9bf3addf12b838b4e621c4636cacdd2ceb0db8ca960018c48d6b725e8525d"
+      "5c0a3a16e792f4f1fb4ee82ffe409815581fde5bbeaed201a2b4cab3820ca308"
+      "de696b612b4f2a29e27fed9396c30a071cbf8584013d5c8a63e8a4b494ac3fb7"
+      "9536423d865cc076da78a8821cc916765e7f3eca3cbc5e9ea62b73d944cc0c69"
+      "8407a4645404a8fcc5b4c024310b1df94a3a3e384377f84e717d60c7539d69a1"
+      "46d686c44de8a7c4e3583a22eebced86aefbff2419c171fda1fc1754bd130d4e"
+      "ff76a59815b8ccc3aa11ddb75f9d23f1025fb150db279cab76d166e5fb3a3a67",
+      "a2522efefb23fd5830af637e04122cc42395a366cf2ac3606c263c36c459cb55",
+      "290df5589ef072fdb028903c1c85013b2999a802840e4f80cc9f4d56beddeb8a"
+      "2bdac9ae2fc7ef1edfad59535b2961539f2422bf204504668b01e980b9d7ebec"
+      "65ed2cff9a659e212924aad58a177e25aced23a5634c9849101a0798e27a5f64"
+      "8f367d90e2ae0819282fd4f1f018cfd254ac5d4602b6e06ba6929634c4837e58"
+      "7e285439646c096569e983fc7d273ed989199f67398c68c44f0d81c37dbe25c7"
+      "07d676a2a849943b7afc81676d5fc7344c137e798663a96fd350ed67898919ed"
+      "af1f9cf5a9af079b00de7db9647fa466fb5d1ab5b50841a0cdcc7ddb78460f53"
+      "b3c75927989e712d4f3d6c982e8867c1836cfa4bf8b2ff8706bc6d8322a672ef");
+  return params;
+}
+
+}  // namespace vdp

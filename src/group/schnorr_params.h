@@ -1,0 +1,29 @@
+// DSA/Schnorr-style groups: a 256-bit prime-order subgroup of Z_p* for a
+// large prime p = q * cofactor + 1.
+//
+// Unlike the safe-prime groups of modp_params.h (whose exponents are
+// (p-1)/2-sized), these have *short* 256-bit exponents -- the configuration
+// production finite-field deployments use, and the one that makes Z_p*
+// exponentiation cheaper than portable elliptic-curve scalar multiplication
+// (the relation behind the paper's 35us-vs-328us comparison).
+#ifndef SRC_GROUP_SCHNORR_PARAMS_H_
+#define SRC_GROUP_SCHNORR_PARAMS_H_
+
+#include "src/math/bigint.h"
+
+namespace vdp {
+
+template <size_t L>
+struct SchnorrParams {
+  BigInt<L> p;         // prime modulus
+  BigInt<4> q;         // 256-bit prime subgroup order
+  BigInt<L> cofactor;  // (p - 1) / q
+  BigInt<L> g;         // generator of the order-q subgroup
+};
+
+const SchnorrParams<8>& Schnorr512Params();
+const SchnorrParams<32>& Schnorr2048Params();
+
+}  // namespace vdp
+
+#endif  // SRC_GROUP_SCHNORR_PARAMS_H_

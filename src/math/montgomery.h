@@ -1,0 +1,154 @@
+// Montgomery arithmetic over an odd modulus (CIOS multiplication).
+//
+// MontgomeryCtx<L> precomputes everything needed for fast modular
+// multiplication, exponentiation and (for prime moduli) inversion. Values are
+// passed in plain representation; the context converts internally. This is
+// the single hot loop of the whole library: every commitment, proof and
+// verification reduces to ExpMod calls.
+#ifndef SRC_MATH_MONTGOMERY_H_
+#define SRC_MATH_MONTGOMERY_H_
+
+#include <stdexcept>
+
+#include "src/math/bigint.h"
+
+namespace vdp {
+
+template <size_t L>
+class MontgomeryCtx {
+ public:
+  // modulus must be odd and > 1.
+  explicit MontgomeryCtx(const BigInt<L>& modulus) : m_(modulus) {
+    if (!modulus.IsOdd() || modulus <= BigInt<L>::One()) {
+      throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+    }
+    // m0inv_ = -m^{-1} mod 2^64 via Newton iteration.
+    uint64_t inv = 1;
+    for (int i = 0; i < 6; ++i) {
+      inv *= 2 - m_.limb[0] * inv;
+    }
+    m0inv_ = ~inv + 1;  // negate mod 2^64
+
+    // r_ = 2^(64L) mod m; r2_ = r_^2 mod m (computed by 64L modular doublings).
+    BigInt<L> r = ComputeR();
+    r_ = r;
+    BigInt<L> r2 = r;
+    for (size_t i = 0; i < 64 * L; ++i) {
+      r2 = AddMod(r2, r2, m_);
+    }
+    r2_ = r2;
+  }
+
+  const BigInt<L>& modulus() const { return m_; }
+  const BigInt<L>& r() const { return r_; }
+
+  BigInt<L> ToMont(const BigInt<L>& a) const { return MulMont(a, r2_); }
+  BigInt<L> FromMont(const BigInt<L>& a) const { return MulMont(a, BigInt<L>::One()); }
+
+  // Montgomery product: a * b * R^{-1} mod m (CIOS).
+  BigInt<L> MulMont(const BigInt<L>& a, const BigInt<L>& b) const {
+    uint64_t t[L + 2] = {0};
+    for (size_t i = 0; i < L; ++i) {
+      // t += a[i] * b
+      uint64_t carry = 0;
+      for (size_t j = 0; j < L; ++j) {
+        unsigned __int128 s =
+            static_cast<unsigned __int128>(a.limb[i]) * b.limb[j] + t[j] + carry;
+        t[j] = static_cast<uint64_t>(s);
+        carry = static_cast<uint64_t>(s >> 64);
+      }
+      unsigned __int128 s = static_cast<unsigned __int128>(t[L]) + carry;
+      t[L] = static_cast<uint64_t>(s);
+      t[L + 1] = static_cast<uint64_t>(s >> 64);
+
+      // Reduce: add u * m where u makes the low limb vanish, then shift.
+      uint64_t u = t[0] * m0inv_;
+      unsigned __int128 s2 = static_cast<unsigned __int128>(u) * m_.limb[0] + t[0];
+      carry = static_cast<uint64_t>(s2 >> 64);
+      for (size_t j = 1; j < L; ++j) {
+        unsigned __int128 s3 =
+            static_cast<unsigned __int128>(u) * m_.limb[j] + t[j] + carry;
+        t[j - 1] = static_cast<uint64_t>(s3);
+        carry = static_cast<uint64_t>(s3 >> 64);
+      }
+      unsigned __int128 s4 = static_cast<unsigned __int128>(t[L]) + carry;
+      t[L - 1] = static_cast<uint64_t>(s4);
+      t[L] = t[L + 1] + static_cast<uint64_t>(s4 >> 64);
+      t[L + 1] = 0;
+    }
+
+    BigInt<L> result;
+    for (size_t i = 0; i < L; ++i) {
+      result.limb[i] = t[i];
+    }
+    if (t[L] != 0 || result >= m_) {
+      BigInt<L>::SubInto(result, result, m_);
+    }
+    return result;
+  }
+
+  // a * b mod m for plain-representation inputs (one extra Montgomery step).
+  BigInt<L> MulMod(const BigInt<L>& a, const BigInt<L>& b) const {
+    return MulMont(ToMont(a), b);
+  }
+
+  // base^exp mod m (plain in, plain out). 4-bit fixed window.
+  template <size_t E>
+  BigInt<L> ExpMod(const BigInt<L>& base, const BigInt<E>& exp) const {
+    size_t exp_bits = exp.BitLength();
+    if (exp_bits == 0) {
+      return BigInt<L>::One();
+    }
+    BigInt<L> base_m = ToMont(base);
+
+    // table[i] = base^i in Montgomery form, i in [0, 16).
+    BigInt<L> table[16];
+    table[0] = r_;  // 1 in Montgomery form
+    table[1] = base_m;
+    for (int i = 2; i < 16; ++i) {
+      table[i] = MulMont(table[i - 1], base_m);
+    }
+
+    size_t windows = (exp_bits + 3) / 4;
+    BigInt<L> acc = r_;
+    for (size_t w = windows; w-- > 0;) {
+      for (int s = 0; s < 4; ++s) {
+        acc = MulMont(acc, acc);
+      }
+      uint32_t nib = 0;
+      for (int b = 3; b >= 0; --b) {
+        size_t bit = w * 4 + static_cast<size_t>(b);
+        nib = (nib << 1) | ((bit < exp_bits && exp.Bit(bit)) ? 1u : 0u);
+      }
+      if (nib != 0) {
+        acc = MulMont(acc, table[nib]);
+      }
+    }
+    return FromMont(acc);
+  }
+
+  // Modular inverse via Fermat (requires m prime, a != 0 mod m).
+  BigInt<L> Inverse(const BigInt<L>& a) const {
+    BigInt<L> exp = m_;
+    BigInt<L> two = BigInt<L>::FromU64(2);
+    BigInt<L>::SubInto(exp, exp, two);
+    return ExpMod(a, exp);
+  }
+
+ private:
+  BigInt<L> ComputeR() const {
+    // 2^(64L) mod m via division of the (L+1)-limb value 2^(64L).
+    BigInt<L + 1> pow2;
+    pow2.limb[L] = 1;
+    return DivMod(pow2, m_).remainder;
+  }
+
+  BigInt<L> m_;
+  BigInt<L> r_;
+  BigInt<L> r2_;
+  uint64_t m0inv_ = 0;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_MATH_MONTGOMERY_H_

@@ -1,0 +1,61 @@
+#include "src/morra/morra.h"
+
+namespace vdp {
+
+MorraOutcome RunSeedMorra(std::vector<SeedMorraParty>& parties, size_t num_coins) {
+  MorraOutcome outcome;
+  const size_t k = parties.size();
+
+  struct Committed {
+    Sha256::Digest commitment;
+    HashCommitment::Opening opening;
+  };
+  std::vector<Committed> state(k);
+  for (size_t i = 0; i < k; ++i) {
+    Bytes seed = parties[i].rng.RandomBytes(32);
+    auto [commitment, opening] = HashCommitment::Commit(seed, parties[i].rng);
+    state[i] = Committed{commitment, std::move(opening)};
+  }
+
+  // Reveal in reverse order with immediate validation.
+  for (size_t idx = k; idx-- > 0;) {
+    if (parties[idx].abort_on_reveal) {
+      outcome.aborted = true;
+      outcome.cheater = idx;
+      return outcome;
+    }
+    HashCommitment::Opening claimed = state[idx].opening;
+    if (parties[idx].equivocate) {
+      claimed.message = parties[idx].rng.RandomBytes(32);  // try to swap the seed
+    }
+    if (!HashCommitment::Verify(state[idx].commitment, claimed)) {
+      outcome.aborted = true;
+      outcome.cheater = idx;
+      return outcome;
+    }
+    state[idx].opening = std::move(claimed);
+  }
+
+  // Coins: XOR of the expanded streams.
+  size_t num_bytes = (num_coins + 7) / 8;
+  Bytes combined(num_bytes, 0);
+  for (size_t i = 0; i < k; ++i) {
+    std::array<uint8_t, ChaCha20::kKeySize> key{};
+    std::copy(state[i].opening.message.begin(), state[i].opening.message.end(), key.begin());
+    std::array<uint8_t, ChaCha20::kNonceSize> nonce = {'m', 'o', 'r', 'r', 'a', '-',
+                                                       's', 'e', 'e', 'd', 0,   0};
+    ChaCha20 stream(key, nonce);
+    Bytes expanded(num_bytes);
+    stream.Fill(expanded.data(), expanded.size());
+    for (size_t b = 0; b < num_bytes; ++b) {
+      combined[b] = static_cast<uint8_t>(combined[b] ^ expanded[b]);
+    }
+  }
+  outcome.coins.reserve(num_coins);
+  for (size_t j = 0; j < num_coins; ++j) {
+    outcome.coins.push_back(((combined[j / 8] >> (j % 8)) & 1) != 0);
+  }
+  return outcome;
+}
+
+}  // namespace vdp

@@ -1,0 +1,161 @@
+// Morra (paper Algorithm 1): K-party commit-reveal sampling of public
+// unbiased coins, secure against a dishonest majority of active parties.
+//
+// Every party commits to a batch of uniform Z_q contributions, commitments
+// are broadcast in index order, then openings are revealed in *reverse*
+// order (so nobody's contribution can depend on another's). Coin j is
+// 1 iff sum_k m_{k,j} mod q lands in the upper half of the field. One honest
+// party suffices for unbiased output; binding commitments make equivocation
+// detectable and attributable.
+//
+// Two commitment instantiations are provided: Pedersen (the paper's choice,
+// measured in Table 1) and hash commitments (an ablation; see bench_morra).
+#ifndef SRC_MORRA_MORRA_H_
+#define SRC_MORRA_MORRA_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/commit/hash_commitment.h"
+#include "src/commit/pedersen.h"
+#include "src/group/group.h"
+
+namespace vdp {
+
+inline constexpr size_t kNoCheater = static_cast<size_t>(-1);
+
+struct MorraOutcome {
+  std::vector<bool> coins;
+  bool aborted = false;
+  size_t cheater = kNoCheater;  // party index when a bad opening is detected
+};
+
+// A Morra participant. The honest implementation samples uniformly and
+// reveals faithfully; adversarial subclasses (morra/adversary.h) override the
+// hooks to cheat in specific ways.
+template <PrimeOrderGroup G>
+class MorraParty {
+ public:
+  using Scalar = typename G::Scalar;
+  using Element = typename G::Element;
+
+  struct Opening {
+    Scalar m;
+    Scalar r;
+  };
+
+  explicit MorraParty(SecureRng rng) : rng_(std::move(rng)) {}
+  virtual ~MorraParty() = default;
+
+  // Phase 1: sample contributions, return commitments (broadcast).
+  virtual std::vector<Element> CommitPhase(size_t num_coins, const Pedersen<G>& ped) {
+    openings_.clear();
+    openings_.reserve(num_coins);
+    std::vector<Element> commitments;
+    commitments.reserve(num_coins);
+    for (size_t j = 0; j < num_coins; ++j) {
+      Opening o{Scalar::Random(rng_), Scalar::Random(rng_)};
+      commitments.push_back(ped.Commit(o.m, o.r));
+      openings_.push_back(o);
+    }
+    return commitments;
+  }
+
+  // Broadcast observation hooks (adversaries may react to these; the
+  // commitments are already binding by the time reveals flow).
+  virtual void ObserveCommitments(size_t party, const std::vector<Element>& commitments) {
+    (void)party;
+    (void)commitments;
+  }
+  virtual void ObserveReveal(size_t party, const std::vector<Opening>& openings) {
+    (void)party;
+    (void)openings;
+  }
+
+  // Phase 2: reveal openings. Returning an empty vector models early abort.
+  virtual std::vector<Opening> RevealPhase() { return openings_; }
+
+ protected:
+  SecureRng rng_;
+  std::vector<Opening> openings_;
+};
+
+// Runs the protocol among `parties`. Commitments broadcast in index order;
+// reveals collected in reverse index order and checked immediately.
+template <PrimeOrderGroup G>
+MorraOutcome RunMorra(std::vector<MorraParty<G>*>& parties, size_t num_coins,
+                      const Pedersen<G>& ped) {
+  using Scalar = typename G::Scalar;
+  using Element = typename G::Element;
+  MorraOutcome outcome;
+
+  const size_t k = parties.size();
+  std::vector<std::vector<Element>> commitments(k);
+  for (size_t i = 0; i < k; ++i) {
+    commitments[i] = parties[i]->CommitPhase(num_coins, ped);
+    if (commitments[i].size() != num_coins) {
+      outcome.aborted = true;
+      outcome.cheater = i;
+      return outcome;
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t other = 0; other < k; ++other) {
+      if (other != i) {
+        parties[other]->ObserveCommitments(i, commitments[i]);
+      }
+    }
+  }
+
+  // Reveal in reverse order of commitment broadcast (paper step 3).
+  std::vector<std::vector<typename MorraParty<G>::Opening>> openings(k);
+  for (size_t idx = k; idx-- > 0;) {
+    openings[idx] = parties[idx]->RevealPhase();
+    if (openings[idx].size() != num_coins) {
+      outcome.aborted = true;
+      outcome.cheater = idx;
+      return outcome;
+    }
+    for (size_t j = 0; j < num_coins; ++j) {
+      if (!ped.Verify(commitments[idx][j], openings[idx][j].m, openings[idx][j].r)) {
+        outcome.aborted = true;
+        outcome.cheater = idx;
+        return outcome;
+      }
+    }
+    for (size_t other = 0; other < k; ++other) {
+      if (other != idx) {
+        parties[other]->ObserveReveal(idx, openings[idx]);
+      }
+    }
+  }
+
+  // Coin extraction: X_j = sum_k m_{k,j}; coin = [X_j > floor(q/2)].
+  auto half_q = Scalar::Order();
+  half_q.ShiftRight1();
+  outcome.coins.reserve(num_coins);
+  for (size_t j = 0; j < num_coins; ++j) {
+    Scalar x = Scalar::Zero();
+    for (size_t i = 0; i < k; ++i) {
+      x += openings[i][j].m;
+    }
+    outcome.coins.push_back(x.value() > half_q);
+  }
+  return outcome;
+}
+
+// Seed-based Morra over hash commitments: each party commits to a 32-byte
+// seed; coins are the XOR of the parties' ChaCha20-expanded seed streams.
+// Identical trust model (one honest party suffices), one commitment per
+// party instead of per coin -- the fast path quantified in bench_morra.
+struct SeedMorraParty {
+  SecureRng rng;
+  bool abort_on_reveal = false;
+  bool equivocate = false;  // present a different seed at reveal time
+};
+
+MorraOutcome RunSeedMorra(std::vector<SeedMorraParty>& parties, size_t num_coins);
+
+}  // namespace vdp
+
+#endif  // SRC_MORRA_MORRA_H_

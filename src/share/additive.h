@@ -1,0 +1,41 @@
+// Additive secret sharing over Z_q: x = sum of K uniformly random shares.
+//
+// This is the sharing clients use to split inputs across the K provers in
+// the client-server MPC model (Section 3). Any K-1 shares are uniformly
+// distributed and information-theoretically hide x.
+#ifndef SRC_SHARE_ADDITIVE_H_
+#define SRC_SHARE_ADDITIVE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/group/group.h"
+
+namespace vdp {
+
+// Splits `secret` into `num_shares` additive shares.
+template <GroupScalar S>
+std::vector<S> ShareAdditive(const S& secret, size_t num_shares, SecureRng& rng) {
+  std::vector<S> shares;
+  shares.reserve(num_shares);
+  S running = S::Zero();
+  for (size_t i = 0; i + 1 < num_shares; ++i) {
+    shares.push_back(S::Random(rng));
+    running += shares.back();
+  }
+  shares.push_back(secret - running);
+  return shares;
+}
+
+template <GroupScalar S>
+S ReconstructAdditive(std::span<const S> shares) {
+  S sum = S::Zero();
+  for (const S& s : shares) {
+    sum += s;
+  }
+  return sum;
+}
+
+}  // namespace vdp
+
+#endif  // SRC_SHARE_ADDITIVE_H_

@@ -1,0 +1,83 @@
+// Shamir secret sharing over Z_q.
+//
+// The paper's footnote 4 notes that any linear secret sharing scheme works in
+// place of additive sharing; Shamir is the standard threshold instance. The
+// share of party i is the evaluation of a random degree-(t-1) polynomial at
+// i, and any t shares reconstruct via Lagrange interpolation at zero.
+#ifndef SRC_SHARE_SHAMIR_H_
+#define SRC_SHARE_SHAMIR_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/group/group.h"
+
+namespace vdp {
+
+template <GroupScalar S>
+struct ShamirShare {
+  uint64_t index = 0;  // evaluation point, >= 1
+  S value;
+};
+
+// Splits `secret` so that any `threshold` of `num_shares` shares reconstruct.
+template <GroupScalar S>
+std::vector<ShamirShare<S>> ShareShamir(const S& secret, size_t threshold, size_t num_shares,
+                                        SecureRng& rng) {
+  // coeffs[0] = secret; higher coefficients random.
+  std::vector<S> coeffs;
+  coeffs.push_back(secret);
+  for (size_t i = 1; i < threshold; ++i) {
+    coeffs.push_back(S::Random(rng));
+  }
+  std::vector<ShamirShare<S>> shares;
+  shares.reserve(num_shares);
+  for (uint64_t x = 1; x <= num_shares; ++x) {
+    S x_scalar = S::FromU64(x);
+    // Horner evaluation.
+    S y = S::Zero();
+    for (size_t i = coeffs.size(); i-- > 0;) {
+      y = y * x_scalar + coeffs[i];
+    }
+    shares.push_back(ShamirShare<S>{x, y});
+  }
+  return shares;
+}
+
+// Lagrange interpolation at zero. Returns nullopt on duplicate indices or
+// fewer than `threshold` shares.
+template <GroupScalar S>
+std::optional<S> ReconstructShamir(std::span<const ShamirShare<S>> shares, size_t threshold) {
+  if (shares.size() < threshold) {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < threshold; ++i) {
+    for (size_t j = i + 1; j < threshold; ++j) {
+      if (shares[i].index == shares[j].index) {
+        return std::nullopt;
+      }
+    }
+  }
+  S secret = S::Zero();
+  for (size_t i = 0; i < threshold; ++i) {
+    S xi = S::FromU64(shares[i].index);
+    S num = S::One();
+    S den = S::One();
+    for (size_t j = 0; j < threshold; ++j) {
+      if (j == i) {
+        continue;
+      }
+      S xj = S::FromU64(shares[j].index);
+      num *= xj;        // (0 - xj) up to sign absorbed below
+      den *= xj - xi;
+    }
+    // lambda_i = prod_j xj / prod_j (xj - xi)
+    secret += shares[i].value * num * den.Inverse();
+  }
+  return secret;
+}
+
+}  // namespace vdp
+
+#endif  // SRC_SHARE_SHAMIR_H_

@@ -1,0 +1,251 @@
+// The Sigma-OR proof of Cramer-Damgard-Schoenmakers (paper Appendix C):
+// given a Pedersen commitment c, prove that c is in
+//   LBit = { c : x in {0,1} and c = Com(x, r) }
+// without revealing which bit it commits to. This is oracle O_OR of the
+// paper, the workhorse of both client validation (Line 3 of Pi_Bin) and
+// private-coin validation (Lines 4-6).
+//
+// Branch structure: c = g^x h^r, so
+//   x = 0  <=>  knowledge of log_h(c)
+//   x = 1  <=>  knowledge of log_h(c / g)
+// The real branch runs an honest Schnorr; the other branch is simulated with
+// a self-chosen sub-challenge; the sub-challenges must add to the transcript
+// challenge (Figures 5 and 6 of the paper, Fiat-Shamir applied).
+#ifndef SRC_SIGMA_OR_PROOF_H_
+#define SRC_SIGMA_OR_PROOF_H_
+
+#include <vector>
+
+#include "src/commit/pedersen.h"
+#include "src/common/serialize.h"
+#include "src/common/thread_pool.h"
+#include "src/sigma/transcript.h"
+
+namespace vdp {
+
+template <PrimeOrderGroup G>
+struct OrProof {
+  typename G::Element a0, a1;       // per-branch Schnorr commitments (d0, d1)
+  typename G::Scalar e0, e1;        // sub-challenges, e0 + e1 = e
+  typename G::Scalar z0, z1;        // per-branch responses (v0, v1)
+
+  Bytes Serialize() const {
+    Writer w;
+    w.Blob(G::Encode(a0));
+    w.Blob(G::Encode(a1));
+    w.Blob(e0.Encode());
+    w.Blob(e1.Encode());
+    w.Blob(z0.Encode());
+    w.Blob(z1.Encode());
+    return w.Take();
+  }
+
+  static std::optional<OrProof> Deserialize(BytesView data) {
+    Reader r(data);
+    auto a0b = r.Blob();
+    auto a1b = r.Blob();
+    auto e0b = r.Blob();
+    auto e1b = r.Blob();
+    auto z0b = r.Blob();
+    auto z1b = r.Blob();
+    if (!a0b || !a1b || !e0b || !e1b || !z0b || !z1b || !r.AtEnd()) {
+      return std::nullopt;
+    }
+    auto a0 = G::Decode(*a0b);
+    auto a1 = G::Decode(*a1b);
+    auto e0 = G::Scalar::Decode(*e0b);
+    auto e1 = G::Scalar::Decode(*e1b);
+    auto z0 = G::Scalar::Decode(*z0b);
+    auto z1 = G::Scalar::Decode(*z1b);
+    if (!a0 || !a1 || !e0 || !e1 || !z0 || !z1) {
+      return std::nullopt;
+    }
+    return OrProof{*a0, *a1, *e0, *e1, *z0, *z1};
+  }
+};
+
+namespace internal {
+
+// Binds statement and context into the Fiat-Shamir transcript.
+template <PrimeOrderGroup G>
+Transcript OrTranscript(const Pedersen<G>& ped, const typename G::Element& c,
+                        const std::string& context) {
+  Transcript t("vdp/or-proof");
+  t.Append("context", ToBytes(context));
+  t.Append("g", G::Encode(ped.params().g));
+  t.Append("h", G::Encode(ped.params().h));
+  t.Append("c", G::Encode(c));
+  return t;
+}
+
+}  // namespace internal
+
+// Proves c = Com(bit, r) with bit in {0,1}. The caller must pass the true
+// opening; the proof reveals nothing about which branch was real.
+template <PrimeOrderGroup G>
+OrProof<G> OrProve(const Pedersen<G>& ped, const typename G::Element& c, int bit,
+                   const typename G::Scalar& r, SecureRng& rng,
+                   const std::string& context = "") {
+  using S = typename G::Scalar;
+  const auto& g = ped.params().g;
+
+  OrProof<G> proof;
+  // Simulate the branch we cannot open; run Schnorr honestly on the other.
+  S k = S::Random(rng);
+  S e_sim = S::Random(rng);
+  S z_sim = S::Random(rng);
+
+  if (bit == 0) {
+    // Real: log_h(c). Simulated: branch 1 with statement c/g.
+    proof.a0 = ped.ExpH(k);
+    auto target1 = Div<G>(c, g);
+    proof.a1 = G::Mul(ped.ExpH(z_sim), G::Inverse(G::Exp(target1, e_sim)));
+    proof.e1 = e_sim;
+    proof.z1 = z_sim;
+  } else {
+    // Real: log_h(c/g). Simulated: branch 0 with statement c.
+    proof.a1 = ped.ExpH(k);
+    proof.a0 = G::Mul(ped.ExpH(z_sim), G::Inverse(G::Exp(c, e_sim)));
+    proof.e0 = e_sim;
+    proof.z0 = z_sim;
+  }
+
+  Transcript t = internal::OrTranscript(ped, c, context);
+  t.Append("a0", G::Encode(proof.a0));
+  t.Append("a1", G::Encode(proof.a1));
+  S e = t.template ChallengeScalar<S>("e");
+
+  if (bit == 0) {
+    proof.e0 = e - proof.e1;
+    proof.z0 = k + proof.e0 * r;
+  } else {
+    proof.e1 = e - proof.e0;
+    proof.z1 = k + proof.e1 * r;
+  }
+  return proof;
+}
+
+// Verifies an OR proof against commitment c.
+template <PrimeOrderGroup G>
+bool OrVerify(const Pedersen<G>& ped, const typename G::Element& c, const OrProof<G>& proof,
+              const std::string& context = "") {
+  using S = typename G::Scalar;
+  const auto& g = ped.params().g;
+
+  Transcript t = internal::OrTranscript(ped, c, context);
+  t.Append("a0", G::Encode(proof.a0));
+  t.Append("a1", G::Encode(proof.a1));
+  S e = t.template ChallengeScalar<S>("e");
+
+  if (proof.e0 + proof.e1 != e) {
+    return false;
+  }
+  // Branch 0: h^z0 == a0 * c^e0.
+  if (ped.ExpH(proof.z0) != G::Mul(proof.a0, G::Exp(c, proof.e0))) {
+    return false;
+  }
+  // Branch 1: h^z1 == a1 * (c/g)^e1.
+  auto target1 = Div<G>(c, g);
+  if (ped.ExpH(proof.z1) != G::Mul(proof.a1, G::Exp(target1, proof.e1))) {
+    return false;
+  }
+  return true;
+}
+
+// Honest-verifier zero-knowledge simulator for the *interactive* protocol:
+// given any commitment c (of unknown opening) and a chosen challenge e,
+// produces an accepting transcript distributed identically to a real one.
+// This is the machinery behind the paper's Theorem 4.1 ZK proof; tests use
+// it to check that transcripts leak nothing about the committed bit.
+template <PrimeOrderGroup G>
+OrProof<G> OrSimulate(const Pedersen<G>& ped, const typename G::Element& c,
+                      const typename G::Scalar& e, SecureRng& rng) {
+  using S = typename G::Scalar;
+  OrProof<G> proof;
+  proof.e0 = S::Random(rng);
+  proof.e1 = e - proof.e0;
+  proof.z0 = S::Random(rng);
+  proof.z1 = S::Random(rng);
+  proof.a0 = G::Mul(ped.ExpH(proof.z0), G::Inverse(G::Exp(c, proof.e0)));
+  auto target1 = Div<G>(c, ped.params().g);
+  proof.a1 = G::Mul(ped.ExpH(proof.z1), G::Inverse(G::Exp(target1, proof.e1)));
+  return proof;
+}
+
+// Checks a simulated/interactive transcript against an explicit challenge.
+template <PrimeOrderGroup G>
+bool OrVerifyWithChallenge(const Pedersen<G>& ped, const typename G::Element& c,
+                           const OrProof<G>& proof, const typename G::Scalar& e) {
+  if (proof.e0 + proof.e1 != e) {
+    return false;
+  }
+  if (ped.ExpH(proof.z0) != G::Mul(proof.a0, G::Exp(c, proof.e0))) {
+    return false;
+  }
+  auto target1 = Div<G>(c, ped.params().g);
+  if (ped.ExpH(proof.z1) != G::Mul(proof.a1, G::Exp(target1, proof.e1))) {
+    return false;
+  }
+  return true;
+}
+
+// Batch proving/verification across a thread pool. Proof i covers
+// commitment i; context disambiguates protocol sessions. These are the batch
+// paths Table 1 and Figures 3-4 measure.
+template <PrimeOrderGroup G>
+std::vector<OrProof<G>> OrProveBatch(const Pedersen<G>& ped,
+                                     const std::vector<typename G::Element>& cs,
+                                     const std::vector<int>& bits,
+                                     const std::vector<typename G::Scalar>& rs, SecureRng& rng,
+                                     const std::string& context, ThreadPool* pool = nullptr) {
+  std::vector<OrProof<G>> proofs(cs.size());
+  // Fork one deterministic child RNG per proof up front (SecureRng is not
+  // thread-safe).
+  std::vector<SecureRng> rngs;
+  rngs.reserve(cs.size());
+  for (size_t i = 0; i < cs.size(); ++i) {
+    rngs.push_back(rng.Fork("or-batch/" + std::to_string(i)));
+  }
+  auto work = [&](size_t i) {
+    proofs[i] = OrProve(ped, cs[i], bits[i], rs[i], rngs[i],
+                        context + "/" + std::to_string(i));
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(cs.size(), work);
+  } else {
+    for (size_t i = 0; i < cs.size(); ++i) {
+      work(i);
+    }
+  }
+  return proofs;
+}
+
+template <PrimeOrderGroup G>
+bool OrVerifyBatch(const Pedersen<G>& ped, const std::vector<typename G::Element>& cs,
+                   const std::vector<OrProof<G>>& proofs, const std::string& context,
+                   ThreadPool* pool = nullptr) {
+  if (cs.size() != proofs.size()) {
+    return false;
+  }
+  std::vector<uint8_t> ok(cs.size(), 0);
+  auto work = [&](size_t i) {
+    ok[i] = OrVerify(ped, cs[i], proofs[i], context + "/" + std::to_string(i)) ? 1 : 0;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(cs.size(), work);
+  } else {
+    for (size_t i = 0; i < cs.size(); ++i) {
+      work(i);
+    }
+  }
+  for (uint8_t v : ok) {
+    if (v == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vdp
+
+#endif  // SRC_SIGMA_OR_PROOF_H_

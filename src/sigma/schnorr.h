@@ -1,0 +1,74 @@
+// Schnorr proof of knowledge of a discrete logarithm: PoK{(w): y = base^w}.
+//
+// Used directly for opening proofs and as the building block the Sigma-OR
+// disjunction composes. Provided in both interactive (explicit challenge) and
+// Fiat-Shamir forms.
+#ifndef SRC_SIGMA_SCHNORR_H_
+#define SRC_SIGMA_SCHNORR_H_
+
+#include "src/common/serialize.h"
+#include "src/group/group.h"
+#include "src/sigma/transcript.h"
+
+namespace vdp {
+
+template <PrimeOrderGroup G>
+struct SchnorrProof {
+  typename G::Element commit;    // a = base^k
+  typename G::Scalar response;   // z = k + e*w
+
+  Bytes Serialize() const {
+    Writer w;
+    w.Blob(G::Encode(commit));
+    w.Blob(response.Encode());
+    return w.Take();
+  }
+
+  static std::optional<SchnorrProof> Deserialize(BytesView data) {
+    Reader r(data);
+    auto commit_bytes = r.Blob();
+    auto response_bytes = r.Blob();
+    if (!commit_bytes || !response_bytes || !r.AtEnd()) {
+      return std::nullopt;
+    }
+    auto commit = G::Decode(*commit_bytes);
+    auto response = G::Scalar::Decode(*response_bytes);
+    if (!commit || !response) {
+      return std::nullopt;
+    }
+    return SchnorrProof{*commit, *response};
+  }
+};
+
+// Non-interactive proof bound to the caller's transcript.
+template <PrimeOrderGroup G>
+SchnorrProof<G> SchnorrProve(const typename G::Element& base, const typename G::Element& y,
+                             const typename G::Scalar& witness, Transcript& transcript,
+                             SecureRng& rng) {
+  using S = typename G::Scalar;
+  S k = S::Random(rng);
+  SchnorrProof<G> proof;
+  proof.commit = G::Exp(base, k);
+  transcript.Append("schnorr/base", G::Encode(base));
+  transcript.Append("schnorr/y", G::Encode(y));
+  transcript.Append("schnorr/commit", G::Encode(proof.commit));
+  S e = transcript.template ChallengeScalar<S>("schnorr/e");
+  proof.response = k + e * witness;
+  return proof;
+}
+
+template <PrimeOrderGroup G>
+bool SchnorrVerify(const typename G::Element& base, const typename G::Element& y,
+                   const SchnorrProof<G>& proof, Transcript& transcript) {
+  using S = typename G::Scalar;
+  transcript.Append("schnorr/base", G::Encode(base));
+  transcript.Append("schnorr/y", G::Encode(y));
+  transcript.Append("schnorr/commit", G::Encode(proof.commit));
+  S e = transcript.template ChallengeScalar<S>("schnorr/e");
+  // base^z == commit * y^e
+  return G::Exp(base, proof.response) == G::Mul(proof.commit, G::Exp(y, e));
+}
+
+}  // namespace vdp
+
+#endif  // SRC_SIGMA_SCHNORR_H_

@@ -1,0 +1,42 @@
+#include "src/sigma/transcript.h"
+
+#include "src/common/serialize.h"
+
+namespace vdp {
+
+Transcript::Transcript(const std::string& protocol_label) {
+  state_ = Sha256::TaggedHash(StrView("vdp/transcript-init"), ToBytes(protocol_label));
+}
+
+void Transcript::Absorb(BytesView tag, BytesView data) {
+  Sha256 h;
+  h.Update(StrView("vdp/transcript-absorb"));
+  h.Update(BytesView(state_.data(), state_.size()));
+  Writer w;
+  w.Blob(tag);
+  w.Blob(data);
+  h.Update(w.bytes());
+  state_ = h.Finalize();
+}
+
+void Transcript::Append(const std::string& label, BytesView data) {
+  Absorb(ToBytes(label), data);
+}
+
+void Transcript::AppendU64(const std::string& label, uint64_t value) {
+  Writer w;
+  w.U64(value);
+  Append(label, w.bytes());
+}
+
+Sha256::Digest Transcript::ChallengeBytes(const std::string& label) {
+  Sha256 h;
+  h.Update(StrView("vdp/transcript-challenge"));
+  h.Update(BytesView(state_.data(), state_.size()));
+  h.Update(ToBytes(label));
+  Sha256::Digest challenge = h.Finalize();
+  Absorb(ToBytes(label + "/challenge"), BytesView(challenge.data(), challenge.size()));
+  return challenge;
+}
+
+}  // namespace vdp

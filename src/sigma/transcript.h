@@ -1,0 +1,44 @@
+// Fiat-Shamir transcript: a domain-separated running hash of every public
+// protocol message, from which verifier challenges are derived.
+//
+// The paper's experiments use the Fiat-Shamir transform to make the Sigma-OR
+// proofs non-interactive (Appendix C); this transcript is the random oracle
+// plumbing. Both prover and verifier feed the same public messages in the
+// same order, so they derive the same challenges.
+#ifndef SRC_SIGMA_TRANSCRIPT_H_
+#define SRC_SIGMA_TRANSCRIPT_H_
+
+#include <string>
+
+#include "src/common/sha256.h"
+
+namespace vdp {
+
+class Transcript {
+ public:
+  explicit Transcript(const std::string& protocol_label);
+
+  // Absorbs a labeled message.
+  void Append(const std::string& label, BytesView data);
+  void AppendU64(const std::string& label, uint64_t value);
+
+  // Derives a 32-byte challenge and folds it back into the state, so later
+  // challenges depend on earlier ones.
+  Sha256::Digest ChallengeBytes(const std::string& label);
+
+  // Convenience: challenge reduced into a scalar field.
+  template <typename S>
+  S ChallengeScalar(const std::string& label) {
+    Sha256::Digest d = ChallengeBytes(label);
+    return S::FromBytesWide(BytesView(d.data(), d.size()));
+  }
+
+ private:
+  void Absorb(BytesView tag, BytesView data);
+
+  Sha256::Digest state_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_SIGMA_TRANSCRIPT_H_

@@ -1,0 +1,145 @@
+// Side-by-side of the Figure 1 attacks: they succeed (undetected) against
+// the PRIO/Poplar-style sketch and fail against Pi_Bin.
+#include "src/baseline/attacks.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/nonverifiable_curator.h"
+#include "src/core/adversary.h"
+#include "src/core/protocol.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+using S = G::Scalar;
+
+// ---------------------------------------------------------------------------
+// Figure 1a: excluding an honest client.
+
+TEST(AttackTest, ExclusionSucceedsUndetectedOnSketchBaseline) {
+  SecureRng rng("fig1a-baseline");
+  auto report = RunSketchExclusionAttack<S>(/*servers=*/2, /*dims=*/4, /*corrupt=*/1, rng);
+  EXPECT_FALSE(report.client_accepted);  // honest client thrown out
+  EXPECT_FALSE(report.attributable);     // and nobody can prove who did it
+}
+
+TEST(AttackTest, ExclusionWorksFromEitherServer) {
+  SecureRng rng("fig1a-any");
+  for (size_t corrupt : {0u, 1u, 2u}) {
+    auto report = RunSketchExclusionAttack<S>(3, 4, corrupt, rng);
+    EXPECT_FALSE(report.client_accepted) << "corrupt=" << corrupt;
+  }
+}
+
+TEST(AttackTest, ExclusionAttemptOnPiBinIsDetectedAndAttributed) {
+  // The Pi_Bin analogue of dropping an honest client: the prover excludes the
+  // client's share from its aggregate. Eq. 10 then fails *with attribution*.
+  ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.num_provers = 2;
+  config.session_id = "fig1a-pibin";
+  Pedersen<G> ped;
+  SecureRng crng("clients");
+  std::vector<ClientBundle<G>> clients;
+  for (size_t i = 0; i < 4; ++i) {
+    clients.push_back(MakeClientBundle<G>(1, i, config, ped, crng));
+  }
+  Prover<G> honest(0, config, ped, SecureRng("honest"));
+  ClientDroppingProver<G> corrupt(1, config, ped, SecureRng("corrupt"));
+  std::vector<Prover<G>*> provers = {&honest, &corrupt};
+  SecureRng vrng("verifier");
+  auto result = RunProtocol(config, ped, clients, provers, vrng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kFinalCheckFailed);
+  EXPECT_EQ(result.verdict.cheating_prover, 1u);  // attributed!
+  // Crucially, the honest client was never branded invalid: it is still on
+  // the public accepted record.
+  EXPECT_EQ(result.accepted_clients.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1b: smuggling an illegal input.
+
+TEST(AttackTest, InclusionSucceedsUndetectedOnSketchBaseline) {
+  SecureRng rng("fig1b-baseline");
+  // A double vote, with one colluding server cancelling the checks.
+  auto report = RunSketchInclusionAttack<S>({1, 1, 0, 0}, 2, /*corrupt=*/0, rng);
+  EXPECT_TRUE(report.client_accepted);  // illegal input admitted
+  EXPECT_FALSE(report.attributable);
+}
+
+TEST(AttackTest, InclusionOfHugeWeightAlsoPossibleOnBaseline) {
+  SecureRng rng("fig1b-huge");
+  auto report = RunSketchInclusionAttack<S>({1000000, 0}, 2, 1, rng);
+  EXPECT_TRUE(report.client_accepted);  // ballot stuffing, invisible
+}
+
+TEST(AttackTest, InclusionAttemptOnPiBinIsRejectedPublicly) {
+  // In Pi_Bin, validity is established by a *public* proof against the
+  // aggregated commitment. No server collusion can make an out-of-language
+  // input pass, because the check involves no server-held secret at all.
+  ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.num_provers = 2;
+  config.session_id = "fig1b-pibin";
+  Pedersen<G> ped;
+  SecureRng crng("clients");
+  auto cheater = MakeNonBitClientBundle<G>(1000000, 0, config, ped, crng);
+  EXPECT_FALSE(ValidateClientUpload(cheater.upload, 0, config, ped));
+}
+
+TEST(AttackTest, PiBinDoubleVoteRejectedRegardlessOfCollusion) {
+  ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.num_provers = 2;
+  config.num_bins = 3;
+  config.session_id = "fig1b-pibin-double";
+  Pedersen<G> ped;
+  SecureRng crng("clients");
+  auto cheater = MakeDoubleVoteClientBundle<G>(0, config, ped, crng);
+  EXPECT_FALSE(ValidateClientUpload(cheater.upload, 0, config, ped));
+}
+
+// ---------------------------------------------------------------------------
+// The motivating attack: bias masked as noise.
+
+TEST(AttackTest, NonVerifiableCuratorBiasIsInvisible) {
+  // Against the plain curator, a +20 bias lands within the plausible range
+  // of the DP noise distribution -- the analyst cannot prove misbehavior.
+  SecureRng rng("bias-invisible");
+  NonVerifiableCurator curator(0.5, 1e-6);  // nb = 5808, sd ~ 38
+  std::vector<uint32_t> bits(1000, 0);
+  for (size_t i = 0; i < 400; ++i) {
+    bits[i] = 1;
+  }
+  auto honest = curator.Release(bits, rng);
+  auto biased = curator.ReleaseBiased(bits, 20, rng);
+  uint64_t nb = curator.mechanism().num_coins();
+  // Both outputs lie in the mechanism's support [count, count + nb].
+  EXPECT_GE(honest.raw, 400u);
+  EXPECT_LE(honest.raw, 400u + nb);
+  EXPECT_GE(biased.raw, 400u);
+  EXPECT_LE(biased.raw, 400u + nb);
+}
+
+TEST(AttackTest, PiBinDetectsTheSameBias) {
+  ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.session_id = "bias-detected";
+  Pedersen<G> ped;
+  SecureRng crng("clients");
+  std::vector<ClientBundle<G>> clients;
+  for (size_t i = 0; i < 5; ++i) {
+    clients.push_back(MakeClientBundle<G>(i % 2, i, config, ped, crng));
+  }
+  BiasedOutputProver<G> curator(0, config, ped, SecureRng("curator"), 20);
+  std::vector<Prover<G>*> provers = {&curator};
+  SecureRng vrng("verifier");
+  auto result = RunProtocol(config, ped, clients, provers, vrng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kFinalCheckFailed);
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,123 @@
+#include "src/baseline/prio_sketch.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+using S = ModP256::Scalar;
+
+std::vector<S> RandomVector(size_t dims, SecureRng& rng) {
+  std::vector<S> r;
+  for (size_t m = 0; m < dims; ++m) {
+    r.push_back(S::Random(rng));
+  }
+  return r;
+}
+
+TEST(PrioSketchTest, HonestOneHotAccepted) {
+  SecureRng rng("sketch-honest");
+  for (size_t dims : {1u, 2u, 8u, 64u}) {
+    for (size_t servers : {2u, 3u}) {
+      auto sub = MakeSketchSubmission<S>(dims / 2, servers, dims, rng);
+      auto outcome = RunSketchValidation(sub, RandomVector(dims, rng));
+      EXPECT_TRUE(outcome.accepted) << "dims=" << dims << " servers=" << servers;
+    }
+  }
+}
+
+TEST(PrioSketchTest, EveryChoicePositionAccepted) {
+  SecureRng rng("sketch-pos");
+  constexpr size_t kDims = 5;
+  for (uint32_t choice = 0; choice < kDims; ++choice) {
+    auto sub = MakeSketchSubmission<S>(choice, 2, kDims, rng);
+    EXPECT_TRUE(RunSketchValidation(sub, RandomVector(kDims, rng)).accepted);
+  }
+}
+
+TEST(PrioSketchTest, DoubleVoteRejected) {
+  SecureRng rng("sketch-double");
+  auto sub = MakeRawSketchSubmission<S>({1, 1, 0, 0}, 2, rng);
+  auto outcome = RunSketchValidation(sub, RandomVector(4, rng));
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_FALSE(outcome.sum_zero);   // sums to 2
+  EXPECT_FALSE(outcome.quad_zero);  // cross term 2 r_i r_j
+}
+
+TEST(PrioSketchTest, OverweightVoteRejected) {
+  SecureRng rng("sketch-weight");
+  auto sub = MakeRawSketchSubmission<S>({5, 0, 0}, 2, rng);
+  auto outcome = RunSketchValidation(sub, RandomVector(3, rng));
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST(PrioSketchTest, SumPreservingCheatCaughtByQuadTest) {
+  // x = (2, -1, 0): sums to one, but is not one-hot; only the quadratic
+  // sketch catches it. (-1 encoded as q-1.)
+  SecureRng rng("sketch-sumsafe");
+  SketchSubmission<S> sub;
+  const size_t servers = 2;
+  sub.x_shares.resize(servers);
+  std::vector<S> x = {S::FromU64(2), S::Zero() - S::One(), S::Zero()};
+  for (const S& v : x) {
+    auto shares = ShareAdditive(v, servers, rng);
+    for (size_t k = 0; k < servers; ++k) {
+      sub.x_shares[k].push_back(shares[k]);
+    }
+  }
+  S a = S::Random(rng);
+  sub.a_shares = ShareAdditive(a, servers, rng);
+  sub.c_shares = ShareAdditive(a * a, servers, rng);
+
+  auto outcome = RunSketchValidation(sub, RandomVector(3, rng));
+  EXPECT_TRUE(outcome.sum_zero);
+  EXPECT_FALSE(outcome.quad_zero);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST(PrioSketchTest, ZeroVectorRejectedBySumCheck) {
+  SecureRng rng("sketch-zero");
+  auto sub = MakeRawSketchSubmission<S>({0, 0, 0}, 2, rng);
+  auto outcome = RunSketchValidation(sub, RandomVector(3, rng));
+  EXPECT_FALSE(outcome.sum_zero);
+  // All-zero is "one-hot-like" for the quad test (z = 0, z* = 0).
+  EXPECT_TRUE(outcome.quad_zero);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST(PrioSketchTest, BadBeaverPairBreaksHonestRun) {
+  // A client that miscomputes c != a^2 fails its own validation (with
+  // overwhelming probability over r).
+  SecureRng rng("sketch-beaver");
+  auto sub = MakeSketchSubmission<S>(0, 2, 4, rng);
+  sub.c_shares[0] += S::One();
+  auto outcome = RunSketchValidation(sub, RandomVector(4, rng));
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST(PrioSketchTest, DeviationComputationMatchesOpenedValues) {
+  SecureRng rng("sketch-dev");
+  auto sub = MakeRawSketchSubmission<S>({1, 1}, 2, rng);
+  auto r = RandomVector(2, rng);
+  auto dev = ComputeSketchDeviation(sub, r);
+  // Cancelling exactly the deviation must flip the outcome to accepted.
+  std::vector<SketchTamper<S>> tamper(2, SketchTamper<S>{S::Zero(), S::Zero()});
+  tamper[1].sum_delta = -dev.sum_deviation;
+  tamper[1].quad_delta = -dev.quad_deviation;
+  EXPECT_FALSE(RunSketchValidation(sub, r).accepted);
+  EXPECT_TRUE(RunSketchValidation(sub, r, &tamper).accepted);
+}
+
+TEST(PrioSketchTest, SharesHideTheChoice) {
+  SecureRng rng("sketch-hide");
+  auto sub0 = MakeSketchSubmission<S>(0, 2, 4, rng);
+  auto sub1 = MakeSketchSubmission<S>(1, 2, 4, rng);
+  // Server 0's share vectors are uniform regardless of choice.
+  EXPECT_NE(sub0.x_shares[0], sub1.x_shares[0]);
+  // Reconstruction differs in the right position.
+  S rec0 = sub0.x_shares[0][0] + sub0.x_shares[1][0];
+  EXPECT_EQ(rec0, S::One());
+}
+
+}  // namespace
+}  // namespace vdp

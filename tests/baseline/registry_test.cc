@@ -1,0 +1,66 @@
+#include "src/baseline/protocol_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+TEST(RegistryTest, HasTenRowsLikeTable2) {
+  EXPECT_EQ(Table2Registry().size(), 10u);
+}
+
+TEST(RegistryTest, OurWorkHasAllFourProperties) {
+  const auto& rows = Table2Registry();
+  const auto& ours = rows.back();
+  EXPECT_EQ(ours.name, "This work (Pi_Bin)");
+  EXPECT_TRUE(ours.active_security);
+  EXPECT_TRUE(ours.central_dp);
+  EXPECT_TRUE(ours.auditable);
+  EXPECT_TRUE(ours.zero_leakage);
+}
+
+TEST(RegistryTest, NoOtherProtocolHasAllFour) {
+  const auto& rows = Table2Registry();
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    bool all = rows[i].active_security && rows[i].central_dp && rows[i].auditable &&
+               rows[i].zero_leakage;
+    EXPECT_FALSE(all) << rows[i].name;
+  }
+}
+
+TEST(RegistryTest, PrioAndPoplarMatchPaperClaims) {
+  const auto& rows = Table2Registry();
+  const ProtocolProperties* prio = nullptr;
+  const ProtocolProperties* poplar = nullptr;
+  for (const auto& row : rows) {
+    if (row.name == "PRIO") {
+      prio = &row;
+    }
+    if (row.name == "Poplar") {
+      poplar = &row;
+    }
+  }
+  ASSERT_NE(prio, nullptr);
+  ASSERT_NE(poplar, nullptr);
+  // PRIO is honest-verifier only; Poplar handles active adversaries; neither
+  // is auditable (Section 4.2's attacks).
+  EXPECT_FALSE(prio->active_security);
+  EXPECT_TRUE(poplar->active_security);
+  EXPECT_FALSE(prio->auditable);
+  EXPECT_FALSE(poplar->auditable);
+  EXPECT_TRUE(prio->central_dp);
+  EXPECT_TRUE(poplar->central_dp);
+}
+
+TEST(RegistryTest, RenderedTableContainsAllRows) {
+  std::string table = RenderTable2();
+  for (const auto& row : Table2Registry()) {
+    EXPECT_NE(table.find(row.name), std::string::npos) << row.name;
+  }
+  // Header sanity.
+  EXPECT_NE(table.find("Active"), std::string::npos);
+  EXPECT_NE(table.find("Audit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdp

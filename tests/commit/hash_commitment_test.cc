@@ -1,0 +1,62 @@
+#include "src/commit/hash_commitment.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+TEST(HashCommitmentTest, CommitVerifyRoundTrip) {
+  SecureRng rng("hc-rt");
+  auto [commitment, opening] = HashCommitment::Commit(ToBytes("hello"), rng);
+  EXPECT_TRUE(HashCommitment::Verify(commitment, opening));
+}
+
+TEST(HashCommitmentTest, TamperedMessageRejected) {
+  SecureRng rng("hc-msg");
+  auto [commitment, opening] = HashCommitment::Commit(ToBytes("hello"), rng);
+  opening.message = ToBytes("hellp");
+  EXPECT_FALSE(HashCommitment::Verify(commitment, opening));
+}
+
+TEST(HashCommitmentTest, TamperedRandomnessRejected) {
+  SecureRng rng("hc-rand");
+  auto [commitment, opening] = HashCommitment::Commit(ToBytes("hello"), rng);
+  opening.randomness[0] ^= 1;
+  EXPECT_FALSE(HashCommitment::Verify(commitment, opening));
+}
+
+TEST(HashCommitmentTest, WrongRandomnessSizeRejected) {
+  SecureRng rng("hc-size");
+  auto [commitment, opening] = HashCommitment::Commit(ToBytes("x"), rng);
+  opening.randomness.pop_back();
+  EXPECT_FALSE(HashCommitment::Verify(commitment, opening));
+}
+
+TEST(HashCommitmentTest, FreshRandomnessHides) {
+  SecureRng rng("hc-hide");
+  auto [c1, o1] = HashCommitment::Commit(ToBytes("same"), rng);
+  auto [c2, o2] = HashCommitment::Commit(ToBytes("same"), rng);
+  EXPECT_NE(Bytes(c1.begin(), c1.end()), Bytes(c2.begin(), c2.end()));
+}
+
+TEST(HashCommitmentTest, EmptyMessageSupported) {
+  SecureRng rng("hc-empty");
+  auto [commitment, opening] = HashCommitment::Commit(Bytes{}, rng);
+  EXPECT_TRUE(HashCommitment::Verify(commitment, opening));
+}
+
+TEST(HashCommitmentTest, MessageLengthIsBound) {
+  // Openings where message bytes shift between message/randomness must fail:
+  // the length prefix in the preimage prevents ambiguity.
+  SecureRng rng("hc-len");
+  auto [commitment, opening] = HashCommitment::Commit(ToBytes("ab"), rng);
+  HashCommitment::Opening shifted;
+  shifted.message = ToBytes("a");
+  shifted.randomness = Bytes{'b'};
+  shifted.randomness.insert(shifted.randomness.end(), opening.randomness.begin(),
+                            opening.randomness.end() - 1);
+  EXPECT_FALSE(HashCommitment::Verify(commitment, shifted));
+}
+
+}  // namespace
+}  // namespace vdp

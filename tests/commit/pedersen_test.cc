@@ -1,0 +1,123 @@
+#include "src/commit/pedersen.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+template <typename G>
+class PedersenTest : public ::testing::Test {};
+
+using GroupTypes = ::testing::Types<ModP256, ModP512, Ed25519Group>;
+TYPED_TEST_SUITE(PedersenTest, GroupTypes);
+
+TYPED_TEST(PedersenTest, CommitVerifyRoundTrip) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-rt-" + G::Name());
+  for (int i = 0; i < 5; ++i) {
+    S x = S::Random(rng);
+    auto opening = ped.CommitRandom(x, rng);
+    EXPECT_TRUE(ped.Verify(opening.commitment, x, opening.randomness));
+  }
+}
+
+TYPED_TEST(PedersenTest, WrongOpeningRejected) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-wrong-" + G::Name());
+  S x = S::Random(rng);
+  auto opening = ped.CommitRandom(x, rng);
+  EXPECT_FALSE(ped.Verify(opening.commitment, x + S::One(), opening.randomness));
+  EXPECT_FALSE(ped.Verify(opening.commitment, x, opening.randomness + S::One()));
+}
+
+TYPED_TEST(PedersenTest, HomomorphicAddition) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-hom-" + G::Name());
+  S x1 = S::Random(rng), r1 = S::Random(rng);
+  S x2 = S::Random(rng), r2 = S::Random(rng);
+  auto c1 = ped.Commit(x1, r1);
+  auto c2 = ped.Commit(x2, r2);
+  // Com(x1,r1) * Com(x2,r2) == Com(x1+x2, r1+r2)  (Definition 3, Eq. 2)
+  EXPECT_EQ(G::Mul(c1, c2), ped.Commit(x1 + x2, r1 + r2));
+}
+
+TYPED_TEST(PedersenTest, HomomorphicScalarWeighting) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-scale-" + G::Name());
+  S x = S::Random(rng), r = S::Random(rng), k = S::Random(rng);
+  // Com(x,r)^k == Com(kx, kr)
+  EXPECT_EQ(G::Exp(ped.Commit(x, r), k), ped.Commit(k * x, k * r));
+}
+
+TYPED_TEST(PedersenTest, HomomorphicInverse) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-inv-" + G::Name());
+  S x = S::Random(rng), r = S::Random(rng);
+  EXPECT_EQ(G::Inverse(ped.Commit(x, r)), ped.Commit(-x, -r));
+}
+
+TYPED_TEST(PedersenTest, CommitToZeroWithZeroRandomnessIsIdentity) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  EXPECT_EQ(ped.Commit(S::Zero(), S::Zero()), G::Identity());
+}
+
+TYPED_TEST(PedersenTest, FreshRandomnessHidesEqualMessages) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-hide-" + G::Name());
+  auto c1 = ped.CommitRandom(S::One(), rng);
+  auto c2 = ped.CommitRandom(S::One(), rng);
+  EXPECT_NE(c1.commitment, c2.commitment);
+}
+
+TYPED_TEST(PedersenTest, DeterministicGivenRandomness) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-det-" + G::Name());
+  S x = S::Random(rng), r = S::Random(rng);
+  EXPECT_EQ(ped.Commit(x, r), ped.Commit(x, r));
+}
+
+TYPED_TEST(PedersenTest, TableExpMatchesGroupExp) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-table-" + G::Name());
+  S r = S::Random(rng);
+  EXPECT_EQ(ped.ExpH(r), G::Exp(ped.params().h, r));
+  EXPECT_EQ(ped.ExpG(r), G::Exp(ped.params().g, r));
+}
+
+TYPED_TEST(PedersenTest, CommitMatchesDefinition) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  Pedersen<G> ped;
+  SecureRng rng("ped-def-" + G::Name());
+  S x = S::Random(rng), r = S::Random(rng);
+  auto expected = G::Mul(G::Exp(ped.params().g, x), G::Exp(ped.params().h, r));
+  EXPECT_EQ(ped.Commit(x, r), expected);
+}
+
+TYPED_TEST(PedersenTest, GeneratorsDiffer) {
+  using G = TypeParam;
+  Pedersen<G> ped;
+  EXPECT_NE(ped.params().g, ped.params().h);
+  EXPECT_NE(ped.params().h, G::Identity());
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,73 @@
+#include "src/common/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/hex.h"
+
+namespace vdp {
+namespace {
+
+std::array<uint8_t, ChaCha20::kKeySize> SequentialKey() {
+  std::array<uint8_t, ChaCha20::kKeySize> key;
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  return key;
+}
+
+// RFC 8439 section 2.3.2 block function test vector.
+TEST(ChaCha20Test, Rfc8439BlockVector) {
+  std::array<uint8_t, ChaCha20::kNonceSize> nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                                                     0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  ChaCha20 cipher(SequentialKey(), nonce, 1);
+  uint8_t block[ChaCha20::kBlockSize];
+  cipher.NextBlock(block);
+  EXPECT_EQ(HexEncode(BytesView(block, sizeof(block))),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, CounterAdvances) {
+  std::array<uint8_t, ChaCha20::kNonceSize> nonce{};
+  ChaCha20 cipher(SequentialKey(), nonce, 0);
+  uint8_t b0[ChaCha20::kBlockSize];
+  uint8_t b1[ChaCha20::kBlockSize];
+  cipher.NextBlock(b0);
+  EXPECT_EQ(cipher.counter(), 1u);
+  cipher.NextBlock(b1);
+  EXPECT_NE(HexEncode(BytesView(b0, 64)), HexEncode(BytesView(b1, 64)));
+}
+
+TEST(ChaCha20Test, FillMatchesBlocks) {
+  std::array<uint8_t, ChaCha20::kNonceSize> nonce{};
+  ChaCha20 a(SequentialKey(), nonce, 0);
+  ChaCha20 b(SequentialKey(), nonce, 0);
+
+  Bytes via_fill(150);
+  a.Fill(via_fill.data(), via_fill.size());
+
+  Bytes via_blocks;
+  uint8_t block[ChaCha20::kBlockSize];
+  for (int i = 0; i < 3; ++i) {
+    b.NextBlock(block);
+    via_blocks.insert(via_blocks.end(), block, block + ChaCha20::kBlockSize);
+  }
+  via_blocks.resize(150);
+  EXPECT_EQ(via_fill, via_blocks);
+}
+
+TEST(ChaCha20Test, DistinctNoncesProduceDistinctStreams) {
+  std::array<uint8_t, ChaCha20::kNonceSize> n0{};
+  std::array<uint8_t, ChaCha20::kNonceSize> n1{};
+  n1[0] = 1;
+  ChaCha20 a(SequentialKey(), n0, 0);
+  ChaCha20 b(SequentialKey(), n1, 0);
+  uint8_t ba[64];
+  uint8_t bb[64];
+  a.NextBlock(ba);
+  b.NextBlock(bb);
+  EXPECT_NE(HexEncode(BytesView(ba, 64)), HexEncode(BytesView(bb, 64)));
+}
+
+}  // namespace
+}  // namespace vdp

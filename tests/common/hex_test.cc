@@ -1,0 +1,68 @@
+#include "src/common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+TEST(HexTest, EncodeBasic) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(data), "0001abff");
+}
+
+TEST(HexTest, EncodeEmpty) {
+  EXPECT_EQ(HexEncode(Bytes{}), "");
+}
+
+TEST(HexTest, DecodeBasic) {
+  auto decoded = HexDecode("0001abff");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (Bytes{0x00, 0x01, 0xab, 0xff}));
+}
+
+TEST(HexTest, DecodeUppercase) {
+  auto decoded = HexDecode("ABFF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (Bytes{0xab, 0xff}));
+}
+
+TEST(HexTest, DecodeOddLengthFails) {
+  EXPECT_FALSE(HexDecode("abc").has_value());
+}
+
+TEST(HexTest, DecodeBadDigitFails) {
+  EXPECT_FALSE(HexDecode("zz").has_value());
+  EXPECT_FALSE(HexDecode("0g").has_value());
+}
+
+TEST(HexTest, RoundTripRandomBuffer) {
+  Bytes data;
+  for (int i = 0; i < 257; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 31 + 7));
+  }
+  auto decoded = HexDecode(HexEncode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+}
+
+TEST(BytesTest, ConcatAndWipe) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  Bytes joined = Concat(a, b);
+  EXPECT_EQ(joined, (Bytes{1, 2, 3}));
+  SecureWipe(joined);
+  EXPECT_EQ(joined, (Bytes{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,115 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace vdp {
+namespace {
+
+TEST(SecureRngTest, DeterministicFromSeed) {
+  SecureRng::Seed seed{};
+  seed[0] = 42;
+  SecureRng a(seed);
+  SecureRng b(seed);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(SecureRngTest, DifferentSeedsDiffer) {
+  SecureRng::Seed s0{};
+  SecureRng::Seed s1{};
+  s1[0] = 1;
+  SecureRng a(s0);
+  SecureRng b(s1);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(SecureRngTest, LabelConstructorDeterministic) {
+  SecureRng a("test-label");
+  SecureRng b("test-label");
+  SecureRng c("other-label");
+  uint64_t va = a.NextU64();
+  EXPECT_EQ(va, b.NextU64());
+  EXPECT_NE(va, c.NextU64());
+}
+
+TEST(SecureRngTest, UniformBelowStaysInRange) {
+  SecureRng rng("range");
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 62) + 17}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformBelow(bound), bound);
+    }
+  }
+}
+
+TEST(SecureRngTest, UniformBelowCoversAllValues) {
+  SecureRng rng("coverage");
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.UniformBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SecureRngTest, UniformBelowIsRoughlyUniform) {
+  SecureRng rng("chi-square");
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 16000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.UniformBelow(kBuckets)]++;
+  }
+  double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 degrees of freedom; 99.9th percentile is ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(SecureRngTest, BitsAreBalanced) {
+  SecureRng rng("bits");
+  int ones = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    ones += rng.NextBit() ? 1 : 0;
+  }
+  // 5 sigma band around the mean for a fair coin.
+  double sigma = std::sqrt(kDraws * 0.25);
+  EXPECT_NEAR(ones, kDraws / 2, 5 * sigma);
+}
+
+TEST(SecureRngTest, ForkedStreamsAreIndependent) {
+  SecureRng parent("parent");
+  SecureRng childa = parent.Fork("a");
+  SecureRng childb = parent.Fork("b");
+  EXPECT_NE(childa.NextU64(), childb.NextU64());
+}
+
+TEST(SecureRngTest, ForkSameLabelDifferentPositionDiffers) {
+  SecureRng p1("parent");
+  SecureRng c1 = p1.Fork("x");
+  SecureRng p2("parent");
+  p2.NextU64();  // advance before forking
+  SecureRng c2 = p2.Fork("x");
+  EXPECT_NE(c1.NextU64(), c2.NextU64());
+}
+
+TEST(SecureRngTest, RandomBytesLength) {
+  SecureRng rng("len");
+  EXPECT_EQ(rng.RandomBytes(0).size(), 0u);
+  EXPECT_EQ(rng.RandomBytes(77).size(), 77u);
+}
+
+TEST(SecureRngTest, EntropySeededGeneratorsDiffer) {
+  SecureRng a = SecureRng::FromEntropy();
+  SecureRng b = SecureRng::FromEntropy();
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+}  // namespace
+}  // namespace vdp

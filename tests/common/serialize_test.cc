@@ -1,0 +1,86 @@
+#include "src/common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+TEST(SerializeTest, RoundTripScalars) {
+  Writer w;
+  w.U8(7);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.U8(), 7);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripBlob) {
+  Writer w;
+  w.Blob(Bytes{1, 2, 3});
+  w.Blob(Bytes{});
+  w.Blob(Bytes{0xff});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.Blob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.Blob(), Bytes{});
+  EXPECT_EQ(r.Blob(), Bytes{0xff});
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RawFixedWidth) {
+  Writer w;
+  w.Raw(Bytes{9, 8, 7, 6});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.Raw(2), (Bytes{9, 8}));
+  EXPECT_EQ(r.Raw(2), (Bytes{7, 6}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, ReadPastEndFails) {
+  Writer w;
+  w.U32(1);
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.U32().has_value());
+  EXPECT_FALSE(r.U32().has_value());
+  EXPECT_FALSE(r.U8().has_value());
+  EXPECT_FALSE(r.U64().has_value());
+  EXPECT_FALSE(r.Raw(1).has_value());
+}
+
+TEST(SerializeTest, TruncatedBlobFails) {
+  Writer w;
+  w.U32(100);  // claims 100 bytes follow
+  w.Raw(Bytes{1, 2, 3});
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.Blob().has_value());
+}
+
+TEST(SerializeTest, EmptyReader) {
+  Reader r(BytesView{});
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.U8().has_value());
+}
+
+TEST(SerializeTest, MixedStructuredMessage) {
+  Writer w;
+  w.U8(2);  // version
+  w.U32(3);  // count
+  for (uint32_t i = 0; i < 3; ++i) {
+    w.Blob(Bytes{static_cast<uint8_t>(i), static_cast<uint8_t>(i + 1)});
+  }
+  Reader r(w.bytes());
+  EXPECT_EQ(r.U8(), 2);
+  auto count = r.U32();
+  ASSERT_TRUE(count.has_value());
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto blob = r.Blob();
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ((*blob)[0], i);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,76 @@
+#include "src/common/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/hex.h"
+
+namespace vdp {
+namespace {
+
+std::string HashHex(const std::string& msg) {
+  auto digest = Sha256::Hash(ToBytes(msg));
+  return HexEncode(BytesView(digest.data(), digest.size()));
+}
+
+// FIPS 180-4 known-answer tests.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  auto digest = h.Finalize();
+  EXPECT_EQ(HexEncode(BytesView(digest.data(), digest.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly and at length";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(ToBytes(msg.substr(0, split)));
+    h.Update(ToBytes(msg.substr(split)));
+    EXPECT_EQ(h.Finalize(), Sha256::Hash(ToBytes(msg))) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Exercise padding across the 55/56/63/64/65-byte boundaries.
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 h;
+    h.Update(ToBytes(msg));
+    auto streamed = h.Finalize();
+    EXPECT_EQ(streamed, Sha256::Hash(ToBytes(msg))) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, TaggedHashSeparatesDomains) {
+  Bytes msg = ToBytes("same message");
+  auto a = Sha256::TaggedHash(StrView("domain-a"), msg);
+  auto b = Sha256::TaggedHash(StrView("domain-b"), msg);
+  EXPECT_NE(a, b);
+  // And tagged differs from plain.
+  EXPECT_NE(a, Sha256::Hash(msg));
+}
+
+TEST(Sha256Test, TaggedHashDeterministic) {
+  Bytes msg = ToBytes("payload");
+  EXPECT_EQ(Sha256::TaggedHash(StrView("d"), msg), Sha256::TaggedHash(StrView("d"), msg));
+}
+
+}  // namespace
+}  // namespace vdp

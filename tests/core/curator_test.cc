@@ -1,0 +1,119 @@
+// Completeness of Pi_Bin in the trusted-curator model (K = 1).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/protocol.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+
+ProtocolConfig CuratorConfig() {
+  ProtocolConfig config;
+  config.epsilon = 50.0;  // nb = 31 (floor) for fast tests
+  config.num_provers = 1;
+  config.num_bins = 1;
+  config.session_id = "curator-test";
+  return config;
+}
+
+TEST(CuratorTest, HonestRunAccepts) {
+  SecureRng rng("curator-accepts");
+  std::vector<uint32_t> values = {1, 0, 1, 1, 0, 1, 0, 0, 1, 1};
+  auto result = RunHonestProtocol<G>(CuratorConfig(), values, rng);
+  EXPECT_TRUE(result.accepted()) << VerdictCodeName(result.verdict.code);
+  EXPECT_EQ(result.accepted_clients.size(), values.size());
+}
+
+TEST(CuratorTest, OutputIsCountPlusBoundedBinomialNoise) {
+  SecureRng rng("curator-noise");
+  auto config = CuratorConfig();
+  std::vector<uint32_t> values(50, 0);
+  for (size_t i = 0; i < 20; ++i) {
+    values[i] = 1;  // true count = 20
+  }
+  auto result = RunHonestProtocol<G>(config, values, rng);
+  ASSERT_TRUE(result.accepted());
+  uint64_t nb = config.NumCoins();
+  EXPECT_GE(result.raw_histogram[0], 20u);
+  EXPECT_LE(result.raw_histogram[0], 20u + nb);
+}
+
+TEST(CuratorTest, DebiasedEstimateIsCentered) {
+  SecureRng rng("curator-debias");
+  auto config = CuratorConfig();
+  std::vector<uint32_t> values(40, 1);  // true count = 40
+  double acc = 0;
+  constexpr int kRuns = 30;
+  for (int run = 0; run < kRuns; ++run) {
+    config.session_id = "debias-" + std::to_string(run);
+    auto result = RunHonestProtocol<G>(config, values, rng);
+    ASSERT_TRUE(result.accepted());
+    acc += result.histogram[0];
+  }
+  double mean = acc / kRuns;
+  // Noise sd = sqrt(31)/2 ~ 2.8; mean of 30 runs has s.e. ~ 0.5.
+  EXPECT_NEAR(mean, 40.0, 3.0);
+}
+
+TEST(CuratorTest, EmptyClientSetStillRuns) {
+  SecureRng rng("curator-empty");
+  auto result = RunHonestProtocol<G>(CuratorConfig(), {}, rng);
+  EXPECT_TRUE(result.accepted());
+  // Pure noise output.
+  EXPECT_LE(result.raw_histogram[0], CuratorConfig().NumCoins());
+}
+
+TEST(CuratorTest, AllZeroInputsGiveNoiseOnly) {
+  SecureRng rng("curator-zeros");
+  std::vector<uint32_t> values(25, 0);
+  auto result = RunHonestProtocol<G>(CuratorConfig(), values, rng);
+  ASSERT_TRUE(result.accepted());
+  EXPECT_LE(result.raw_histogram[0], CuratorConfig().NumCoins());
+}
+
+TEST(CuratorTest, TimingsArePopulated) {
+  SecureRng rng("curator-timings");
+  std::vector<uint32_t> values(10, 1);
+  auto result = RunHonestProtocol<G>(CuratorConfig(), values, rng);
+  ASSERT_TRUE(result.accepted());
+  EXPECT_GT(result.timings.sigma_prove_ms, 0.0);
+  EXPECT_GT(result.timings.sigma_verify_ms, 0.0);
+  EXPECT_GT(result.timings.morra_ms, 0.0);
+  EXPECT_GT(result.timings.check_ms, 0.0);
+  EXPECT_GT(result.timings.TotalMs(), 0.0);
+}
+
+TEST(CuratorTest, SeedMorraModeAlsoCompletes) {
+  SecureRng rng("curator-seed-morra");
+  auto config = CuratorConfig();
+  config.morra_mode = MorraMode::kSeed;
+  std::vector<uint32_t> values(15, 1);
+  auto result = RunHonestProtocol<G>(config, values, rng);
+  EXPECT_TRUE(result.accepted());
+  EXPECT_GE(result.raw_histogram[0], 15u);
+}
+
+TEST(CuratorTest, TighterEpsilonUsesMoreCoins) {
+  SecureRng rng("curator-eps");
+  auto config = CuratorConfig();
+  config.epsilon = 2.0;  // nb = 763 at delta = 2^-10
+  EXPECT_GT(config.NumCoins(), 100u);
+  std::vector<uint32_t> values(5, 1);
+  auto result = RunHonestProtocol<G>(config, values, rng);
+  ASSERT_TRUE(result.accepted());
+  EXPECT_LE(result.raw_histogram[0], 5 + config.NumCoins());
+}
+
+TEST(CuratorTest, ParallelProvingMatchesSerialAcceptance) {
+  SecureRng rng("curator-pool");
+  ThreadPool pool(2);
+  std::vector<uint32_t> values(10, 1);
+  auto result = RunHonestProtocol<G>(CuratorConfig(), values, rng, &pool);
+  EXPECT_TRUE(result.accepted());
+}
+
+}  // namespace
+}  // namespace vdp

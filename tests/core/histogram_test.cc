@@ -1,0 +1,85 @@
+// M-bin verifiable DP histograms and the plurality-election use case.
+#include "src/core/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+
+ProtocolConfig HistConfig(size_t k, size_t m) {
+  ProtocolConfig config;
+  config.epsilon = 50.0;  // nb = 31
+  config.num_provers = k;
+  config.num_bins = m;
+  config.session_id = "hist-test";
+  return config;
+}
+
+TEST(HistogramTest, CountsLandInCorrectBins) {
+  SecureRng rng("hist-bins");
+  auto config = HistConfig(1, 4);
+  // 12 votes for bin 0, 4 for bin 1, 0 for bin 2, 2 for bin 3.
+  std::vector<uint32_t> votes;
+  votes.insert(votes.end(), 12, 0);
+  votes.insert(votes.end(), 4, 1);
+  votes.insert(votes.end(), 2, 3);
+  auto result = RunHonestProtocol<G>(config, votes, rng);
+  ASSERT_TRUE(result.accepted());
+  uint64_t nb = config.NumCoins();
+  EXPECT_GE(result.raw_histogram[0], 12u);
+  EXPECT_LE(result.raw_histogram[0], 12u + nb);
+  EXPECT_GE(result.raw_histogram[1], 4u);
+  EXPECT_LE(result.raw_histogram[1], 4u + nb);
+  EXPECT_LE(result.raw_histogram[2], nb);
+  EXPECT_GE(result.raw_histogram[3], 2u);
+  EXPECT_LE(result.raw_histogram[3], 2u + nb);
+}
+
+TEST(HistogramTest, ElectionWinnerIsCorrectWithClearMargin) {
+  SecureRng rng("hist-election");
+  auto config = HistConfig(2, 3);
+  // Margin (40 vs 10 vs 5) far exceeds noise sd (~sqrt(2*31)/2 ~ 4).
+  std::vector<uint32_t> votes;
+  votes.insert(votes.end(), 40, 1);
+  votes.insert(votes.end(), 10, 0);
+  votes.insert(votes.end(), 5, 2);
+  auto [result, summary] = RunVerifiableElection<G>(config, votes, rng);
+  ASSERT_TRUE(result.accepted());
+  EXPECT_EQ(summary.winner, 1u);
+  EXPECT_NEAR(summary.winner_estimate, 40.0, 15.0);
+}
+
+TEST(HistogramTest, SummaryTotalsApproximateClientCount) {
+  SecureRng rng("hist-total");
+  auto config = HistConfig(1, 5);
+  std::vector<uint32_t> votes;
+  for (uint32_t i = 0; i < 30; ++i) {
+    votes.push_back(i % 5);
+  }
+  auto [result, summary] = RunVerifiableElection<G>(config, votes, rng);
+  ASSERT_TRUE(result.accepted());
+  // Noise is zero-mean after debias; total of 5 bins has sd ~ sqrt(5*31)/2.
+  EXPECT_NEAR(summary.total, 30.0, 30.0);
+}
+
+TEST(HistogramTest, SingleBinSummary) {
+  SecureRng rng("hist-single");
+  auto config = HistConfig(1, 1);
+  std::vector<uint32_t> bits(20, 1);
+  auto [result, summary] = RunVerifiableElection<G>(config, bits, rng);
+  ASSERT_TRUE(result.accepted());
+  EXPECT_EQ(summary.winner, 0u);
+  EXPECT_NEAR(summary.winner_estimate, 20.0, 12.0);
+}
+
+TEST(HistogramTest, EmptySummary) {
+  ProtocolResult empty;
+  auto summary = SummarizeHistogram(empty);
+  EXPECT_TRUE(summary.estimates.empty());
+  EXPECT_EQ(summary.total, 0.0);
+}
+
+}  // namespace
+}  // namespace vdp

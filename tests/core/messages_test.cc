@@ -1,0 +1,130 @@
+// Wire-format round trips and adversarial-input rejection for the protocol
+// messages.
+#include "src/core/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/client.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+using S = G::Scalar;
+
+ProtocolConfig MsgConfig() {
+  ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.num_provers = 2;
+  config.num_bins = 3;
+  config.session_id = "messages-test";
+  return config;
+}
+
+TEST(MessagesTest, ClientShareRoundTrip) {
+  Pedersen<G> ped;
+  SecureRng rng("share-rt");
+  auto bundle = MakeClientBundle<G>(1, 0, MsgConfig(), ped, rng);
+  auto bytes = bundle.shares[0].Serialize();
+  auto parsed = ClientShareMsg<G>::Deserialize(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->values.size(), 3u);
+  for (size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(parsed->values[m], bundle.shares[0].values[m]);
+    EXPECT_EQ(parsed->randomness[m], bundle.shares[0].randomness[m]);
+  }
+}
+
+TEST(MessagesTest, ClientUploadRoundTrip) {
+  Pedersen<G> ped;
+  SecureRng rng("upload-rt");
+  auto config = MsgConfig();
+  auto bundle = MakeClientBundle<G>(2, 5, config, ped, rng);
+  auto bytes = bundle.upload.Serialize();
+  auto parsed = ClientUploadMsg<G>::Deserialize(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  // The deserialized upload still validates -- full fidelity.
+  EXPECT_TRUE(ValidateClientUpload(*parsed, 5, config, ped));
+}
+
+TEST(MessagesTest, ProverOutputRoundTrip) {
+  SecureRng rng("output-rt");
+  ProverOutputMsg<G> msg;
+  for (int i = 0; i < 3; ++i) {
+    msg.y.push_back(S::Random(rng));
+    msg.z.push_back(S::Random(rng));
+  }
+  auto parsed = ProverOutputMsg<G>::Deserialize(msg.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed->y[i], msg.y[i]);
+    EXPECT_EQ(parsed->z[i], msg.z[i]);
+  }
+}
+
+TEST(MessagesTest, TruncatedMessagesRejected) {
+  Pedersen<G> ped;
+  SecureRng rng("trunc");
+  auto bundle = MakeClientBundle<G>(1, 0, MsgConfig(), ped, rng);
+  auto bytes = bundle.upload.Serialize();
+  for (size_t cut : {size_t{0}, size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+    Bytes truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(ClientUploadMsg<G>::Deserialize(truncated).has_value()) << cut;
+  }
+}
+
+TEST(MessagesTest, TrailingGarbageRejected) {
+  Pedersen<G> ped;
+  SecureRng rng("trailing");
+  auto bundle = MakeClientBundle<G>(1, 0, MsgConfig(), ped, rng);
+  auto bytes = bundle.shares[0].Serialize();
+  bytes.push_back(0xff);
+  EXPECT_FALSE(ClientShareMsg<G>::Deserialize(bytes).has_value());
+}
+
+TEST(MessagesTest, NonCanonicalScalarRejected) {
+  // Hand-craft a share message whose scalar is >= q.
+  Writer w;
+  w.U32(1);
+  w.Blob(S::Order().ToBytesBe());  // not a reduced scalar
+  w.Blob(S::One().Encode());
+  EXPECT_FALSE(ClientShareMsg<G>::Deserialize(w.bytes()).has_value());
+}
+
+TEST(MessagesTest, NonSubgroupElementRejectedInUpload) {
+  Pedersen<G> ped;
+  SecureRng rng("subgroup");
+  auto config = MsgConfig();
+  auto bundle = MakeClientBundle<G>(1, 0, config, ped, rng);
+  auto bytes = bundle.upload.Serialize();
+  auto parsed = ClientUploadMsg<G>::Deserialize(bytes);
+  ASSERT_TRUE(parsed.has_value());
+
+  // Corrupt one commitment encoding to p - 1 (order-2 element, outside the
+  // prime-order subgroup). Deserialize must reject it.
+  BigInt<4> minus_one = ModP256Params().p;
+  BigInt<4>::SubInto(minus_one, minus_one, BigInt<4>::One());
+  Writer w;
+  w.U32(2);
+  w.U32(3);
+  bool first = true;
+  for (const auto& row : bundle.upload.commitments) {
+    for (const auto& c : row) {
+      if (first) {
+        w.Blob(minus_one.ToBytesBe());
+        first = false;
+      } else {
+        w.Blob(G::Encode(c));
+      }
+    }
+  }
+  w.U32(static_cast<uint32_t>(bundle.upload.bin_proofs.size()));
+  for (const auto& p : bundle.upload.bin_proofs) {
+    w.Blob(p.Serialize());
+  }
+  w.Blob(bundle.upload.sum_randomness.Encode());
+  EXPECT_FALSE(ClientUploadMsg<G>::Deserialize(w.bytes()).has_value());
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,112 @@
+// Parameterized completeness/consistency sweep over (K, M, n, eps): every
+// configuration must accept, include all honest clients, and produce output
+// in the exact support [count, count + K*nb] per bin.
+#include <gtest/gtest.h>
+
+#include "src/core/protocol.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+
+struct SweepCase {
+  size_t provers;
+  size_t bins;
+  size_t clients;
+  double epsilon;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  return "K" + std::to_string(info.param.provers) + "_M" + std::to_string(info.param.bins) +
+         "_n" + std::to_string(info.param.clients) + "_eps" +
+         std::to_string(static_cast<int>(info.param.epsilon));
+}
+
+class ProtocolSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ProtocolSweepTest, HonestRunAcceptsWithOutputInSupport) {
+  const SweepCase& c = GetParam();
+  ProtocolConfig config;
+  config.epsilon = c.epsilon;
+  config.num_provers = c.provers;
+  config.num_bins = c.bins;
+  config.session_id = "sweep";
+
+  std::vector<uint32_t> values(c.clients);
+  std::vector<uint64_t> true_counts(c.bins, 0);
+  for (size_t i = 0; i < c.clients; ++i) {
+    values[i] = static_cast<uint32_t>(i % c.bins);
+    if (c.bins == 1) {
+      values[i] = static_cast<uint32_t>(i % 2);
+    }
+    true_counts[values[i] % c.bins] += (c.bins == 1) ? values[i] : 1;
+  }
+
+  SecureRng rng("sweep-" + CaseName({GetParam(), 0}));
+  auto result = RunHonestProtocol<G>(config, values, rng);
+  ASSERT_TRUE(result.accepted()) << result.verdict.detail;
+  EXPECT_EQ(result.accepted_clients.size(), c.clients);
+
+  uint64_t nb = config.NumCoins();
+  for (size_t bin = 0; bin < c.bins; ++bin) {
+    EXPECT_GE(result.raw_histogram[bin], true_counts[bin]) << "bin " << bin;
+    EXPECT_LE(result.raw_histogram[bin], true_counts[bin] + c.provers * nb) << "bin " << bin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigurationSweep, ProtocolSweepTest,
+    ::testing::Values(SweepCase{1, 1, 4, 50.0}, SweepCase{1, 1, 16, 50.0},
+                      SweepCase{2, 1, 8, 50.0}, SweepCase{3, 1, 6, 50.0},
+                      SweepCase{5, 1, 5, 50.0}, SweepCase{1, 2, 8, 50.0},
+                      SweepCase{1, 4, 8, 50.0}, SweepCase{2, 3, 9, 50.0},
+                      SweepCase{3, 2, 6, 50.0}, SweepCase{1, 1, 8, 8.0},
+                      SweepCase{2, 2, 6, 8.0}, SweepCase{1, 1, 0, 50.0}),
+    CaseName);
+
+class MorraModeSweepTest
+    : public ::testing::TestWithParam<std::tuple<MorraMode, size_t>> {};
+
+TEST_P(MorraModeSweepTest, BothOracleRealizationsComplete) {
+  auto [mode, provers] = GetParam();
+  ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.num_provers = provers;
+  config.morra_mode = mode;
+  config.session_id = "morra-sweep";
+  std::vector<uint32_t> bits(10, 1);
+  SecureRng rng("morra-sweep-" + std::to_string(provers) +
+                (mode == MorraMode::kPedersen ? "-p" : "-s"));
+  auto result = RunHonestProtocol<G>(config, bits, rng);
+  ASSERT_TRUE(result.accepted());
+  EXPECT_GE(result.raw_histogram[0], 10u);
+  EXPECT_LE(result.raw_histogram[0], 10u + provers * config.NumCoins());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MorraModes, MorraModeSweepTest,
+    ::testing::Combine(::testing::Values(MorraMode::kPedersen, MorraMode::kSeed),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{3})));
+
+// Parameterized DP accounting sweep: the (eps, delta) -> nb mapping is
+// monotone and self-consistent across the whole operating range.
+class PrivacyParamTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PrivacyParamTest, CoinCountConsistency) {
+  auto [eps, delta] = GetParam();
+  uint64_t nb = NumCoinsForPrivacy(eps, delta);
+  EXPECT_GE(nb, kMinBinomialCoins);
+  // Achieved epsilon at this nb is at least as strong as requested.
+  EXPECT_LE(EpsilonForCoins(nb, delta), eps * 1.001);
+  // Strictly more coins -> strictly more privacy.
+  EXPECT_LT(EpsilonForCoins(2 * nb, delta), EpsilonForCoins(nb, delta));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrivacyGrid, PrivacyParamTest,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 1.0, 2.0, 5.0),
+                       ::testing::Values(1.0 / 1024, 1e-6, 1e-9)));
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,145 @@
+// Zero-knowledge: the Appendix D simulator fabricates accepting transcripts
+// from the ideal output alone.
+#include "src/core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/client.h"
+#include "src/dp/binomial.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+using S = G::Scalar;
+
+std::vector<G::Element> MakeClientCommitments(const Pedersen<G>& ped, size_t n,
+                                              uint64_t true_count, SecureRng& rng,
+                                              S* total_randomness = nullptr) {
+  std::vector<G::Element> commitments;
+  S total = S::Zero();
+  for (size_t i = 0; i < n; ++i) {
+    S x = S::FromU64(i < true_count ? 1 : 0);
+    S r = S::Random(rng);
+    commitments.push_back(ped.Commit(x, r));
+    total += r;
+  }
+  if (total_randomness != nullptr) {
+    *total_randomness = total;
+  }
+  return commitments;
+}
+
+TEST(SimulatorTest, SimulatedTranscriptPassesVerifierChecks) {
+  Pedersen<G> ped;
+  SecureRng rng("sim-accept");
+  constexpr size_t kN = 10;
+  constexpr uint64_t kCount = 6;
+  constexpr size_t kCoins = 31;
+  auto commitments = MakeClientCommitments(ped, kN, kCount, rng);
+  // Ideal functionality output: count + Binomial noise.
+  uint64_t ideal = kCount + SampleBinomialHalf(kCoins, rng);
+  auto transcript = SimulateCurator(ped, commitments, S::FromU64(ideal), kCoins, rng);
+  EXPECT_TRUE(VerifyCuratorTranscript(ped, commitments, transcript));
+  EXPECT_EQ(transcript.y, S::FromU64(ideal));
+  EXPECT_EQ(transcript.coin_commitments.size(), kCoins);
+}
+
+TEST(SimulatorTest, SimulatorNeverSawClientOpenings) {
+  // The simulator receives only commitments (no openings, no inputs). Run it
+  // against commitments whose openings were discarded before the call --
+  // acceptance then *proves* no private data was needed.
+  Pedersen<G> ped;
+  SecureRng rng("sim-blind");
+  std::vector<G::Element> commitments;
+  {
+    SecureRng ephemeral("ephemeral-client-secrets");
+    commitments = MakeClientCommitments(ped, 8, 3, ephemeral);
+    // openings destroyed here
+  }
+  auto transcript = SimulateCurator(ped, commitments, S::FromU64(42), 31, rng);
+  EXPECT_TRUE(VerifyCuratorTranscript(ped, commitments, transcript));
+}
+
+TEST(SimulatorTest, WorksForArbitraryClaimedOutputs) {
+  // ZK simulation is possible for *any* claimed y -- binding to the true
+  // count is soundness's job (the real prover cannot open what it did not
+  // compute), not zero-knowledge's.
+  Pedersen<G> ped;
+  SecureRng rng("sim-any");
+  auto commitments = MakeClientCommitments(ped, 5, 2, rng);
+  for (uint64_t claimed : {0ull, 7ull, 1000ull}) {
+    auto transcript = SimulateCurator(ped, commitments, S::FromU64(claimed), 31, rng);
+    EXPECT_TRUE(VerifyCuratorTranscript(ped, commitments, transcript)) << claimed;
+  }
+}
+
+TEST(SimulatorTest, TamperedTranscriptFails) {
+  Pedersen<G> ped;
+  SecureRng rng("sim-tamper");
+  auto commitments = MakeClientCommitments(ped, 5, 2, rng);
+  auto transcript = SimulateCurator(ped, commitments, S::FromU64(10), 31, rng);
+  ASSERT_TRUE(VerifyCuratorTranscript(ped, commitments, transcript));
+
+  auto bad_y = transcript;
+  bad_y.y = bad_y.y + S::One();
+  EXPECT_FALSE(VerifyCuratorTranscript(ped, commitments, bad_y));
+
+  auto bad_bit = transcript;
+  bad_bit.public_bits[0] = !bad_bit.public_bits[0];
+  EXPECT_FALSE(VerifyCuratorTranscript(ped, commitments, bad_bit));
+
+  auto bad_coin = transcript;
+  bad_coin.coin_commitments[3] = G::Mul(bad_coin.coin_commitments[3], G::Generator());
+  EXPECT_FALSE(VerifyCuratorTranscript(ped, commitments, bad_coin));
+}
+
+TEST(SimulatorTest, SimulatedCoinCommitmentsAdmitOrSimulation) {
+  // In the O_OR-hybrid model the simulator also answers the bit-membership
+  // queries; concretely, chosen-challenge OR transcripts accept for every
+  // simulated coin commitment.
+  Pedersen<G> ped;
+  SecureRng rng("sim-or");
+  auto commitments = MakeClientCommitments(ped, 4, 2, rng);
+  auto transcript = SimulateCurator(ped, commitments, S::FromU64(17), 8, rng);
+  for (const auto& c : transcript.coin_commitments) {
+    S challenge = S::Random(rng);
+    auto or_transcript = OrSimulate(ped, c, challenge, rng);
+    EXPECT_TRUE(OrVerifyWithChallenge(ped, c, or_transcript, challenge));
+  }
+}
+
+TEST(SimulatorTest, PublicBitsLookUniform) {
+  Pedersen<G> ped;
+  SecureRng rng("sim-bits");
+  auto commitments = MakeClientCommitments(ped, 3, 1, rng);
+  constexpr size_t kCoins = 2000;
+  auto transcript = SimulateCurator(ped, commitments, S::FromU64(100), kCoins, rng);
+  size_t ones = 0;
+  for (bool b : transcript.public_bits) {
+    ones += b ? 1 : 0;
+  }
+  double sigma = std::sqrt(kCoins * 0.25);
+  EXPECT_NEAR(static_cast<double>(ones), kCoins / 2.0, 5 * sigma);
+}
+
+TEST(SimulatorTest, UpdateCommitmentIsAnInvolution) {
+  Pedersen<G> ped;
+  SecureRng rng("sim-invol");
+  auto c = ped.Commit(S::FromU64(1), S::Random(rng));
+  EXPECT_EQ(UpdateCommitment(ped, UpdateCommitment(ped, c, true), true), c);
+  EXPECT_EQ(UpdateCommitment(ped, c, false), c);
+}
+
+TEST(SimulatorTest, EmptyClientSetSupported) {
+  Pedersen<G> ped;
+  SecureRng rng("sim-empty");
+  std::vector<G::Element> no_clients;
+  auto transcript = SimulateCurator(ped, no_clients, S::FromU64(12), 31, rng);
+  EXPECT_TRUE(VerifyCuratorTranscript(ped, no_clients, transcript));
+}
+
+}  // namespace
+}  // namespace vdp

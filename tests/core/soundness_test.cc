@@ -1,0 +1,167 @@
+// Soundness of Pi_Bin: every cheat in Theorem 4.1's case analysis is caught
+// by the public verifier and attributed to the cheating prover.
+#include <gtest/gtest.h>
+
+#include "src/core/adversary.h"
+#include "src/core/protocol.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+
+ProtocolConfig SoundnessConfig(size_t k) {
+  ProtocolConfig config;
+  config.epsilon = 50.0;  // nb = 31
+  config.num_provers = k;
+  config.num_bins = 1;
+  config.session_id = "soundness-k" + std::to_string(k);
+  return config;
+}
+
+struct Setup {
+  Pedersen<G> ped;
+  std::vector<ClientBundle<G>> clients;
+  SecureRng verifier_rng{"verifier"};
+};
+
+Setup MakeSetup(const ProtocolConfig& config, size_t num_clients, const std::string& seed) {
+  Setup s;
+  SecureRng crng(seed);
+  for (size_t i = 0; i < num_clients; ++i) {
+    s.clients.push_back(MakeClientBundle<G>(1, i, config, s.ped, crng));
+  }
+  return s;
+}
+
+TEST(SoundnessTest, NonBitCoinDetected) {
+  auto config = SoundnessConfig(1);
+  auto setup = MakeSetup(config, 5, "nonbit");
+  NonBitCoinProver<G> cheater(0, config, setup.ped, SecureRng("cheater"));
+  std::vector<Prover<G>*> provers = {&cheater};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kCoinProofInvalid);
+  EXPECT_EQ(result.verdict.cheating_prover, 0u);
+}
+
+TEST(SoundnessTest, BiasedOutputDetected) {
+  // The headline attack: nudge the count by +5 and blame the DP noise.
+  auto config = SoundnessConfig(1);
+  auto setup = MakeSetup(config, 5, "bias");
+  BiasedOutputProver<G> cheater(0, config, setup.ped, SecureRng("cheater"), /*bias=*/5);
+  std::vector<Prover<G>*> provers = {&cheater};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kFinalCheckFailed);
+  EXPECT_EQ(result.verdict.cheating_prover, 0u);
+}
+
+TEST(SoundnessTest, EvenBiasOfOneIsDetected) {
+  auto config = SoundnessConfig(1);
+  auto setup = MakeSetup(config, 5, "bias1");
+  BiasedOutputProver<G> cheater(0, config, setup.ped, SecureRng("cheater"), /*bias=*/1);
+  std::vector<Prover<G>*> provers = {&cheater};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kFinalCheckFailed);
+}
+
+TEST(SoundnessTest, DroppedClientDetected) {
+  // Guaranteed inclusion: a prover that excludes a validated honest client's
+  // share cannot satisfy Eq. 10, because the verifier multiplies in the
+  // client's public commitment regardless.
+  auto config = SoundnessConfig(1);
+  auto setup = MakeSetup(config, 5, "drop");
+  ClientDroppingProver<G> cheater(0, config, setup.ped, SecureRng("cheater"));
+  std::vector<Prover<G>*> provers = {&cheater};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kFinalCheckFailed);
+  EXPECT_EQ(result.verdict.cheating_prover, 0u);
+}
+
+TEST(SoundnessTest, NoNoiseOutputDetected) {
+  auto config = SoundnessConfig(1);
+  auto setup = MakeSetup(config, 5, "nonoise");
+  NoNoiseProver<G> cheater(0, config, setup.ped, SecureRng("cheater"));
+  std::vector<Prover<G>*> provers = {&cheater};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kFinalCheckFailed);
+}
+
+TEST(SoundnessTest, MorraCheatDetected) {
+  auto config = SoundnessConfig(1);
+  auto setup = MakeSetup(config, 3, "morra");
+  MorraCheatingProver<G> cheater(0, config, setup.ped, SecureRng("cheater"));
+  std::vector<Prover<G>*> provers = {&cheater};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kMorraAborted);
+  EXPECT_EQ(result.verdict.cheating_prover, 0u);
+}
+
+TEST(SoundnessTest, CheatingProverAmongHonestOnesIsAttributed) {
+  // K = 3 with the middle prover biased: the verdict must name prover 1.
+  auto config = SoundnessConfig(3);
+  auto setup = MakeSetup(config, 4, "attribution");
+  Prover<G> honest0(0, config, setup.ped, SecureRng("h0"));
+  BiasedOutputProver<G> cheater(1, config, setup.ped, SecureRng("c1"), 3);
+  Prover<G> honest2(2, config, setup.ped, SecureRng("h2"));
+  std::vector<Prover<G>*> provers = {&honest0, &cheater, &honest2};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kFinalCheckFailed);
+  EXPECT_EQ(result.verdict.cheating_prover, 1u);
+}
+
+TEST(SoundnessTest, HonestRunIsNotFalselyAccused) {
+  // Completeness restated as the soundness suite's control group.
+  auto config = SoundnessConfig(2);
+  auto setup = MakeSetup(config, 6, "control");
+  Prover<G> p0(0, config, setup.ped, SecureRng("p0"));
+  Prover<G> p1(1, config, setup.ped, SecureRng("p1"));
+  std::vector<Prover<G>*> provers = {&p0, &p1};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_TRUE(result.accepted()) << result.verdict.detail;
+}
+
+TEST(SoundnessTest, MalformedOutputShapeRejected) {
+  class TruncatingProver : public Prover<G> {
+   public:
+    using Prover<G>::Prover;
+    ProverOutputMsg<G> ComputeOutput() override {
+      auto out = Prover<G>::ComputeOutput();
+      out.y.clear();  // wrong shape
+      return out;
+    }
+  };
+  auto config = SoundnessConfig(1);
+  auto setup = MakeSetup(config, 2, "malformed");
+  TruncatingProver cheater(0, config, setup.ped, SecureRng("cheater"));
+  std::vector<Prover<G>*> provers = {&cheater};
+  auto result = RunProtocol(config, setup.ped, setup.clients, provers, setup.verifier_rng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kMalformedMessage);
+}
+
+TEST(SoundnessTest, BiasDetectedInMultiBinHistogram) {
+  ProtocolConfig config = SoundnessConfig(1);
+  config.num_bins = 3;
+  Pedersen<G> ped;
+  SecureRng crng("hist-clients");
+  std::vector<ClientBundle<G>> clients;
+  for (size_t i = 0; i < 6; ++i) {
+    clients.push_back(MakeClientBundle<G>(static_cast<uint32_t>(i % 3), i, config, ped, crng));
+  }
+  BiasedOutputProver<G> cheater(0, config, ped, SecureRng("cheater"), 2);
+  std::vector<Prover<G>*> provers = {&cheater};
+  SecureRng vrng("verifier");
+  auto result = RunProtocol(config, ped, clients, provers, vrng);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.verdict.code, VerdictCode::kFinalCheckFailed);
+}
+
+}  // namespace
+}  // namespace vdp

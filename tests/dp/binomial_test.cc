@@ -1,0 +1,157 @@
+#include "src/dp/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vdp {
+namespace {
+
+TEST(BinomialParamsTest, LemmaFormulaRoundTrips) {
+  // nb(eps(nb)) == nb up to ceiling effects.
+  for (double delta : {1.0 / 1024, 1e-6}) {
+    for (double eps : {0.25, 0.5, 1.0, 2.0}) {
+      uint64_t nb = NumCoinsForPrivacy(eps, delta);
+      double eps_back = EpsilonForCoins(nb, delta);
+      EXPECT_LE(eps_back, eps * 1.001) << "eps=" << eps << " delta=" << delta;
+      // One fewer coin would not reach the target epsilon.
+      if (nb > kMinBinomialCoins) {
+        EXPECT_GT(EpsilonForCoins(nb - 1, delta), eps * 0.999);
+      }
+    }
+  }
+}
+
+TEST(BinomialParamsTest, PaperParameterDiscussion) {
+  // Table 1 inconsistency documented in DESIGN.md: with delta = 2^-10,
+  // Lemma 2.1 gives nb(1.25) = 488 and nb(0.88) = 985; nb = 262144
+  // corresponds to eps around 0.054.
+  double delta = std::pow(2.0, -10);
+  EXPECT_EQ(NumCoinsForPrivacy(1.25, delta), 488u);
+  EXPECT_EQ(NumCoinsForPrivacy(0.88, delta), 985u);
+  EXPECT_NEAR(EpsilonForCoins(262144, delta), 0.0539, 0.001);
+}
+
+TEST(BinomialParamsTest, MoreCoinsForMorePrivacy) {
+  double delta = 1e-6;
+  EXPECT_GT(NumCoinsForPrivacy(0.1, delta), NumCoinsForPrivacy(1.0, delta));
+  // Quadratic scaling: halving eps quadruples the coins (up to ceiling).
+  uint64_t nb1 = NumCoinsForPrivacy(1.0, delta);
+  uint64_t nb2 = NumCoinsForPrivacy(0.5, delta);
+  EXPECT_NEAR(static_cast<double>(nb2) / static_cast<double>(nb1), 4.0, 0.05);
+}
+
+TEST(BinomialParamsTest, MinimumCoinFloor) {
+  // Huge epsilon would need < 31 coins; the lemma requires nb > 30.
+  EXPECT_EQ(NumCoinsForPrivacy(100.0, 0.01), kMinBinomialCoins);
+}
+
+TEST(BinomialParamsTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(NumCoinsForPrivacy(0.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(NumCoinsForPrivacy(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(NumCoinsForPrivacy(1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(EpsilonForCoins(0, 0.01), std::invalid_argument);
+}
+
+TEST(SampleBinomialTest, RangeAndMoments) {
+  SecureRng rng("binom-moments");
+  constexpr uint64_t kN = 1000;
+  constexpr int kTrials = 2000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    uint64_t s = SampleBinomialHalf(kN, rng);
+    EXPECT_LE(s, kN);
+    sum += static_cast<double>(s);
+    sum_sq += static_cast<double>(s) * static_cast<double>(s);
+  }
+  double mean = sum / kTrials;
+  double var = sum_sq / kTrials - mean * mean;
+  // Mean n/2 = 500 (s.e. ~0.35), variance n/4 = 250.
+  EXPECT_NEAR(mean, 500.0, 2.5);
+  EXPECT_NEAR(var, 250.0, 30.0);
+}
+
+TEST(SampleBinomialTest, EdgeSizes) {
+  SecureRng rng("binom-edge");
+  EXPECT_EQ(SampleBinomialHalf(0, rng), 0u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LE(SampleBinomialHalf(1, rng), 1u);
+    EXPECT_LE(SampleBinomialHalf(64, rng), 64u);
+    EXPECT_LE(SampleBinomialHalf(65, rng), 65u);
+  }
+}
+
+TEST(SampleBinomialTest, NonWordSizesUnbiased) {
+  // The tail mask must not bias the count: check mean for n = 100.
+  SecureRng rng("binom-tail");
+  constexpr int kTrials = 4000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(SampleBinomialHalf(100, rng));
+  }
+  EXPECT_NEAR(sum / kTrials, 50.0, 0.5);
+}
+
+TEST(BinomialMechanismTest, ApplyAddsBoundedNoise) {
+  BinomialMechanism mech(1.0, 1e-6);
+  SecureRng rng("mech-apply");
+  uint64_t true_count = 10000;
+  uint64_t noisy = mech.Apply(true_count, rng);
+  EXPECT_GE(noisy, true_count);
+  EXPECT_LE(noisy, true_count + mech.num_coins());
+}
+
+TEST(BinomialMechanismTest, DebiasIsCentered) {
+  BinomialMechanism mech(1.0, 1e-6);
+  SecureRng rng("mech-debias");
+  constexpr int kTrials = 2000;
+  const uint64_t true_count = 5000;
+  double acc = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    acc += mech.Debias(mech.Apply(true_count, rng));
+  }
+  double mean = acc / kTrials;
+  // Std error = sqrt(nb/4 / trials); nb ~ 1452 for eps=1, delta=1e-6.
+  double se = std::sqrt(static_cast<double>(mech.num_coins()) / 4.0 / kTrials);
+  EXPECT_NEAR(mean, static_cast<double>(true_count), 6 * se);
+}
+
+TEST(BinomialMechanismTest, ErrorIsIndependentOfN) {
+  // The defining advantage of the central model (Definition 6 discussion):
+  // Err depends only on (eps, delta), not on the dataset size.
+  BinomialMechanism mech(0.5, 1e-6);
+  SecureRng rng("mech-err");
+  for (uint64_t true_count : {100ull, 10000ull, 1000000ull}) {
+    double err_acc = 0;
+    constexpr int kTrials = 500;
+    for (int i = 0; i < kTrials; ++i) {
+      err_acc += std::abs(mech.Debias(mech.Apply(true_count, rng)) -
+                          static_cast<double>(true_count));
+    }
+    double err = err_acc / kTrials;
+    // E|Binomial - nb/2| ~ sqrt(nb / (2 pi)); nb = 5809 for these params.
+    double predicted = std::sqrt(static_cast<double>(mech.num_coins()) / (2 * M_PI));
+    EXPECT_NEAR(err, predicted, predicted * 0.25) << "count=" << true_count;
+  }
+}
+
+TEST(BinomialMechanismTest, SmoothnessEmpirical) {
+  // Definition 13 with k' = 1: P[Z = z] / P[Z = z+1] <= e^eps except with
+  // probability delta. Check the ratio at +/- 3 sigma from the mean.
+  double delta = 1e-4;
+  double eps = 1.0;
+  uint64_t nb = NumCoinsForPrivacy(eps, delta);
+  // Analytic check on Binomial(nb, 1/2) pmf ratios inside the 3-sigma window:
+  // ratio(z) = P[Z=z]/P[Z=z+1] = (z+1)/(nb-z).
+  double sigma = std::sqrt(static_cast<double>(nb) / 4.0);
+  double mid = static_cast<double>(nb) / 2.0;
+  for (double off : {-3.0, -1.0, 0.0, 1.0, 3.0}) {
+    double z = mid + off * sigma;
+    double ratio = (z + 1) / (static_cast<double>(nb) - z);
+    EXPECT_LE(std::abs(std::log(ratio)), eps) << "offset=" << off;
+  }
+}
+
+}  // namespace
+}  // namespace vdp

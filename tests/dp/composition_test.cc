@@ -1,0 +1,67 @@
+#include "src/dp/composition.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+TEST(CompositionTest, SequentialAddsBudgets) {
+  auto total = ComposeSequential({{1.0, 1e-6}, {0.5, 1e-6}, {0.25, 0.0}});
+  EXPECT_DOUBLE_EQ(total.epsilon, 1.75);
+  EXPECT_DOUBLE_EQ(total.delta, 2e-6);
+}
+
+TEST(CompositionTest, SequentialOfNothingIsFree) {
+  auto total = ComposeSequential({});
+  EXPECT_EQ(total.epsilon, 0.0);
+  EXPECT_EQ(total.delta, 0.0);
+}
+
+TEST(CompositionTest, ParallelTakesMax) {
+  auto total = ComposeParallel({{1.0, 1e-6}, {0.5, 1e-5}, {0.25, 0.0}});
+  EXPECT_DOUBLE_EQ(total.epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(total.delta, 1e-5);
+}
+
+TEST(CompositionTest, AdvancedBeatsBasicForManyReleases) {
+  PrivacyBudget per{0.1, 1e-8};
+  constexpr size_t kReleases = 100;
+  auto basic = ComposeSequential(std::vector<PrivacyBudget>(kReleases, per));
+  auto advanced = ComposeAdvanced(per, kReleases, 1e-6);
+  EXPECT_LT(advanced.epsilon, basic.epsilon);  // sqrt(k) vs k scaling
+  EXPECT_GT(advanced.epsilon, 0.0);
+}
+
+TEST(CompositionTest, AdvancedMatchesFormula) {
+  PrivacyBudget per{0.5, 1e-7};
+  auto total = ComposeAdvanced(per, 10, 1e-5);
+  double expected_eps =
+      std::sqrt(2.0 * 10 * std::log(1e5)) * 0.5 + 10 * 0.5 * (std::exp(0.5) - 1.0);
+  EXPECT_NEAR(total.epsilon, expected_eps, 1e-12);
+  EXPECT_NEAR(total.delta, 10 * 1e-7 + 1e-5, 1e-15);
+}
+
+TEST(CompositionTest, AdvancedRejectsBadDeltaPrime) {
+  EXPECT_THROW(ComposeAdvanced({1.0, 0.0}, 5, 0.0), std::invalid_argument);
+  EXPECT_THROW(ComposeAdvanced({1.0, 0.0}, 5, 1.5), std::invalid_argument);
+}
+
+TEST(CompositionTest, SensitivityScaling) {
+  auto scaled = ScaleBySensitivity({0.5, 1e-6}, 2.0);
+  EXPECT_DOUBLE_EQ(scaled.epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.delta, 2e-6);
+  EXPECT_THROW(ScaleBySensitivity({0.5, 0.0}, -1.0), std::invalid_argument);
+}
+
+TEST(CompositionTest, HistogramBudgets) {
+  // Add/remove neighbors: one-hot input has L1 sensitivity 1.
+  auto addrm = HistogramBudget(1.0, 1e-6, /*swap_neighbors=*/false);
+  EXPECT_DOUBLE_EQ(addrm.epsilon, 1.0);
+  // Swap neighbors: changing a vote touches two bins.
+  auto swap = HistogramBudget(1.0, 1e-6, /*swap_neighbors=*/true);
+  EXPECT_DOUBLE_EQ(swap.epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(swap.delta, 2e-6);
+}
+
+}  // namespace
+}  // namespace vdp

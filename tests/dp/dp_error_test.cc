@@ -1,0 +1,60 @@
+#include "src/dp/dp_error.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dp/binomial.h"
+#include "src/dp/mechanisms.h"
+
+namespace vdp {
+namespace {
+
+TEST(DpErrorTest, ZeroNoiseMechanismHasZeroError) {
+  SecureRng rng("dperr-zero");
+  auto identity = [](int64_t count, SecureRng&) { return static_cast<double>(count); };
+  auto est = EstimateDpError(1000, identity, 100, rng);
+  EXPECT_EQ(est.mean_abs_error, 0.0);
+  EXPECT_EQ(est.mean_signed_error, 0.0);
+}
+
+TEST(DpErrorTest, BinomialMechanismErrorMatchesTheory) {
+  SecureRng rng("dperr-binom");
+  BinomialMechanism mech(1.0, 1e-6);
+  auto mechanism = [&](int64_t count, SecureRng& r) {
+    return mech.Debias(mech.Apply(static_cast<uint64_t>(count), r));
+  };
+  auto est = EstimateDpError(100000, mechanism, 1000, rng);
+  // E|Binomial(nb,1/2) - nb/2| = sqrt(nb/(2 pi)) asymptotically.
+  double predicted = std::sqrt(static_cast<double>(mech.num_coins()) / (2 * M_PI));
+  EXPECT_NEAR(est.mean_abs_error, predicted, predicted * 0.2);
+  EXPECT_NEAR(est.mean_signed_error, 0.0, predicted * 0.2);
+}
+
+TEST(DpErrorTest, ErrorScalesAsOneOverEps) {
+  SecureRng rng("dperr-scale");
+  auto err_at = [&](double eps) {
+    BinomialMechanism mech(eps, 1e-6);
+    auto mechanism = [&](int64_t count, SecureRng& r) {
+      return mech.Debias(mech.Apply(static_cast<uint64_t>(count), r));
+    };
+    return EstimateDpError(5000, mechanism, 400, rng).mean_abs_error;
+  };
+  double e1 = err_at(1.0);
+  double e_half = err_at(0.5);
+  // Error ~ sqrt(nb) ~ 1/eps: halving eps should double the error.
+  EXPECT_NEAR(e_half / e1, 2.0, 0.4);
+}
+
+TEST(DpErrorTest, LaplaceBeatsNothingButHasExpectedMagnitude) {
+  SecureRng rng("dperr-lap");
+  DiscreteLaplace lap(1.0);
+  auto mechanism = [&](int64_t count, SecureRng& r) {
+    return static_cast<double>(lap.Apply(count, r));
+  };
+  auto est = EstimateDpError(5000, mechanism, 2000, rng);
+  // E|DLap(eps=1)| ~ 2 alpha/(1-alpha^2)... around 1.2 for eps = 1.
+  EXPECT_GT(est.mean_abs_error, 0.5);
+  EXPECT_LT(est.mean_abs_error, 3.0);
+}
+
+}  // namespace
+}  // namespace vdp

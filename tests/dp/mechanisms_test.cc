@@ -1,0 +1,127 @@
+#include "src/dp/mechanisms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vdp {
+namespace {
+
+TEST(DiscreteLaplaceTest, MeanIsZero) {
+  DiscreteLaplace lap(1.0);
+  SecureRng rng("lap-mean");
+  constexpr int kTrials = 20000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(lap.Sample(rng));
+  }
+  // Var = 2 alpha / (1-alpha)^2 ~ 1.84 for eps=1; s.e. ~ 0.0096.
+  EXPECT_NEAR(sum / kTrials, 0.0, 0.06);
+}
+
+TEST(DiscreteLaplaceTest, SpreadScalesInverselyWithEpsilon) {
+  SecureRng rng("lap-spread");
+  constexpr int kTrials = 5000;
+  auto mean_abs = [&](double eps) {
+    DiscreteLaplace lap(eps);
+    double acc = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      acc += std::abs(static_cast<double>(lap.Sample(rng)));
+    }
+    return acc / kTrials;
+  };
+  double tight = mean_abs(2.0);
+  double loose = mean_abs(0.25);
+  EXPECT_GT(loose, 4 * tight);
+}
+
+TEST(DiscreteLaplaceTest, ApplyShiftsByNoise) {
+  DiscreteLaplace lap(1.0);
+  SecureRng rng("lap-apply");
+  int64_t out = lap.Apply(1000, rng);
+  EXPECT_NEAR(static_cast<double>(out), 1000.0, 100.0);
+}
+
+TEST(DiscreteLaplaceTest, InvalidParamsThrow) {
+  EXPECT_THROW(DiscreteLaplace(0.0), std::invalid_argument);
+  EXPECT_THROW(DiscreteLaplace(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RandomizedResponseTest, TruthProbabilityMatchesFormula) {
+  RandomizedResponse rr(std::log(3.0));  // e^eps = 3 -> p = 3/4
+  EXPECT_NEAR(rr.truth_probability(), 0.75, 1e-9);
+}
+
+TEST(RandomizedResponseTest, PerturbReturnsBits) {
+  RandomizedResponse rr(1.0);
+  SecureRng rng("rr-bits");
+  for (int i = 0; i < 100; ++i) {
+    int out = rr.Perturb(i % 2, rng);
+    EXPECT_TRUE(out == 0 || out == 1);
+  }
+}
+
+TEST(RandomizedResponseTest, FlipRateMatchesP) {
+  RandomizedResponse rr(std::log(3.0));  // p = 0.75
+  SecureRng rng("rr-flip");
+  constexpr int kTrials = 20000;
+  int kept = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rr.Perturb(1, rng) == 1) {
+      ++kept;
+    }
+  }
+  double rate = static_cast<double>(kept) / kTrials;
+  EXPECT_NEAR(rate, 0.75, 0.015);
+}
+
+TEST(RandomizedResponseTest, DebiasedCountIsUnbiased) {
+  RandomizedResponse rr(1.0);
+  SecureRng rng("rr-debias");
+  constexpr uint64_t kN = 10000;
+  constexpr uint64_t kTrueOnes = 3000;
+  constexpr int kRounds = 50;
+  double acc = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    uint64_t observed = 0;
+    for (uint64_t i = 0; i < kN; ++i) {
+      observed += rr.Perturb(i < kTrueOnes ? 1 : 0, rng);
+    }
+    acc += rr.DebiasedCount(observed, kN);
+  }
+  double mean = acc / kRounds;
+  // s.e. of one round ~ sqrt(n p(1-p))/(2p-1) ~ 106; over 50 rounds ~ 15.
+  EXPECT_NEAR(mean, static_cast<double>(kTrueOnes), 75.0);
+}
+
+TEST(RandomizedResponseTest, LocalErrorGrowsWithN) {
+  // The local model pays Theta(sqrt(n)) error -- the gap Table 2's Central DP
+  // column captures.
+  RandomizedResponse rr(1.0);
+  SecureRng rng("rr-scale");
+  auto rmse = [&](uint64_t n) {
+    constexpr int kRounds = 30;
+    double acc = 0;
+    uint64_t true_ones = n / 3;
+    for (int round = 0; round < kRounds; ++round) {
+      uint64_t observed = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        observed += rr.Perturb(i < true_ones ? 1 : 0, rng);
+      }
+      double err = rr.DebiasedCount(observed, n) - static_cast<double>(true_ones);
+      acc += err * err;
+    }
+    return std::sqrt(acc / kRounds);
+  };
+  double small = rmse(1000);
+  double large = rmse(16000);
+  // sqrt(16) = 4x; accept a loose band.
+  EXPECT_GT(large, 2.0 * small);
+}
+
+TEST(RandomizedResponseTest, InvalidEpsilonThrows) {
+  EXPECT_THROW(RandomizedResponse(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,132 @@
+// Carry-chain and reduction edge cases for the fe25519 field arithmetic:
+// values adjacent to p, 2^255, limb boundaries, and long operation chains
+// cross-validated against the BigInt reference.
+#include <gtest/gtest.h>
+
+#include "src/group/ed25519_field.h"
+#include "src/math/montgomery.h"
+#include "src/math/primality.h"
+
+namespace vdp {
+namespace {
+
+const MontgomeryCtx<4>& RefCtx() {
+  static const MontgomeryCtx<4> ctx(Fe25519::P());
+  return ctx;
+}
+
+BigInt<4> PMinus(uint64_t k) {
+  BigInt<4> v = Fe25519::P();
+  BigInt<4>::SubInto(v, v, BigInt<4>::FromU64(k));
+  return v;
+}
+
+TEST(Fe25519EdgeTest, ValuesAdjacentToP) {
+  for (uint64_t k : {1ull, 2ull, 18ull, 19ull, 20ull, 37ull, 38ull}) {
+    BigInt<4> a = PMinus(k);
+    Fe25519 fe = Fe25519::FromBigInt(a);
+    EXPECT_EQ(fe.ToBigInt(), a) << "k=" << k;
+    // (p-k) + k == 0
+    EXPECT_TRUE(Fe25519::Add(fe, Fe25519::FromU64(k)).IsZero()) << "k=" << k;
+  }
+}
+
+TEST(Fe25519EdgeTest, MultiplicationAtBoundaries) {
+  SecureRng rng("fe-edge-mul");
+  std::vector<BigInt<4>> specials = {
+      BigInt<4>::Zero(), BigInt<4>::One(), BigInt<4>::FromU64(2), PMinus(1), PMinus(2),
+      PMinus(19),
+  };
+  // Limb-boundary values: 2^51, 2^102, 2^204 +/- 1.
+  for (size_t bit : {51u, 102u, 153u, 204u, 254u}) {
+    BigInt<4> v;
+    v.SetBit(bit);
+    specials.push_back(v);
+    BigInt<4> w = v;
+    BigInt<4>::SubInto(w, w, BigInt<4>::One());
+    specials.push_back(w);
+  }
+  for (const auto& a : specials) {
+    for (const auto& b : specials) {
+      Fe25519 r = Fe25519::Mul(Fe25519::FromBigInt(a), Fe25519::FromBigInt(b));
+      EXPECT_EQ(r.ToBigInt(), RefCtx().MulMod(a, b))
+          << a.ToHex() << " * " << b.ToHex();
+    }
+  }
+}
+
+TEST(Fe25519EdgeTest, LongAlternatingChainMatchesReference) {
+  // Stress loose-reduction bounds: hundreds of alternating ops without
+  // canonicalization in between.
+  SecureRng rng("fe-edge-chain");
+  BigInt<4> ref = RandomBelow(Fe25519::P(), rng);
+  Fe25519 fe = Fe25519::FromBigInt(ref);
+  for (int i = 0; i < 300; ++i) {
+    BigInt<4> operand = RandomBelow(Fe25519::P(), rng);
+    Fe25519 fe_op = Fe25519::FromBigInt(operand);
+    switch (i % 4) {
+      case 0:
+        fe = Fe25519::Add(fe, fe_op);
+        ref = AddMod(ref, operand, Fe25519::P());
+        break;
+      case 1:
+        fe = Fe25519::Sub(fe, fe_op);
+        ref = SubMod(ref, operand, Fe25519::P());
+        break;
+      case 2:
+        fe = Fe25519::Mul(fe, fe_op);
+        ref = RefCtx().MulMod(ref, operand);
+        break;
+      case 3:
+        fe = Fe25519::Square(fe);
+        ref = RefCtx().MulMod(ref, ref);
+        break;
+    }
+  }
+  EXPECT_EQ(fe.ToBigInt(), ref);
+}
+
+TEST(Fe25519EdgeTest, RepeatedSubtractionUnderflowSafety) {
+  // Sub adds 2p before subtracting; chains of subs must stay correct.
+  Fe25519 fe = Fe25519::Zero();
+  BigInt<4> ref = BigInt<4>::Zero();
+  Fe25519 one = Fe25519::One();
+  for (int i = 0; i < 100; ++i) {
+    fe = Fe25519::Sub(fe, one);
+    ref = SubMod(ref, BigInt<4>::One(), Fe25519::P());
+  }
+  EXPECT_EQ(fe.ToBigInt(), ref);
+  EXPECT_EQ(fe.ToBigInt(), PMinus(100));
+}
+
+TEST(Fe25519EdgeTest, CanonicalEncodingOfBoundaryValues) {
+  // 2^255 - 20 = p - 1 is the largest canonical value.
+  auto bytes = Fe25519::FromBigInt(PMinus(1)).ToBytes();
+  EXPECT_EQ(bytes[0], 0xec);  // p-1 = ...ec in little-endian
+  EXPECT_EQ(bytes[31], 0x7f);
+  auto back = Fe25519::FromBytes(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ToBigInt(), PMinus(1));
+}
+
+TEST(Fe25519EdgeTest, SqrtEdgeCases) {
+  // sqrt(0) = 0, sqrt(1) = +/-1, sqrt(4) = +/-2.
+  auto zero_root = Fe25519::Zero().Sqrt();
+  ASSERT_TRUE(zero_root.has_value());
+  EXPECT_TRUE(zero_root->IsZero());
+  auto one_root = Fe25519::One().Sqrt();
+  ASSERT_TRUE(one_root.has_value());
+  EXPECT_TRUE(Fe25519::Square(*one_root) == Fe25519::One());
+  auto four_root = Fe25519::FromU64(4).Sqrt();
+  ASSERT_TRUE(four_root.has_value());
+  EXPECT_TRUE(*four_root == Fe25519::FromU64(2) || *four_root == Fe25519::Neg(Fe25519::FromU64(2)));
+}
+
+TEST(Fe25519EdgeTest, InvertOfOneAndMinusOne) {
+  EXPECT_EQ(Fe25519::One().Invert(), Fe25519::One());
+  Fe25519 minus_one = Fe25519::Neg(Fe25519::One());
+  EXPECT_EQ(minus_one.Invert(), minus_one);  // (-1)^-1 = -1
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,178 @@
+#include "src/group/ed25519_field.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/math/montgomery.h"
+#include "src/math/primality.h"
+
+namespace vdp {
+namespace {
+
+// Reference implementation: BigInt arithmetic mod p.
+const MontgomeryCtx<4>& RefCtx() {
+  static const MontgomeryCtx<4> ctx(Fe25519::P());
+  return ctx;
+}
+
+Fe25519 RandomFe(SecureRng& rng) {
+  return Fe25519::FromBigInt(RandomBelow(Fe25519::P(), rng));
+}
+
+TEST(Fe25519Test, PIsCorrect) {
+  // p = 2^255 - 19
+  BigInt<5> two255;
+  two255.SetBit(255);
+  BigInt<5> p5 = Fe25519::P().Resize<5>();
+  BigInt<5> diff;
+  BigInt<5>::SubInto(diff, two255, p5);
+  EXPECT_EQ(diff, BigInt<5>::FromU64(19));
+}
+
+TEST(Fe25519Test, ZeroOneBasics) {
+  EXPECT_TRUE(Fe25519::Zero().IsZero());
+  EXPECT_FALSE(Fe25519::One().IsZero());
+  EXPECT_EQ(Fe25519::One().ToBigInt(), BigInt<4>::One());
+}
+
+TEST(Fe25519Test, AddMatchesReference) {
+  SecureRng rng("fe-add");
+  for (int i = 0; i < 200; ++i) {
+    BigInt<4> a = RandomBelow(Fe25519::P(), rng);
+    BigInt<4> b = RandomBelow(Fe25519::P(), rng);
+    Fe25519 r = Fe25519::Add(Fe25519::FromBigInt(a), Fe25519::FromBigInt(b));
+    EXPECT_EQ(r.ToBigInt(), AddMod(a, b, Fe25519::P()));
+  }
+}
+
+TEST(Fe25519Test, SubMatchesReference) {
+  SecureRng rng("fe-sub");
+  for (int i = 0; i < 200; ++i) {
+    BigInt<4> a = RandomBelow(Fe25519::P(), rng);
+    BigInt<4> b = RandomBelow(Fe25519::P(), rng);
+    Fe25519 r = Fe25519::Sub(Fe25519::FromBigInt(a), Fe25519::FromBigInt(b));
+    EXPECT_EQ(r.ToBigInt(), SubMod(a, b, Fe25519::P()));
+  }
+}
+
+TEST(Fe25519Test, MulMatchesReference) {
+  SecureRng rng("fe-mul");
+  for (int i = 0; i < 200; ++i) {
+    BigInt<4> a = RandomBelow(Fe25519::P(), rng);
+    BigInt<4> b = RandomBelow(Fe25519::P(), rng);
+    Fe25519 r = Fe25519::Mul(Fe25519::FromBigInt(a), Fe25519::FromBigInt(b));
+    EXPECT_EQ(r.ToBigInt(), RefCtx().MulMod(a, b));
+  }
+}
+
+TEST(Fe25519Test, MulEdgeValues) {
+  // Values near p stress the final reduction.
+  BigInt<4> p_minus_1 = Fe25519::P();
+  BigInt<4>::SubInto(p_minus_1, p_minus_1, BigInt<4>::One());
+  Fe25519 m1 = Fe25519::FromBigInt(p_minus_1);
+  // (-1) * (-1) = 1
+  EXPECT_EQ(Fe25519::Mul(m1, m1).ToBigInt(), BigInt<4>::One());
+  // (-1) + 1 = 0
+  EXPECT_TRUE(Fe25519::Add(m1, Fe25519::One()).IsZero());
+}
+
+TEST(Fe25519Test, NegIsAdditiveInverse) {
+  SecureRng rng("fe-neg");
+  for (int i = 0; i < 50; ++i) {
+    Fe25519 a = RandomFe(rng);
+    EXPECT_TRUE(Fe25519::Add(a, Fe25519::Neg(a)).IsZero());
+  }
+}
+
+TEST(Fe25519Test, InvertIsMultiplicativeInverse) {
+  SecureRng rng("fe-inv");
+  for (int i = 0; i < 20; ++i) {
+    Fe25519 a = RandomFe(rng);
+    if (a.IsZero()) {
+      continue;
+    }
+    EXPECT_EQ(Fe25519::Mul(a, a.Invert()).ToBigInt(), BigInt<4>::One());
+  }
+}
+
+TEST(Fe25519Test, SqrtOfSquareRecoverValue) {
+  SecureRng rng("fe-sqrt");
+  for (int i = 0; i < 30; ++i) {
+    Fe25519 a = RandomFe(rng);
+    Fe25519 aa = Fe25519::Square(a);
+    auto root = aa.Sqrt();
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == Fe25519::Neg(a));
+  }
+}
+
+TEST(Fe25519Test, SqrtOfNonResidueFails) {
+  // Count failures over random values: about half of nonzero elements are
+  // non-residues, so we must see at least one failure in 40 draws.
+  SecureRng rng("fe-nonres");
+  int failures = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (!RandomFe(rng).Sqrt().has_value()) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0);
+}
+
+TEST(Fe25519Test, SqrtMinusOneExists) {
+  // p = 1 mod 4, so -1 is a quadratic residue.
+  auto root = Fe25519::Neg(Fe25519::One()).Sqrt();
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(Fe25519::Square(*root), Fe25519::Neg(Fe25519::One()));
+}
+
+TEST(Fe25519Test, EncodingRoundTrip) {
+  SecureRng rng("fe-bytes");
+  for (int i = 0; i < 100; ++i) {
+    Fe25519 a = RandomFe(rng);
+    auto bytes = a.ToBytes();
+    auto back = Fe25519::FromBytes(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+}
+
+TEST(Fe25519Test, FromBytesRejectsNonCanonical) {
+  // p itself encodes to 32 bytes with bit 255 clear but is not canonical.
+  Bytes p_le(32);
+  for (size_t i = 0; i < 32; ++i) {
+    p_le[i] = static_cast<uint8_t>(Fe25519::P().limb[i / 8] >> (8 * (i % 8)));
+  }
+  EXPECT_FALSE(Fe25519::FromBytes(p_le).has_value());
+  // All-ones with top bit set is rejected for the sign bit.
+  Bytes all_ones(32, 0xff);
+  EXPECT_FALSE(Fe25519::FromBytes(all_ones).has_value());
+  // Wrong length.
+  EXPECT_FALSE(Fe25519::FromBytes(Bytes(31, 0)).has_value());
+}
+
+TEST(Fe25519Test, IsNegativeIsParityOfCanonicalForm) {
+  EXPECT_FALSE(Fe25519::Zero().IsNegative());
+  EXPECT_TRUE(Fe25519::One().IsNegative());
+  EXPECT_FALSE(Fe25519::FromU64(2).IsNegative());
+  // -1 = p - 1 which is even.
+  EXPECT_FALSE(Fe25519::Neg(Fe25519::One()).IsNegative());
+}
+
+TEST(Fe25519Test, PowMatchesMontgomeryReference) {
+  SecureRng rng("fe-pow");
+  for (int i = 0; i < 10; ++i) {
+    BigInt<4> a = RandomBelow(Fe25519::P(), rng);
+    BigInt<4> e = RandomBelow(Fe25519::P(), rng);
+    Fe25519 r = Fe25519::Pow(Fe25519::FromBigInt(a), e);
+    EXPECT_EQ(r.ToBigInt(), RefCtx().ExpMod(a, e));
+  }
+}
+
+TEST(Fe25519Test, FromU64LargeValue) {
+  uint64_t big = ~uint64_t{0};
+  EXPECT_EQ(Fe25519::FromU64(big).ToBigInt(), BigInt<4>::FromU64(big));
+}
+
+}  // namespace
+}  // namespace vdp

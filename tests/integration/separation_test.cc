@@ -1,0 +1,132 @@
+// Executable companions to Section 5 (Theorem 5.2): information-theoretic
+// verifiable DP is impossible.
+//
+// The proof has two leg: (1) without one-way functions (commitments), two
+// parties cannot jointly sample an unbiased public coin -- a last mover
+// dictates the outcome; (2) commitments cannot be simultaneously
+// statistically binding and statistically hiding -- Pedersen commitments are
+// perfectly hiding, so a party knowing the trapdoor log_g(h) can equivocate.
+// Together: some computational assumption is necessary, and the soundness of
+// Pi_Bin is inherently computational.
+#include <gtest/gtest.h>
+
+#include "src/commit/pedersen.h"
+#include "src/morra/adversary.h"
+#include "src/sigma/or_proof.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+using S = G::Scalar;
+
+TEST(SeparationTest, LastMoverDictatesCommitmentFreeCoins) {
+  SecureRng rng("separation-bias");
+  // Whatever the target, the adversary forces every coin: bias = 1.
+  auto ones = RunCommitmentFreeMorra<G>(4, 50, /*adversary_last=*/true, true, rng);
+  auto zeros = RunCommitmentFreeMorra<G>(4, 50, /*adversary_last=*/true, false, rng);
+  size_t forced = 0;
+  for (bool c : ones.coins) {
+    forced += c ? 1 : 0;
+  }
+  for (bool c : zeros.coins) {
+    forced += c ? 0 : 1;
+  }
+  EXPECT_EQ(forced, 100u);  // complete control, exactly as Theorem 5.1 warns
+}
+
+TEST(SeparationTest, CommittedMorraReducesLastMoverToAbort) {
+  // With binding commitments the same adversary can only abort (detectably),
+  // never bias: the committed equivocation attempt is caught and attributed.
+  Pedersen<G> ped;
+  MorraParty<G> honest(SecureRng("honest"));
+  EquivocatingMorraParty<G> last_mover{SecureRng("last-mover")};
+  std::vector<MorraParty<G>*> parties = {&honest, &last_mover};
+  auto outcome = RunMorra(parties, 50, ped);
+  EXPECT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.cheater, 1u);
+  EXPECT_TRUE(outcome.coins.empty());
+}
+
+TEST(SeparationTest, PedersenIsEquivocableGivenTheTrapdoor) {
+  // Pedersen is *perfectly* hiding, so it cannot be statistically binding:
+  // with alpha = log_g(h), Com(x, r) = g^{x + alpha r} opens to any x'.
+  // This is the second leg of Theorem 5.2: an unbounded prover (one that can
+  // compute discrete logs) breaks soundness.
+  SecureRng rng("trapdoor");
+  S alpha = S::Random(rng);
+  if (alpha.IsZero()) {
+    alpha = S::One();
+  }
+  PedersenParams<G> trapdoored;
+  trapdoored.g = G::Generator();
+  trapdoored.h = G::ExpG(alpha);  // adversarially generated parameters
+  Pedersen<G> ped(trapdoored);
+
+  S x = S::FromU64(0);
+  S r = S::Random(rng);
+  auto c = ped.Commit(x, r);
+
+  // Equivocate to x' = 1: r' = r + (x - x') / alpha.
+  S x_prime = S::One();
+  S r_prime = r + (x - x_prime) * alpha.Inverse();
+  EXPECT_TRUE(ped.Verify(c, x, r));
+  EXPECT_TRUE(ped.Verify(c, x_prime, r_prime));  // binding broken
+  EXPECT_NE(x, x_prime);
+}
+
+TEST(SeparationTest, EquivocationDefeatsTheOrProof) {
+  // With the trapdoor, a commitment to 5 gets a *valid* OR proof: soundness
+  // of verifiable DP is computational, never statistical.
+  SecureRng rng("trapdoor-or");
+  S alpha = S::Random(rng);
+  if (alpha.IsZero()) {
+    alpha = S::One();
+  }
+  PedersenParams<G> trapdoored;
+  trapdoored.g = G::Generator();
+  trapdoored.h = G::ExpG(alpha);
+  Pedersen<G> ped(trapdoored);
+
+  S x = S::FromU64(5);  // clearly not a bit
+  S r = S::Random(rng);
+  auto c = ped.Commit(x, r);
+  // Equivocated opening to 1.
+  S r_prime = r + (x - S::One()) * alpha.Inverse();
+  auto proof = OrProve(ped, c, 1, r_prime, rng, "trapdoor");
+  EXPECT_TRUE(OrVerify(ped, c, proof, "trapdoor"));
+}
+
+TEST(SeparationTest, HashToGroupParametersResistTrivialTrapdoors) {
+  // The honest setup derives h by hashing into the group, so no participant
+  // knows log_g(h): the first 1000 powers of g do not hit h (smoke check;
+  // real assurance is the hash derivation itself).
+  Pedersen<G> ped;  // default = hash-derived h
+  auto acc = G::Identity();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(ped.params().h, acc);
+    acc = G::Mul(acc, ped.params().g);
+  }
+}
+
+TEST(SeparationTest, HidingIsPerfectOverRandomness) {
+  // For fixed x, Com(x, r) with uniform r is uniform over the whole group --
+  // spot-check that commitments to 0 and to 1 can collide across randomness:
+  // Com(0, r) == Com(1, r') when r' = r - 1/alpha (using a trapdoor to
+  // exhibit the collision explicitly).
+  SecureRng rng("perfect-hiding");
+  S alpha = S::Random(rng);
+  if (alpha.IsZero()) {
+    alpha = S::One();
+  }
+  PedersenParams<G> pp;
+  pp.g = G::Generator();
+  pp.h = G::ExpG(alpha);
+  Pedersen<G> ped(pp);
+  S r = S::Random(rng);
+  S r_prime = r - alpha.Inverse();
+  EXPECT_EQ(ped.Commit(S::Zero(), r), ped.Commit(S::One(), r_prime));
+}
+
+}  // namespace
+}  // namespace vdp

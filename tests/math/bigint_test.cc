@@ -1,0 +1,262 @@
+#include "src/math/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace vdp {
+namespace {
+
+using U128 = BigInt<2>;
+using U256 = BigInt<4>;
+
+template <size_t L>
+BigInt<L> RandomValue(SecureRng& rng) {
+  BigInt<L> v;
+  for (size_t i = 0; i < L; ++i) {
+    v.limb[i] = rng.NextU64();
+  }
+  return v;
+}
+
+TEST(BigIntTest, ZeroOneBasics) {
+  EXPECT_TRUE(U256::Zero().IsZero());
+  EXPECT_FALSE(U256::One().IsZero());
+  EXPECT_TRUE(U256::One().IsOdd());
+  EXPECT_FALSE(U256::FromU64(4).IsOdd());
+  EXPECT_EQ(U256::FromU64(123).limb[0], 123u);
+}
+
+TEST(BigIntTest, CompareOrdersLexicographically) {
+  U128 small = U128::FromU64(5);
+  U128 large;
+  large.limb[1] = 1;  // 2^64
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(small.Compare(small), 0);
+  EXPECT_TRUE(small <= small);
+  EXPECT_TRUE(small >= small);
+}
+
+TEST(BigIntTest, AddCarriesAcrossLimbs) {
+  U128 a;
+  a.limb[0] = ~uint64_t{0};
+  U128 r;
+  uint64_t carry = U128::AddInto(r, a, U128::One());
+  EXPECT_EQ(carry, 0u);
+  EXPECT_EQ(r.limb[0], 0u);
+  EXPECT_EQ(r.limb[1], 1u);
+}
+
+TEST(BigIntTest, AddOverflowSetsCarry) {
+  U128 max;
+  max.limb[0] = max.limb[1] = ~uint64_t{0};
+  U128 r;
+  uint64_t carry = U128::AddInto(r, max, U128::One());
+  EXPECT_EQ(carry, 1u);
+  EXPECT_TRUE(r.IsZero());
+}
+
+TEST(BigIntTest, SubBorrows) {
+  U128 r;
+  uint64_t borrow = U128::SubInto(r, U128::Zero(), U128::One());
+  EXPECT_EQ(borrow, 1u);
+  EXPECT_EQ(r.limb[0], ~uint64_t{0});
+  EXPECT_EQ(r.limb[1], ~uint64_t{0});
+}
+
+TEST(BigIntTest, AddSubRoundTrip) {
+  SecureRng rng("add-sub");
+  for (int i = 0; i < 200; ++i) {
+    U256 a = RandomValue<4>(rng);
+    U256 b = RandomValue<4>(rng);
+    U256 sum, back;
+    uint64_t carry = U256::AddInto(sum, a, b);
+    uint64_t borrow = U256::SubInto(back, sum, b);
+    // a + b - b == a modulo 2^256 regardless of carry.
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(BigIntTest, MulSmallValues) {
+  auto r = Mul(U128::FromU64(6), U128::FromU64(7));
+  EXPECT_EQ(r.limb[0], 42u);
+  EXPECT_TRUE(Mul(U128::Zero(), U128::FromU64(99)).IsZero());
+  auto id = Mul(U128::FromU64(12345), U128::One());
+  EXPECT_EQ(id.limb[0], 12345u);
+}
+
+TEST(BigIntTest, MulCrossLimb) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  U128 a;
+  a.limb[0] = ~uint64_t{0};
+  auto r = Mul(a, a);
+  EXPECT_EQ(r.limb[0], 1u);
+  EXPECT_EQ(r.limb[1], ~uint64_t{0} - 1);  // 0xffff...fffe
+  EXPECT_EQ(r.limb[2], 0u);
+}
+
+TEST(BigIntTest, MulCommutative) {
+  SecureRng rng("mul-comm");
+  for (int i = 0; i < 100; ++i) {
+    U256 a = RandomValue<4>(rng);
+    U256 b = RandomValue<4>(rng);
+    EXPECT_EQ(Mul(a, b), Mul(b, a));
+  }
+}
+
+TEST(BigIntTest, DivModSmall) {
+  auto r = DivMod(U128::FromU64(100), U128::FromU64(7));
+  EXPECT_EQ(r.quotient.limb[0], 14u);
+  EXPECT_EQ(r.remainder.limb[0], 2u);
+}
+
+TEST(BigIntTest, DivModByOne) {
+  U256 a = U256::FromU64(987654321);
+  auto r = DivMod(a, U256::One());
+  EXPECT_EQ(r.quotient, a);
+  EXPECT_TRUE(r.remainder.IsZero());
+}
+
+TEST(BigIntTest, DivModReconstructionProperty) {
+  SecureRng rng("divmod");
+  for (int i = 0; i < 200; ++i) {
+    BigInt<8> a = RandomValue<8>(rng);
+    U256 m = RandomValue<4>(rng);
+    if (m.IsZero()) {
+      m = U256::One();
+    }
+    auto r = DivMod(a, m);
+    EXPECT_LT(r.remainder, m);
+    // quotient * m + remainder == a  (computed in 12 limbs, no overflow).
+    auto prod = Mul(r.quotient, m);  // 12 limbs
+    BigInt<12> rem12 = r.remainder.Resize<12>();
+    BigInt<12> sum;
+    BigInt<12>::AddInto(sum, prod, rem12);
+    EXPECT_EQ(sum, a.Resize<12>());
+  }
+}
+
+TEST(BigIntTest, DivModWideDivisor) {
+  // Divisor wider than the dividend's value.
+  U256 big;
+  big.limb[3] = 77;
+  auto r = DivMod(U128::FromU64(42).Resize<4>(), big);
+  EXPECT_TRUE(r.quotient.IsZero());
+  EXPECT_EQ(r.remainder.limb[0], 42u);
+}
+
+TEST(BigIntTest, ShiftLeftRightRoundTrip) {
+  SecureRng rng("shift");
+  U256 v = RandomValue<4>(rng);
+  v.limb[3] &= ~uint64_t{0} >> 1;  // clear the top bit so nothing falls off
+  U256 u = v;
+  uint64_t out = u.ShiftLeft1();
+  EXPECT_EQ(out, 0u);
+  u.ShiftRight1();
+  EXPECT_EQ(u, v);
+}
+
+TEST(BigIntTest, ShiftLeftCarriesTopBit) {
+  U128 v;
+  v.limb[1] = uint64_t{1} << 63;
+  EXPECT_EQ(v.ShiftLeft1(), 1u);
+  EXPECT_TRUE(v.IsZero());
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(U256::Zero().BitLength(), 0u);
+  EXPECT_EQ(U256::One().BitLength(), 1u);
+  EXPECT_EQ(U256::FromU64(255).BitLength(), 8u);
+  EXPECT_EQ(U256::FromU64(256).BitLength(), 9u);
+  U256 big;
+  big.limb[3] = 1;
+  EXPECT_EQ(big.BitLength(), 193u);
+}
+
+TEST(BigIntTest, BitAccess) {
+  U256 v = U256::FromU64(0b1010);
+  EXPECT_FALSE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(2));
+  EXPECT_TRUE(v.Bit(3));
+  v.SetBit(100);
+  EXPECT_TRUE(v.Bit(100));
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  SecureRng rng("hex");
+  for (int i = 0; i < 50; ++i) {
+    U256 v = RandomValue<4>(rng);
+    auto parsed = U256::FromHex(v.ToHex());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(BigIntTest, FromHexValues) {
+  auto v = U128::FromHex("ff");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->limb[0], 255u);
+  auto odd = U128::FromHex("f");  // odd length accepted
+  ASSERT_TRUE(odd.has_value());
+  EXPECT_EQ(odd->limb[0], 15u);
+  EXPECT_FALSE(U128::FromHex("xyz").has_value());
+}
+
+TEST(BigIntTest, BytesRoundTripAndWidth) {
+  U128 v = U128::FromU64(0x0102030405060708ull);
+  Bytes b = v.ToBytesBe();
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_EQ(b[15], 0x08);
+  EXPECT_EQ(b[8], 0x01);
+  auto back = U128::FromBytesBe(b);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, v);
+}
+
+TEST(BigIntTest, FromBytesOversizedZeroPaddingAccepted) {
+  Bytes padded(20, 0);
+  padded[19] = 9;
+  auto v = U128::FromBytesBe(padded);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->limb[0], 9u);
+}
+
+TEST(BigIntTest, FromBytesOversizedNonzeroRejected) {
+  Bytes padded(20, 0);
+  padded[0] = 1;
+  EXPECT_FALSE(U128::FromBytesBe(padded).has_value());
+}
+
+TEST(BigIntTest, ModularOpsMatchDefinition) {
+  SecureRng rng("modops");
+  for (int i = 0; i < 100; ++i) {
+    U256 m = RandomValue<4>(rng);
+    m.limb[3] |= uint64_t{1} << 63;  // keep m large
+    U256 a = Mod(RandomValue<4>(rng), m);
+    U256 b = Mod(RandomValue<4>(rng), m);
+
+    U256 sum = AddMod(a, b, m);
+    EXPECT_LT(sum, m);
+    // (a + b) - b == a
+    EXPECT_EQ(SubMod(sum, b, m), a);
+
+    U256 prod = MulMod(a, b, m);
+    EXPECT_LT(prod, m);
+    EXPECT_EQ(prod, MulMod(b, a, m));
+  }
+}
+
+TEST(BigIntTest, ResizeWidensAndTruncates) {
+  U128 v = U128::FromU64(42);
+  auto wide = v.Resize<4>();
+  EXPECT_EQ(wide.limb[0], 42u);
+  EXPECT_EQ(wide.limb[3], 0u);
+  auto narrow = wide.Resize<2>();
+  EXPECT_EQ(narrow, v);
+}
+
+}  // namespace
+}  // namespace vdp

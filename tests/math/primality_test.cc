@@ -1,0 +1,92 @@
+#include "src/math/primality.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+using U64 = BigInt<1>;
+using U128 = BigInt<2>;
+
+TEST(PrimalityTest, SmallPrimes) {
+  SecureRng rng("small-primes");
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 97ull, 101ull, 7919ull}) {
+    EXPECT_TRUE(IsProbablePrime(U64::FromU64(p), 20, rng)) << p;
+  }
+}
+
+TEST(PrimalityTest, SmallComposites) {
+  SecureRng rng("small-composites");
+  for (uint64_t c : {0ull, 1ull, 4ull, 9ull, 15ull, 100ull, 7917ull}) {
+    EXPECT_FALSE(IsProbablePrime(U64::FromU64(c), 20, rng)) << c;
+  }
+}
+
+TEST(PrimalityTest, CarmichaelNumbersRejected) {
+  SecureRng rng("carmichael");
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  for (uint64_t c : {561ull, 1105ull, 1729ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(IsProbablePrime(U64::FromU64(c), 20, rng)) << c;
+  }
+}
+
+TEST(PrimalityTest, LargePrimes) {
+  SecureRng rng("large-primes");
+  // 2^61 - 1 is a Mersenne prime; 1000003 is prime.
+  EXPECT_TRUE(IsProbablePrime(U64::FromU64(2305843009213693951ull), 20, rng));
+  EXPECT_TRUE(IsProbablePrime(U64::FromU64(1000003), 20, rng));
+  // 2^61 - 1 squared-ish composite.
+  EXPECT_FALSE(IsProbablePrime(U64::FromU64(2305843009213693951ull - 1), 20, rng));
+}
+
+TEST(PrimalityTest, ProductOfPrimesIsComposite) {
+  SecureRng rng("product");
+  uint64_t p = 1000003, q = 1000033;
+  EXPECT_FALSE(IsProbablePrime(U64::FromU64(p * q), 20, rng));
+}
+
+TEST(PrimalityTest, SafePrimes) {
+  SecureRng rng("safe");
+  // p = 2q+1 with q prime: 5 (q=2), 7 (q=3), 11 (q=5), 23 (q=11), 47, 59, 83.
+  for (uint64_t p : {5ull, 7ull, 11ull, 23ull, 47ull, 59ull, 83ull}) {
+    EXPECT_TRUE(IsSafePrime(U64::FromU64(p), 20, rng)) << p;
+  }
+  // Primes that are not safe: 13 (q=6), 17 (q=8), 29 (q=14), 97.
+  for (uint64_t p : {13ull, 17ull, 29ull, 97ull}) {
+    EXPECT_FALSE(IsSafePrime(U64::FromU64(p), 20, rng)) << p;
+  }
+}
+
+TEST(PrimalityTest, GenerateSafePrime64) {
+  SecureRng rng("gen-64");
+  U128 p = GenerateSafePrime<2>(64, rng);
+  EXPECT_EQ(p.BitLength(), 64u);
+  EXPECT_TRUE(IsSafePrime(p, 30, rng));
+}
+
+TEST(PrimalityTest, GenerateSafePrime96) {
+  SecureRng rng("gen-96");
+  U128 p = GenerateSafePrime<2>(96, rng);
+  EXPECT_EQ(p.BitLength(), 96u);
+  EXPECT_TRUE(IsSafePrime(p, 30, rng));
+}
+
+TEST(PrimalityTest, RandomBelowIsInRange) {
+  SecureRng rng("below");
+  U128 bound = U128::FromU64(1000);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(RandomBelow(bound, rng), bound);
+  }
+}
+
+TEST(PrimalityTest, RandomBelowNonTrivialBitBounds) {
+  SecureRng rng("below-bits");
+  U128 bound;
+  bound.limb[1] = 0x5;  // not a power of two, crosses limb boundary
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(RandomBelow(bound, rng), bound);
+  }
+}
+
+}  // namespace
+}  // namespace vdp

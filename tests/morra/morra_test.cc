@@ -1,0 +1,119 @@
+#include "src/morra/morra.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+
+std::vector<std::unique_ptr<MorraParty<G>>> HonestParties(size_t k, const std::string& seed) {
+  std::vector<std::unique_ptr<MorraParty<G>>> parties;
+  for (size_t i = 0; i < k; ++i) {
+    parties.push_back(std::make_unique<MorraParty<G>>(SecureRng(seed + std::to_string(i))));
+  }
+  return parties;
+}
+
+std::vector<MorraParty<G>*> Raw(const std::vector<std::unique_ptr<MorraParty<G>>>& owned) {
+  std::vector<MorraParty<G>*> raw;
+  for (const auto& p : owned) {
+    raw.push_back(p.get());
+  }
+  return raw;
+}
+
+TEST(MorraTest, HonestRunProducesCoins) {
+  Pedersen<G> ped;
+  auto owned = HonestParties(3, "morra-honest");
+  auto parties = Raw(owned);
+  auto outcome = RunMorra(parties, 64, ped);
+  EXPECT_FALSE(outcome.aborted);
+  EXPECT_EQ(outcome.cheater, kNoCheater);
+  EXPECT_EQ(outcome.coins.size(), 64u);
+}
+
+TEST(MorraTest, TwoPartyRunWorks) {
+  Pedersen<G> ped;
+  auto owned = HonestParties(2, "morra-2p");
+  auto parties = Raw(owned);
+  auto outcome = RunMorra(parties, 16, ped);
+  EXPECT_FALSE(outcome.aborted);
+  EXPECT_EQ(outcome.coins.size(), 16u);
+}
+
+TEST(MorraTest, CoinsAreBalanced) {
+  Pedersen<G> ped;
+  auto owned = HonestParties(2, "morra-balance");
+  auto parties = Raw(owned);
+  constexpr size_t kCoins = 2000;
+  auto outcome = RunMorra(parties, kCoins, ped);
+  ASSERT_FALSE(outcome.aborted);
+  size_t ones = 0;
+  for (bool c : outcome.coins) {
+    ones += c ? 1 : 0;
+  }
+  double sigma = std::sqrt(kCoins * 0.25);
+  EXPECT_NEAR(static_cast<double>(ones), kCoins / 2.0, 5 * sigma);
+}
+
+TEST(MorraTest, DifferentSeedsDifferentCoins) {
+  Pedersen<G> ped;
+  auto o1 = HonestParties(2, "morra-a");
+  auto p1 = Raw(o1);
+  auto o2 = HonestParties(2, "morra-b");
+  auto p2 = Raw(o2);
+  auto r1 = RunMorra(p1, 128, ped);
+  auto r2 = RunMorra(p2, 128, ped);
+  EXPECT_NE(r1.coins, r2.coins);
+}
+
+TEST(MorraTest, DeterministicGivenSeeds) {
+  Pedersen<G> ped;
+  auto o1 = HonestParties(2, "morra-det");
+  auto p1 = Raw(o1);
+  auto o2 = HonestParties(2, "morra-det");
+  auto p2 = Raw(o2);
+  EXPECT_EQ(RunMorra(p1, 64, ped).coins, RunMorra(p2, 64, ped).coins);
+}
+
+TEST(SeedMorraTest, HonestRunProducesBalancedCoins) {
+  std::vector<SeedMorraParty> parties;
+  parties.push_back(SeedMorraParty{SecureRng("seed-a"), false, false});
+  parties.push_back(SeedMorraParty{SecureRng("seed-b"), false, false});
+  parties.push_back(SeedMorraParty{SecureRng("seed-c"), false, false});
+  constexpr size_t kCoins = 4096;
+  auto outcome = RunSeedMorra(parties, kCoins);
+  ASSERT_FALSE(outcome.aborted);
+  ASSERT_EQ(outcome.coins.size(), kCoins);
+  size_t ones = 0;
+  for (bool c : outcome.coins) {
+    ones += c ? 1 : 0;
+  }
+  double sigma = std::sqrt(kCoins * 0.25);
+  EXPECT_NEAR(static_cast<double>(ones), kCoins / 2.0, 5 * sigma);
+}
+
+TEST(SeedMorraTest, AbortDetected) {
+  std::vector<SeedMorraParty> parties;
+  parties.push_back(SeedMorraParty{SecureRng("sa"), false, false});
+  parties.push_back(SeedMorraParty{SecureRng("sb"), true, false});  // aborts
+  auto outcome = RunSeedMorra(parties, 64);
+  EXPECT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.cheater, 1u);
+}
+
+TEST(SeedMorraTest, EquivocationDetected) {
+  std::vector<SeedMorraParty> parties;
+  parties.push_back(SeedMorraParty{SecureRng("sa"), false, true});  // swaps seed
+  parties.push_back(SeedMorraParty{SecureRng("sb"), false, false});
+  auto outcome = RunSeedMorra(parties, 64);
+  EXPECT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.cheater, 0u);
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,71 @@
+#include "src/share/additive.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+using S = ModP256::Scalar;
+
+TEST(AdditiveShareTest, ReconstructRecoversSecret) {
+  SecureRng rng("add-rt");
+  for (size_t k : {1u, 2u, 3u, 5u, 10u}) {
+    S secret = S::Random(rng);
+    auto shares = ShareAdditive(secret, k, rng);
+    EXPECT_EQ(shares.size(), k);
+    EXPECT_EQ(ReconstructAdditive<S>(shares), secret) << "k=" << k;
+  }
+}
+
+TEST(AdditiveShareTest, SingleShareIsSecret) {
+  SecureRng rng("add-one");
+  S secret = S::FromU64(42);
+  auto shares = ShareAdditive(secret, 1, rng);
+  EXPECT_EQ(shares[0], secret);
+}
+
+TEST(AdditiveShareTest, SharesLookRandom) {
+  // Individual shares of fixed secrets must differ across sharings.
+  SecureRng rng("add-rand");
+  S secret = S::FromU64(7);
+  auto s1 = ShareAdditive(secret, 3, rng);
+  auto s2 = ShareAdditive(secret, 3, rng);
+  EXPECT_NE(s1[0], s2[0]);
+  EXPECT_NE(s1[1], s2[1]);
+}
+
+TEST(AdditiveShareTest, ShareOfZeroAndOneDiffer) {
+  // A single share carries no information: shares of 0 and 1 are identically
+  // distributed. Smoke-check: first shares from independent sharings collide
+  // with negligible probability, regardless of secret.
+  SecureRng rng("add-hide");
+  auto zero_shares = ShareAdditive(S::Zero(), 2, rng);
+  auto one_shares = ShareAdditive(S::One(), 2, rng);
+  EXPECT_NE(zero_shares[0], one_shares[0]);  // both uniform, independent
+}
+
+TEST(AdditiveShareTest, LinearityOfSharing) {
+  // Share-wise sum of sharings reconstructs to the sum of secrets -- the
+  // property MPC aggregation relies on.
+  SecureRng rng("add-lin");
+  S a = S::Random(rng);
+  S b = S::Random(rng);
+  auto sa = ShareAdditive(a, 4, rng);
+  auto sb = ShareAdditive(b, 4, rng);
+  std::vector<S> sum_shares;
+  for (size_t i = 0; i < 4; ++i) {
+    sum_shares.push_back(sa[i] + sb[i]);
+  }
+  EXPECT_EQ(ReconstructAdditive<S>(sum_shares), a + b);
+}
+
+TEST(AdditiveShareTest, TamperedShareChangesSecret) {
+  SecureRng rng("add-tamper");
+  S secret = S::Random(rng);
+  auto shares = ShareAdditive(secret, 3, rng);
+  shares[1] += S::One();
+  EXPECT_NE(ReconstructAdditive<S>(shares), secret);
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,101 @@
+#include "src/sigma/schnorr.h"
+
+#include <gtest/gtest.h>
+
+namespace vdp {
+namespace {
+
+template <typename G>
+class SchnorrTest : public ::testing::Test {};
+
+using GroupTypes = ::testing::Types<ModP256, Ed25519Group>;
+TYPED_TEST_SUITE(SchnorrTest, GroupTypes);
+
+TYPED_TEST(SchnorrTest, Completeness) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  SecureRng rng("schnorr-c-" + G::Name());
+  S w = S::Random(rng);
+  auto y = G::ExpG(w);
+  Transcript tp("test");
+  auto proof = SchnorrProve<G>(G::Generator(), y, w, tp, rng);
+  Transcript tv("test");
+  EXPECT_TRUE(SchnorrVerify<G>(G::Generator(), y, proof, tv));
+}
+
+TYPED_TEST(SchnorrTest, WrongWitnessFails) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  SecureRng rng("schnorr-w-" + G::Name());
+  S w = S::Random(rng);
+  auto y = G::ExpG(w);
+  Transcript tp("test");
+  auto proof = SchnorrProve<G>(G::Generator(), y, w + S::One(), tp, rng);
+  Transcript tv("test");
+  EXPECT_FALSE(SchnorrVerify<G>(G::Generator(), y, proof, tv));
+}
+
+TYPED_TEST(SchnorrTest, TranscriptMismatchFails) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  SecureRng rng("schnorr-t-" + G::Name());
+  S w = S::Random(rng);
+  auto y = G::ExpG(w);
+  Transcript tp("session-1");
+  auto proof = SchnorrProve<G>(G::Generator(), y, w, tp, rng);
+  Transcript tv("session-2");
+  EXPECT_FALSE(SchnorrVerify<G>(G::Generator(), y, proof, tv));
+}
+
+TYPED_TEST(SchnorrTest, TamperedResponseFails) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  SecureRng rng("schnorr-z-" + G::Name());
+  S w = S::Random(rng);
+  auto y = G::ExpG(w);
+  Transcript tp("test");
+  auto proof = SchnorrProve<G>(G::Generator(), y, w, tp, rng);
+  proof.response = proof.response + S::One();
+  Transcript tv("test");
+  EXPECT_FALSE(SchnorrVerify<G>(G::Generator(), y, proof, tv));
+}
+
+TYPED_TEST(SchnorrTest, DifferentBaseWorks) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  SecureRng rng("schnorr-b-" + G::Name());
+  auto base = G::HashToGroup(StrView("test"), StrView("alt-base"));
+  S w = S::Random(rng);
+  auto y = G::Exp(base, w);
+  Transcript tp("test");
+  auto proof = SchnorrProve<G>(base, y, w, tp, rng);
+  Transcript tv("test");
+  EXPECT_TRUE(SchnorrVerify<G>(base, y, proof, tv));
+  // Same proof against the standard generator must fail.
+  Transcript tv2("test");
+  EXPECT_FALSE(SchnorrVerify<G>(G::Generator(), y, proof, tv2));
+}
+
+TYPED_TEST(SchnorrTest, SerializationRoundTrip) {
+  using G = TypeParam;
+  using S = typename G::Scalar;
+  SecureRng rng("schnorr-s-" + G::Name());
+  S w = S::Random(rng);
+  auto y = G::ExpG(w);
+  Transcript tp("test");
+  auto proof = SchnorrProve<G>(G::Generator(), y, w, tp, rng);
+  auto bytes = proof.Serialize();
+  auto parsed = SchnorrProof<G>::Deserialize(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  Transcript tv("test");
+  EXPECT_TRUE(SchnorrVerify<G>(G::Generator(), y, *parsed, tv));
+}
+
+TYPED_TEST(SchnorrTest, DeserializeRejectsGarbage) {
+  using G = TypeParam;
+  EXPECT_FALSE(SchnorrProof<G>::Deserialize(Bytes{1, 2, 3}).has_value());
+  EXPECT_FALSE(SchnorrProof<G>::Deserialize(Bytes{}).has_value());
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,92 @@
+#include "src/sigma/transcript.h"
+
+#include <gtest/gtest.h>
+
+#include "src/group/modp_group.h"
+
+namespace vdp {
+namespace {
+
+Bytes DigestBytes(const Sha256::Digest& d) {
+  return Bytes(d.begin(), d.end());
+}
+
+TEST(TranscriptTest, DeterministicReplay) {
+  Transcript a("proto");
+  Transcript b("proto");
+  a.Append("m", ToBytes("hello"));
+  b.Append("m", ToBytes("hello"));
+  EXPECT_EQ(DigestBytes(a.ChallengeBytes("e")), DigestBytes(b.ChallengeBytes("e")));
+}
+
+TEST(TranscriptTest, ProtocolLabelSeparates) {
+  Transcript a("proto-a");
+  Transcript b("proto-b");
+  a.Append("m", ToBytes("x"));
+  b.Append("m", ToBytes("x"));
+  EXPECT_NE(DigestBytes(a.ChallengeBytes("e")), DigestBytes(b.ChallengeBytes("e")));
+}
+
+TEST(TranscriptTest, MessageContentMatters) {
+  Transcript a("p");
+  Transcript b("p");
+  a.Append("m", ToBytes("x"));
+  b.Append("m", ToBytes("y"));
+  EXPECT_NE(DigestBytes(a.ChallengeBytes("e")), DigestBytes(b.ChallengeBytes("e")));
+}
+
+TEST(TranscriptTest, MessageLabelMatters) {
+  Transcript a("p");
+  Transcript b("p");
+  a.Append("m1", ToBytes("x"));
+  b.Append("m2", ToBytes("x"));
+  EXPECT_NE(DigestBytes(a.ChallengeBytes("e")), DigestBytes(b.ChallengeBytes("e")));
+}
+
+TEST(TranscriptTest, OrderMatters) {
+  Transcript a("p");
+  Transcript b("p");
+  a.Append("m", ToBytes("x"));
+  a.Append("m", ToBytes("y"));
+  b.Append("m", ToBytes("y"));
+  b.Append("m", ToBytes("x"));
+  EXPECT_NE(DigestBytes(a.ChallengeBytes("e")), DigestBytes(b.ChallengeBytes("e")));
+}
+
+TEST(TranscriptTest, ChallengesAreChained) {
+  Transcript a("p");
+  a.Append("m", ToBytes("x"));
+  auto e1 = a.ChallengeBytes("e");
+  auto e2 = a.ChallengeBytes("e");
+  EXPECT_NE(DigestBytes(e1), DigestBytes(e2));
+}
+
+TEST(TranscriptTest, LaterChallengeDependsOnEarlierAppend) {
+  Transcript a("p");
+  Transcript b("p");
+  a.Append("m", ToBytes("x"));
+  b.Append("m", ToBytes("x"));
+  (void)a.ChallengeBytes("e1");
+  (void)b.ChallengeBytes("e1");
+  a.Append("n", ToBytes("1"));
+  b.Append("n", ToBytes("2"));
+  EXPECT_NE(DigestBytes(a.ChallengeBytes("e2")), DigestBytes(b.ChallengeBytes("e2")));
+}
+
+TEST(TranscriptTest, ChallengeScalarIsReduced) {
+  Transcript a("p");
+  a.Append("m", ToBytes("x"));
+  auto s = a.ChallengeScalar<ModP256::Scalar>("e");
+  EXPECT_LT(s.value(), ModP256::Scalar::Order());
+}
+
+TEST(TranscriptTest, AppendU64Differs) {
+  Transcript a("p");
+  Transcript b("p");
+  a.AppendU64("n", 1);
+  b.AppendU64("n", 2);
+  EXPECT_NE(DigestBytes(a.ChallengeBytes("e")), DigestBytes(b.ChallengeBytes("e")));
+}
+
+}  // namespace
+}  // namespace vdp
