@@ -8,11 +8,15 @@
 //     (malicious-server-proof, but public-key crypto: O(M) exponentiations).
 // Both grow linearly in M; the gap is the "cost of robustness" the paper
 // estimates at about an order of magnitude on its Rust/M1 stack.
+// Additionally compares per-proof vs batched (random-linear-combination, one
+// multi-scalar multiplication) verification of client OR proofs and emits the
+// machine-readable BENCH_batch_verify.json for the perf trajectory.
 #include <cstdio>
 
 #include "src/baseline/prio_sketch.h"
 #include "src/common/timer.h"
 #include "src/core/client.h"
+#include "src/core/verifier.h"
 
 namespace {
 
@@ -74,6 +78,82 @@ Point Measure(size_t dims, size_t reps, const vdp::Pedersen<G>& ped, vdp::Secure
   return p;
 }
 
+struct BatchPoint {
+  size_t n_proofs;
+  double per_proof_ms;
+  double batched_ms;
+
+  double Speedup() const { return per_proof_ms / batched_ms; }
+};
+
+// Per-proof vs batched verification of n single-bin client uploads (one OR
+// proof each), via the same PublicVerifier entry point the protocol uses.
+BatchPoint MeasureBatchVerify(size_t n, const vdp::Pedersen<G>& ped, vdp::SecureRng& rng) {
+  vdp::ProtocolConfig config;
+  config.epsilon = 1.0;
+  config.num_provers = 1;
+  config.num_bins = 1;
+  config.session_id = "bench-batch-verify";
+
+  std::vector<vdp::ClientUploadMsg<G>> uploads;
+  uploads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uploads.push_back(vdp::MakeClientBundle<G>(i % 2, i, config, ped, rng).upload);
+  }
+
+  BatchPoint p{};
+  p.n_proofs = n;
+  vdp::Stopwatch timer;
+
+  vdp::PublicVerifier<G> per_proof_verifier(config, ped);
+  timer.Reset();
+  size_t accepted = per_proof_verifier.ValidateClients(uploads).size();
+  p.per_proof_ms = timer.ElapsedMillis();
+
+  config.batch_verify = true;
+  vdp::PublicVerifier<G> batch_verifier(config, ped);
+  timer.Reset();
+  size_t batch_accepted = batch_verifier.ValidateClients(uploads).size();
+  p.batched_ms = timer.ElapsedMillis();
+
+  if (accepted != n || batch_accepted != n) {
+    std::fprintf(stderr, "FATAL: verifier rejected honest clients (%zu/%zu vs %zu/%zu)\n",
+                 accepted, n, batch_accepted, n);
+    std::exit(1);
+  }
+  return p;
+}
+
+void WriteBatchJson(const std::vector<BatchPoint>& points) {
+  FILE* f = std::fopen("BENCH_batch_verify.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write BENCH_batch_verify.json\n");
+    return;
+  }
+  const BatchPoint& headline = points.back();
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"batch_verify\",\n");
+  std::fprintf(f, "  \"group\": \"%s\",\n", G::Name().c_str());
+  std::fprintf(f, "  \"proof_system\": \"sigma-or\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const BatchPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"n_proofs\": %zu, \"per_proof_ms\": %.3f, \"batched_ms\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 p.n_proofs, p.per_proof_ms, p.batched_ms, p.Speedup(),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"acceptance\": {\"n_proofs\": %zu, \"speedup\": %.3f, "
+               "\"meets_3x\": %s}\n",
+               headline.n_proofs, headline.Speedup(),
+               headline.Speedup() >= 3.0 ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_batch_verify.json\n");
+}
+
 }  // namespace
 
 int main() {
@@ -92,6 +172,17 @@ int main() {
                 p.sigma_server_ms, p.sketch_client_ms, p.sketch_server_ms,
                 p.sigma_server_ms / std::max(p.sketch_server_ms, 1e-6));
   }
+
+  std::printf("\nBatch verification: per-proof vs RLC-batched (one MSM), single-bin clients\n");
+  std::printf("%8s | %14s %14s | %8s\n", "N", "per-proof (ms)", "batched (ms)", "speedup");
+  std::vector<BatchPoint> points;
+  for (size_t n : {256u, 1024u, 4096u}) {
+    points.push_back(MeasureBatchVerify(n, ped, rng));
+    const BatchPoint& p = points.back();
+    std::printf("%8zu | %14.1f %14.1f | %7.2fx\n", p.n_proofs, p.per_proof_ms, p.batched_ms,
+                p.Speedup());
+  }
+  WriteBatchJson(points);
 
   std::printf("\nshape: both families are linear in M; the Sigma-OR path pays a constant\n");
   std::printf("factor for malicious-server robustness (public-key ops per coordinate).\n");

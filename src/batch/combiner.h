@@ -1,0 +1,46 @@
+// Random-linear-combination combiner sampling for batch verification.
+//
+// A batch verifier multiplies the N per-proof verification equations together
+// after raising equation i to a random combiner gamma_i. If any single
+// equation fails, the combined equation holds only if the combiners land in a
+// single residue class mod the (prime) group order, which a 128-bit uniform
+// combiner does with probability 2^-128. The combiners are derived by forking
+// a SecureRng from a Fiat-Shamir transcript over the full batch, so a prover
+// cannot choose proofs as a function of the combiners, and verification stays
+// deterministic (auditable) for a fixed batch.
+#ifndef SRC_BATCH_COMBINER_H_
+#define SRC_BATCH_COMBINER_H_
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/sigma/transcript.h"
+
+namespace vdp {
+
+// Derives the combiner generator from everything absorbed into `transcript`.
+inline SecureRng ForkCombinerRng(Transcript& transcript) {
+  Sha256::Digest digest = transcript.ChallengeBytes("batch/combiner-seed");
+  static_assert(sizeof(Sha256::Digest) == SecureRng::kSeedSize);
+  SecureRng::Seed seed;
+  std::copy(digest.begin(), digest.end(), seed.begin());
+  return SecureRng(seed);
+}
+
+// A nonzero 128-bit combiner. Keeping combiners short (rather than full
+// group-order width) halves the MSM work for the terms they multiply while
+// keeping the failure probability at 2^-128.
+template <typename S>
+S SampleCombiner(SecureRng& rng) {
+  for (;;) {
+    Bytes bytes = rng.RandomBytes(16);
+    S s = S::FromBytesWide(BytesView(bytes.data(), bytes.size()));
+    if (!s.IsZero()) {
+      return s;
+    }
+  }
+}
+
+}  // namespace vdp
+
+#endif  // SRC_BATCH_COMBINER_H_

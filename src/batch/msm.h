@@ -1,0 +1,332 @@
+// Multi-scalar multiplication (MSM): computes prod_i bases[i]^scalars[i] over
+// any PrimeOrderGroup, far faster than folding independent exponentiations.
+//
+// This is the engine of the batch-verification subsystem: random-linear-
+// combination batch verifiers (batch_schnorr.h, batch_or_proof.h) reduce N
+// sigma-protocol checks to a couple of MSMs. Three algorithms:
+//   - MsmNaive: fold of G::Exp, the correctness oracle for tests,
+//   - windowed-NAF Straus (small batches): a shared double-and-add chain over
+//     per-point signed-digit tables, with negative digits collected in a
+//     second accumulator so the whole batch costs one group inversion,
+//   - Pippenger (large batches): bucket accumulation per w-bit window; cost
+//     per term drops to ~bits/w group operations as the batch grows.
+// Msm() dispatches on batch size and optionally shards across a ThreadPool
+// (chunked, one partial MSM per chunk; partials combine with one Mul each).
+#ifndef SRC_BATCH_MSM_H_
+#define SRC_BATCH_MSM_H_
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/group/group.h"
+
+namespace vdp {
+
+namespace msm_internal {
+
+// Scalars reach the MSM as their canonical big-endian encoding; digit and NAF
+// extraction work on little-endian 64-bit limbs with one headroom limb (the
+// wNAF recoding can carry one position past the top bit).
+inline std::vector<uint64_t> ToLimbs(const Bytes& big_endian) {
+  std::vector<uint64_t> limbs(big_endian.size() / 8 + 2, 0);
+  size_t n = big_endian.size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t bit = (n - 1 - i) * 8;
+    limbs[bit / 64] |= static_cast<uint64_t>(big_endian[i]) << (bit % 64);
+  }
+  return limbs;
+}
+
+inline size_t LimbsBitLength(const std::vector<uint64_t>& v) {
+  for (size_t i = v.size(); i-- > 0;) {
+    if (v[i] != 0) {
+      return i * 64 + (64 - static_cast<size_t>(__builtin_clzll(v[i])));
+    }
+  }
+  return 0;
+}
+
+inline bool LimbsZero(const std::vector<uint64_t>& v) {
+  for (uint64_t w : v) {
+    if (w != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline void LimbsShr1(std::vector<uint64_t>& v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    uint64_t high = (i + 1 < v.size()) ? (v[i + 1] << 63) : 0;
+    v[i] = (v[i] >> 1) | high;
+  }
+}
+
+inline void LimbsAddSmall(std::vector<uint64_t>& v, uint64_t x) {
+  for (size_t i = 0; i < v.size() && x != 0; ++i) {
+    uint64_t old = v[i];
+    v[i] += x;
+    x = (v[i] < old) ? 1 : 0;
+  }
+}
+
+// Requires v >= x (always true here: x is the low bits just masked off).
+inline void LimbsSubSmall(std::vector<uint64_t>& v, uint64_t x) {
+  for (size_t i = 0; i < v.size() && x != 0; ++i) {
+    uint64_t old = v[i];
+    v[i] -= x;
+    x = (v[i] > old) ? 1 : 0;
+  }
+}
+
+// Window-w non-adjacent form: odd digits in (-2^{w-1}, 2^{w-1}), any two
+// nonzero digits at least w positions apart. digits[j] weights 2^j.
+inline std::vector<int> ComputeWnaf(std::vector<uint64_t> v, size_t w) {
+  std::vector<int> digits;
+  const uint64_t full = uint64_t{1} << w;
+  const uint64_t half = full >> 1;
+  while (!LimbsZero(v)) {
+    int d = 0;
+    if ((v[0] & 1) != 0) {
+      uint64_t low = v[0] & (full - 1);
+      if (low >= half) {
+        d = static_cast<int>(low) - static_cast<int>(full);
+        LimbsAddSmall(v, full - low);
+      } else {
+        d = static_cast<int>(low);
+        LimbsSubSmall(v, low);
+      }
+    }
+    digits.push_back(d);
+    LimbsShr1(v);
+  }
+  return digits;
+}
+
+// The w-bit digit of v starting at bit position `bit`.
+inline uint64_t DigitAt(const std::vector<uint64_t>& v, size_t bit, size_t w) {
+  size_t word = bit / 64;
+  size_t off = bit % 64;
+  if (word >= v.size()) {
+    return 0;
+  }
+  uint64_t d = v[word] >> off;
+  if (off + w > 64 && word + 1 < v.size()) {
+    d |= v[word + 1] << (64 - off);
+  }
+  return d & ((uint64_t{1} << w) - 1);
+}
+
+// Pippenger window width minimizing a simple cost model:
+// ceil(bits/w) windows, each costing n bucket inserts + ~1.5 * 2^w running-sum
+// multiplications + w squarings.
+inline size_t BestWindow(size_t n, size_t bits) {
+  size_t best_w = 2;
+  double best_cost = 1e300;
+  for (size_t w = 2; w <= 14; ++w) {
+    double windows = static_cast<double>((bits + w - 1) / w);
+    double cost = windows * (static_cast<double>(n) +
+                             1.5 * static_cast<double>(uint64_t{1} << w) +
+                             static_cast<double>(w));
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_w = w;
+    }
+  }
+  return best_w;
+}
+
+}  // namespace msm_internal
+
+// Reference implementation: fold of independent exponentiations. The oracle
+// every fast path is tested against.
+template <PrimeOrderGroup G>
+typename G::Element MsmNaive(const std::vector<typename G::Element>& bases,
+                             const std::vector<typename G::Scalar>& scalars) {
+  if (bases.size() != scalars.size()) {
+    throw std::invalid_argument("MsmNaive: size mismatch");
+  }
+  auto acc = G::Identity();
+  for (size_t i = 0; i < bases.size(); ++i) {
+    acc = G::Mul(acc, G::Exp(bases[i], scalars[i]));
+  }
+  return acc;
+}
+
+// Windowed-NAF Straus for small batches: one shared squaring chain, per-point
+// tables of odd multiples. Negative digits accumulate into a second
+// accumulator over the same chain, so the batch needs exactly one group
+// inversion at the end (inversion is a full exponentiation for mod-p groups).
+template <PrimeOrderGroup G>
+typename G::Element MsmWnaf(const std::vector<typename G::Element>& bases,
+                            const std::vector<typename G::Scalar>& scalars) {
+  namespace mi = msm_internal;
+  if (bases.size() != scalars.size()) {
+    throw std::invalid_argument("MsmWnaf: size mismatch");
+  }
+  const size_t n = bases.size();
+  constexpr size_t kW = 4;  // digits are odd with |d| < 8: table is 1P, 3P, 5P, 7P
+  constexpr size_t kTable = size_t{1} << (kW - 2);
+
+  std::vector<std::vector<int>> nafs(n);
+  std::vector<std::vector<typename G::Element>> tables(n);
+  size_t max_len = 0;
+  for (size_t i = 0; i < n; ++i) {
+    nafs[i] = mi::ComputeWnaf(mi::ToLimbs(scalars[i].Encode()), kW);
+    max_len = std::max(max_len, nafs[i].size());
+    if (!nafs[i].empty()) {
+      auto& table = tables[i];
+      table.reserve(kTable);
+      table.push_back(bases[i]);
+      auto twice = G::Mul(bases[i], bases[i]);
+      for (size_t k = 1; k < kTable; ++k) {
+        table.push_back(G::Mul(table.back(), twice));
+      }
+    }
+  }
+
+  auto pos = G::Identity();
+  auto neg = G::Identity();
+  bool pos_live = false;
+  bool neg_live = false;
+  for (size_t j = max_len; j-- > 0;) {
+    if (pos_live) {
+      pos = G::Mul(pos, pos);
+    }
+    if (neg_live) {
+      neg = G::Mul(neg, neg);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (j >= nafs[i].size()) {
+        continue;
+      }
+      int d = nafs[i][j];
+      if (d > 0) {
+        pos = pos_live ? G::Mul(pos, tables[i][static_cast<size_t>(d) / 2])
+                       : tables[i][static_cast<size_t>(d) / 2];
+        pos_live = true;
+      } else if (d < 0) {
+        neg = neg_live ? G::Mul(neg, tables[i][static_cast<size_t>(-d) / 2])
+                       : tables[i][static_cast<size_t>(-d) / 2];
+        neg_live = true;
+      }
+    }
+  }
+  if (!neg_live) {
+    return pos;
+  }
+  return G::Mul(pos, G::Inverse(neg));
+}
+
+// Pippenger bucket method over bases[from, to). For each w-bit window, points
+// land in the bucket of their digit; the window sum is recovered with the
+// running-sum trick (2 * 2^w multiplications, no per-bucket weighting).
+template <PrimeOrderGroup G>
+typename G::Element MsmPippenger(const std::vector<typename G::Element>& bases,
+                                 const std::vector<std::vector<uint64_t>>& limbs, size_t from,
+                                 size_t to) {
+  namespace mi = msm_internal;
+  size_t max_bits = 0;
+  for (size_t i = from; i < to; ++i) {
+    max_bits = std::max(max_bits, mi::LimbsBitLength(limbs[i]));
+  }
+  if (max_bits == 0) {
+    return G::Identity();
+  }
+  const size_t w = mi::BestWindow(to - from, max_bits);
+  const size_t num_buckets = size_t{1} << w;
+  const size_t windows = (max_bits + w - 1) / w;
+
+  std::vector<typename G::Element> buckets(num_buckets);
+  std::vector<uint8_t> used(num_buckets);
+
+  auto acc = G::Identity();
+  bool acc_live = false;
+  for (size_t win = windows; win-- > 0;) {
+    if (acc_live) {
+      for (size_t s = 0; s < w; ++s) {
+        acc = G::Mul(acc, acc);
+      }
+    }
+    std::fill(used.begin(), used.end(), 0);
+    for (size_t i = from; i < to; ++i) {
+      uint64_t d = mi::DigitAt(limbs[i], win * w, w);
+      if (d == 0) {
+        continue;
+      }
+      buckets[d] = used[d] ? G::Mul(buckets[d], bases[i]) : bases[i];
+      used[d] = 1;
+    }
+    // running = sum of buckets [d, top]; each bucket's content is thereby
+    // added d times in total across the iterations of window_sum.
+    typename G::Element running;
+    typename G::Element window_sum;
+    bool running_live = false;
+    bool sum_live = false;
+    for (size_t d = num_buckets; d-- > 1;) {
+      if (used[d]) {
+        running = running_live ? G::Mul(running, buckets[d]) : buckets[d];
+        running_live = true;
+      }
+      if (running_live) {
+        window_sum = sum_live ? G::Mul(window_sum, running) : running;
+        sum_live = true;
+      }
+    }
+    if (sum_live) {
+      acc = acc_live ? G::Mul(acc, window_sum) : window_sum;
+      acc_live = true;
+    }
+  }
+  return acc_live ? acc : G::Identity();
+}
+
+// prod_i bases[i]^scalars[i]. Dispatches between the windowed-NAF and
+// Pippenger paths; large batches shard across the pool (chunked partial MSMs,
+// combined with one Mul per chunk). Must not be called from inside a pool
+// task (ParallelFor does not nest).
+template <PrimeOrderGroup G>
+typename G::Element Msm(const std::vector<typename G::Element>& bases,
+                        const std::vector<typename G::Scalar>& scalars,
+                        ThreadPool* pool = nullptr) {
+  namespace mi = msm_internal;
+  if (bases.size() != scalars.size()) {
+    throw std::invalid_argument("Msm: size mismatch");
+  }
+  const size_t n = bases.size();
+  if (n == 0) {
+    return G::Identity();
+  }
+  constexpr size_t kPippengerThreshold = 128;
+  if (n < kPippengerThreshold) {
+    return MsmWnaf<G>(bases, scalars);
+  }
+
+  std::vector<std::vector<uint64_t>> limbs(n);
+  for (size_t i = 0; i < n; ++i) {
+    limbs[i] = mi::ToLimbs(scalars[i].Encode());
+  }
+
+  const size_t workers = (pool != nullptr) ? pool->worker_count() : 1;
+  const size_t chunks = std::min(workers, n / kPippengerThreshold);
+  if (chunks <= 1) {
+    return MsmPippenger<G>(bases, limbs, 0, n);
+  }
+  std::vector<typename G::Element> partial(chunks);
+  pool->ParallelFor(chunks, [&](size_t c) {
+    size_t from = n * c / chunks;
+    size_t to = n * (c + 1) / chunks;
+    partial[c] = MsmPippenger<G>(bases, limbs, from, to);
+  });
+  auto acc = partial[0];
+  for (size_t c = 1; c < chunks; ++c) {
+    acc = G::Mul(acc, partial[c]);
+  }
+  return acc;
+}
+
+}  // namespace vdp
+
+#endif  // SRC_BATCH_MSM_H_

@@ -130,7 +130,9 @@ AuditReport AuditTranscript(const PublicTranscript<G>& t, const ProtocolConfig& 
   AuditReport report;
   PublicVerifier<G> verifier(config, ped);
 
-  report.accepted_clients = verifier.ValidateClients(t.client_uploads);
+  // Honors config.batch_verify: the auditor re-checks sigma proofs with the
+  // same batched RLC verifier the live run used (or per-proof when disabled).
+  report.accepted_clients = verifier.ValidateClients(t.client_uploads, nullptr, pool);
 
   const size_t bins = config.num_bins;
   using S = typename G::Scalar;

@@ -79,18 +79,20 @@ ClientBundle<G> MakeClientBundle(uint32_t choice, size_t client_index,
   return bundle;
 }
 
-// The public Line-3 check. Anyone (verifier, provers, bystanders) can run it
-// from broadcast data alone; this is what makes the client record public and
-// resolves the Figure 1 disputes.
+// The structural half of the Line-3 check: upload shape, per-bin aggregated
+// commitments, and the one-hot opening (for M > 1). On success returns the
+// [M] aggregated commitments whose OR proofs remain to be verified -- the
+// per-proof path checks them inline (ValidateClientUpload) while the batch
+// verifier (src/batch/batch_or_proof.h) checks them all at once.
 template <PrimeOrderGroup G>
-bool ValidateClientUpload(const ClientUploadMsg<G>& upload, size_t client_index,
-                          const ProtocolConfig& config, const Pedersen<G>& ped,
-                          std::string* reason = nullptr) {
+std::optional<std::vector<typename G::Element>> ClientUploadStructure(
+    const ClientUploadMsg<G>& upload, const ProtocolConfig& config, const Pedersen<G>& ped,
+    std::string* reason = nullptr) {
   auto fail = [&](const char* why) {
     if (reason != nullptr) {
       *reason = why;
     }
-    return false;
+    return std::nullopt;
   };
   const size_t k = config.num_provers;
   const size_t m = config.num_bins;
@@ -103,17 +105,15 @@ bool ValidateClientUpload(const ClientUploadMsg<G>& upload, size_t client_index,
     }
   }
 
+  std::vector<typename G::Element> aggregated(m);
   auto product_all = G::Identity();
   for (size_t bin = 0; bin < m; ++bin) {
-    auto aggregated = G::Identity();
+    auto agg = G::Identity();
     for (size_t p = 0; p < k; ++p) {
-      aggregated = G::Mul(aggregated, upload.commitments[p][bin]);
+      agg = G::Mul(agg, upload.commitments[p][bin]);
     }
-    product_all = G::Mul(product_all, aggregated);
-    if (!OrVerify(ped, aggregated, upload.bin_proofs[bin],
-                  ClientProofContext(config.session_id, client_index, bin))) {
-      return fail("bin OR proof invalid");
-    }
+    product_all = G::Mul(product_all, agg);
+    aggregated[bin] = agg;
   }
 
   if (m > 1) {
@@ -122,6 +122,29 @@ bool ValidateClientUpload(const ClientUploadMsg<G>& upload, size_t client_index,
     using S = typename G::Scalar;
     if (!ped.Verify(product_all, S::One(), upload.sum_randomness)) {
       return fail("bins do not sum to one");
+    }
+  }
+  return aggregated;
+}
+
+// The public Line-3 check. Anyone (verifier, provers, bystanders) can run it
+// from broadcast data alone; this is what makes the client record public and
+// resolves the Figure 1 disputes.
+template <PrimeOrderGroup G>
+bool ValidateClientUpload(const ClientUploadMsg<G>& upload, size_t client_index,
+                          const ProtocolConfig& config, const Pedersen<G>& ped,
+                          std::string* reason = nullptr) {
+  auto aggregated = ClientUploadStructure(upload, config, ped, reason);
+  if (!aggregated.has_value()) {
+    return false;
+  }
+  for (size_t bin = 0; bin < aggregated->size(); ++bin) {
+    if (!OrVerify(ped, (*aggregated)[bin], upload.bin_proofs[bin],
+                  ClientProofContext(config.session_id, client_index, bin))) {
+      if (reason != nullptr) {
+        *reason = "bin OR proof invalid";
+      }
+      return false;
     }
   }
   return true;

@@ -29,6 +29,13 @@ struct ProtocolConfig {
 
   MorraMode morra_mode = MorraMode::kPedersen;
 
+  // Verify sigma proofs in batches: random-linear-combination checks over one
+  // multi-scalar multiplication (src/batch/) instead of per-proof
+  // exponentiation chains. Accept/reject decisions match the per-proof path:
+  // an all-valid batch always accepts, and on batch failure the verifier
+  // falls back to per-proof checks to attribute blame.
+  bool batch_verify = false;
+
   // Domain separation for all Fiat-Shamir transcripts of this run.
   std::string session_id = "vdp-session";
 

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "src/batch/batch_or_proof.h"
 #include "src/core/client.h"
 #include "src/core/messages.h"
 #include "src/core/verdict.h"
@@ -26,20 +27,28 @@ class PublicVerifier {
   const Pedersen<G>& pedersen() const { return ped_; }
 
   // Line 3: public client validation; returns indices of accepted clients.
-  // Validations are independent, so they fan out across the pool when given.
+  // Per-proof mode fans the independent validations across the pool; batch
+  // mode (config.batch_verify) folds every OR proof of every client into one
+  // random-linear-combination check (src/batch/batch_or_proof.h), falling
+  // back to per-proof verification only when the combined check fails, so the
+  // accepted set is identical either way.
   std::vector<size_t> ValidateClients(const std::vector<ClientUploadMsg<G>>& uploads,
                                       std::vector<std::string>* reasons = nullptr,
                                       ThreadPool* pool = nullptr) const {
     std::vector<uint8_t> ok(uploads.size(), 0);
     std::vector<std::string> why(uploads.size());
-    auto work = [&](size_t i) {
-      ok[i] = ValidateClientUpload(uploads[i], i, config_, ped_, &why[i]) ? 1 : 0;
-    };
-    if (pool != nullptr) {
-      pool->ParallelFor(uploads.size(), work);
+    if (config_.batch_verify) {
+      ValidateClientsBatched(uploads, pool, &ok, &why);
     } else {
-      for (size_t i = 0; i < uploads.size(); ++i) {
-        work(i);
+      auto work = [&](size_t i) {
+        ok[i] = ValidateClientUpload(uploads[i], i, config_, ped_, &why[i]) ? 1 : 0;
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(uploads.size(), work);
+      } else {
+        for (size_t i = 0; i < uploads.size(); ++i) {
+          work(i);
+        }
       }
     }
     std::vector<size_t> accepted;
@@ -65,9 +74,25 @@ class PublicVerifier {
       if (msg.coin_commitments[bin].size() != nb || msg.coin_proofs[bin].size() != nb) {
         return false;
       }
-      std::string context = config_.session_id + "/prover/" + std::to_string(prover_index) +
-                            "/coins/bin/" + std::to_string(bin);
-      if (!OrVerifyBatch(ped_, msg.coin_commitments[bin], msg.coin_proofs[bin], context, pool)) {
+    }
+    if (config_.batch_verify) {
+      // All bins' coin proofs in one RLC check. An all-valid message always
+      // accepts (completeness is exact), and a failed batch implies some
+      // proof is invalid, so the boolean verdict matches the per-proof path.
+      std::vector<OrInstance<G>> instances;
+      instances.reserve(bins * nb);
+      for (size_t bin = 0; bin < bins; ++bin) {
+        std::string context = CoinProofContext(prover_index, bin);
+        for (size_t j = 0; j < nb; ++j) {
+          instances.push_back({msg.coin_commitments[bin][j], msg.coin_proofs[bin][j],
+                               context + "/" + std::to_string(j)});
+        }
+      }
+      return BatchOrVerify(ped_, instances, pool);
+    }
+    for (size_t bin = 0; bin < bins; ++bin) {
+      if (!OrVerifyBatch(ped_, msg.coin_commitments[bin], msg.coin_proofs[bin],
+                         CoinProofContext(prover_index, bin), pool)) {
         return false;
       }
     }
@@ -112,6 +137,73 @@ class PublicVerifier {
   }
 
  private:
+  std::string CoinProofContext(size_t prover_index, size_t bin) const {
+    return config_.session_id + "/prover/" + std::to_string(prover_index) + "/coins/bin/" +
+           std::to_string(bin);
+  }
+
+  // Batch client validation: structural checks per client (parallel), then
+  // one RLC check over every bin proof of every structurally valid client.
+  // Only a failed batch -- i.e. at least one cheating client -- pays for
+  // per-proof re-verification to attribute blame.
+  void ValidateClientsBatched(const std::vector<ClientUploadMsg<G>>& uploads, ThreadPool* pool,
+                              std::vector<uint8_t>* ok, std::vector<std::string>* why) const {
+    const size_t n = uploads.size();
+    std::vector<std::vector<Element>> aggregated(n);
+    auto structure = [&](size_t i) {
+      auto agg = ClientUploadStructure(uploads[i], config_, ped_, &(*why)[i]);
+      if (agg.has_value()) {
+        aggregated[i] = std::move(*agg);
+        (*ok)[i] = 1;
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(n, structure);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        structure(i);
+      }
+    }
+
+    std::vector<OrInstance<G>> instances;
+    for (size_t i = 0; i < n; ++i) {
+      if ((*ok)[i] == 0) {
+        continue;
+      }
+      for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
+        instances.push_back({aggregated[i][bin], uploads[i].bin_proofs[bin],
+                             ClientProofContext(config_.session_id, i, bin)});
+      }
+    }
+    if (BatchOrVerify(ped_, instances, pool)) {
+      return;
+    }
+    // Some proof in the batch is invalid; rerun the per-proof oracle to find
+    // the offending clients (decisions stay bit-identical to per-proof mode).
+    // The structural pass already succeeded for these clients, so only the OR
+    // proofs are re-checked, against the cached aggregated commitments.
+    auto recheck = [&](size_t i) {
+      if ((*ok)[i] == 0) {
+        return;
+      }
+      for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
+        if (!OrVerify(ped_, aggregated[i][bin], uploads[i].bin_proofs[bin],
+                      ClientProofContext(config_.session_id, i, bin))) {
+          (*why)[i] = "bin OR proof invalid";
+          (*ok)[i] = 0;
+          return;
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(n, recheck);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        recheck(i);
+      }
+    }
+  }
+
   ProtocolConfig config_;
   Pedersen<G> ped_;
 };

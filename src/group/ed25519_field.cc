@@ -81,7 +81,7 @@ Fe25519 Fe25519::Sub(const Fe25519& a, const Fe25519& b) {
 }
 
 Fe25519 Fe25519::Mul(const Fe25519& a, const Fe25519& b) {
-  using u128 = unsigned __int128;
+  using u128 = uint128_t;
   const uint64_t a0 = a.v_[0], a1 = a.v_[1], a2 = a.v_[2], a3 = a.v_[3], a4 = a.v_[4];
   const uint64_t b0 = b.v_[0], b1 = b.v_[1], b2 = b.v_[2], b3 = b.v_[3], b4 = b.v_[4];
   const uint64_t b1_19 = 19 * b1, b2_19 = 19 * b2, b3_19 = 19 * b3, b4_19 = 19 * b4;

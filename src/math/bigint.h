@@ -18,6 +18,10 @@
 
 namespace vdp {
 
+// 128-bit limb-arithmetic helper. The __extension__ marker keeps the
+// GCC/Clang builtin type usable under -Wpedantic.
+__extension__ typedef unsigned __int128 uint128_t;
+
 template <size_t L>
 struct BigInt {
   static_assert(L >= 1);
@@ -73,8 +77,8 @@ struct BigInt {
   static uint64_t AddInto(BigInt& out, const BigInt& a, const BigInt& b) {
     uint64_t carry = 0;
     for (size_t i = 0; i < L; ++i) {
-      unsigned __int128 s =
-          static_cast<unsigned __int128>(a.limb[i]) + b.limb[i] + carry;
+      uint128_t s =
+          static_cast<uint128_t>(a.limb[i]) + b.limb[i] + carry;
       out.limb[i] = static_cast<uint64_t>(s);
       carry = static_cast<uint64_t>(s >> 64);
     }
@@ -85,7 +89,7 @@ struct BigInt {
   static uint64_t SubInto(BigInt& out, const BigInt& a, const BigInt& b) {
     uint64_t borrow = 0;
     for (size_t i = 0; i < L; ++i) {
-      unsigned __int128 d = static_cast<unsigned __int128>(a.limb[i]) -
+      uint128_t d = static_cast<uint128_t>(a.limb[i]) -
                             b.limb[i] - borrow;
       out.limb[i] = static_cast<uint64_t>(d);
       borrow = static_cast<uint64_t>((d >> 64) & 1);
@@ -188,7 +192,7 @@ BigInt<A + B> Mul(const BigInt<A>& a, const BigInt<B>& b) {
   for (size_t i = 0; i < A; ++i) {
     uint64_t carry = 0;
     for (size_t j = 0; j < B; ++j) {
-      unsigned __int128 s = static_cast<unsigned __int128>(a.limb[i]) * b.limb[j] +
+      uint128_t s = static_cast<uint128_t>(a.limb[i]) * b.limb[j] +
                             r.limb[i + j] + carry;
       r.limb[i + j] = static_cast<uint64_t>(s);
       carry = static_cast<uint64_t>(s >> 64);

@@ -52,26 +52,26 @@ class MontgomeryCtx {
       // t += a[i] * b
       uint64_t carry = 0;
       for (size_t j = 0; j < L; ++j) {
-        unsigned __int128 s =
-            static_cast<unsigned __int128>(a.limb[i]) * b.limb[j] + t[j] + carry;
+        uint128_t s =
+            static_cast<uint128_t>(a.limb[i]) * b.limb[j] + t[j] + carry;
         t[j] = static_cast<uint64_t>(s);
         carry = static_cast<uint64_t>(s >> 64);
       }
-      unsigned __int128 s = static_cast<unsigned __int128>(t[L]) + carry;
+      uint128_t s = static_cast<uint128_t>(t[L]) + carry;
       t[L] = static_cast<uint64_t>(s);
       t[L + 1] = static_cast<uint64_t>(s >> 64);
 
       // Reduce: add u * m where u makes the low limb vanish, then shift.
       uint64_t u = t[0] * m0inv_;
-      unsigned __int128 s2 = static_cast<unsigned __int128>(u) * m_.limb[0] + t[0];
+      uint128_t s2 = static_cast<uint128_t>(u) * m_.limb[0] + t[0];
       carry = static_cast<uint64_t>(s2 >> 64);
       for (size_t j = 1; j < L; ++j) {
-        unsigned __int128 s3 =
-            static_cast<unsigned __int128>(u) * m_.limb[j] + t[j] + carry;
+        uint128_t s3 =
+            static_cast<uint128_t>(u) * m_.limb[j] + t[j] + carry;
         t[j - 1] = static_cast<uint64_t>(s3);
         carry = static_cast<uint64_t>(s3 >> 64);
       }
-      unsigned __int128 s4 = static_cast<unsigned __int128>(t[L]) + carry;
+      uint128_t s4 = static_cast<uint128_t>(t[L]) + carry;
       t[L - 1] = static_cast<uint64_t>(s4);
       t[L] = t[L + 1] + static_cast<uint64_t>(s4 >> 64);
       t[L + 1] = 0;

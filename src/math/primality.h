@@ -35,7 +35,7 @@ inline const std::vector<uint32_t>& SmallPrimes() {
 
 template <size_t L>
 uint64_t ModSmall(const BigInt<L>& n, uint64_t d) {
-  unsigned __int128 rem = 0;
+  uint128_t rem = 0;
   for (size_t i = L; i-- > 0;) {
     rem = ((rem << 64) | n.limb[i]) % d;
   }

@@ -80,6 +80,20 @@ Transcript OrTranscript(const Pedersen<G>& ped, const typename G::Element& c,
 
 }  // namespace internal
 
+// The Fiat-Shamir challenge for an OR proof with branch commitments a0, a1 on
+// statement c. The single definition of the transcript schedule, shared by
+// the prover, the per-proof verifier, and the batch verifier
+// (src/batch/batch_or_proof.h) -- they must never drift apart.
+template <PrimeOrderGroup G>
+typename G::Scalar OrChallenge(const Pedersen<G>& ped, const typename G::Element& c,
+                               const typename G::Element& a0, const typename G::Element& a1,
+                               const std::string& context) {
+  Transcript t = internal::OrTranscript(ped, c, context);
+  t.Append("a0", G::Encode(a0));
+  t.Append("a1", G::Encode(a1));
+  return t.template ChallengeScalar<typename G::Scalar>("e");
+}
+
 // Proves c = Com(bit, r) with bit in {0,1}. The caller must pass the true
 // opening; the proof reveals nothing about which branch was real.
 template <PrimeOrderGroup G>
@@ -110,10 +124,7 @@ OrProof<G> OrProve(const Pedersen<G>& ped, const typename G::Element& c, int bit
     proof.z0 = z_sim;
   }
 
-  Transcript t = internal::OrTranscript(ped, c, context);
-  t.Append("a0", G::Encode(proof.a0));
-  t.Append("a1", G::Encode(proof.a1));
-  S e = t.template ChallengeScalar<S>("e");
+  S e = OrChallenge(ped, c, proof.a0, proof.a1, context);
 
   if (bit == 0) {
     proof.e0 = e - proof.e1;
@@ -132,10 +143,7 @@ bool OrVerify(const Pedersen<G>& ped, const typename G::Element& c, const OrProo
   using S = typename G::Scalar;
   const auto& g = ped.params().g;
 
-  Transcript t = internal::OrTranscript(ped, c, context);
-  t.Append("a0", G::Encode(proof.a0));
-  t.Append("a1", G::Encode(proof.a1));
-  S e = t.template ChallengeScalar<S>("e");
+  S e = OrChallenge(ped, c, proof.a0, proof.a1, context);
 
   if (proof.e0 + proof.e1 != e) {
     return false;

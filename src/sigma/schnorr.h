@@ -40,6 +40,20 @@ struct SchnorrProof {
   }
 };
 
+// Absorbs the statement and proof commitment into the caller's transcript and
+// derives the Fiat-Shamir challenge. The single definition of the transcript
+// schedule, shared by prover, per-proof verifier, and batch verifier
+// (src/batch/batch_schnorr.h) -- they must never drift apart.
+template <PrimeOrderGroup G>
+typename G::Scalar SchnorrChallenge(const typename G::Element& base,
+                                    const typename G::Element& y,
+                                    const typename G::Element& commit, Transcript& transcript) {
+  transcript.Append("schnorr/base", G::Encode(base));
+  transcript.Append("schnorr/y", G::Encode(y));
+  transcript.Append("schnorr/commit", G::Encode(commit));
+  return transcript.template ChallengeScalar<typename G::Scalar>("schnorr/e");
+}
+
 // Non-interactive proof bound to the caller's transcript.
 template <PrimeOrderGroup G>
 SchnorrProof<G> SchnorrProve(const typename G::Element& base, const typename G::Element& y,
@@ -49,10 +63,7 @@ SchnorrProof<G> SchnorrProve(const typename G::Element& base, const typename G::
   S k = S::Random(rng);
   SchnorrProof<G> proof;
   proof.commit = G::Exp(base, k);
-  transcript.Append("schnorr/base", G::Encode(base));
-  transcript.Append("schnorr/y", G::Encode(y));
-  transcript.Append("schnorr/commit", G::Encode(proof.commit));
-  S e = transcript.template ChallengeScalar<S>("schnorr/e");
+  S e = SchnorrChallenge<G>(base, y, proof.commit, transcript);
   proof.response = k + e * witness;
   return proof;
 }
@@ -61,10 +72,7 @@ template <PrimeOrderGroup G>
 bool SchnorrVerify(const typename G::Element& base, const typename G::Element& y,
                    const SchnorrProof<G>& proof, Transcript& transcript) {
   using S = typename G::Scalar;
-  transcript.Append("schnorr/base", G::Encode(base));
-  transcript.Append("schnorr/y", G::Encode(y));
-  transcript.Append("schnorr/commit", G::Encode(proof.commit));
-  S e = transcript.template ChallengeScalar<S>("schnorr/e");
+  S e = SchnorrChallenge<G>(base, y, proof.commit, transcript);
   // base^z == commit * y^e
   return G::Exp(base, proof.response) == G::Mul(proof.commit, G::Exp(y, e));
 }

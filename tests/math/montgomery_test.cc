@@ -29,7 +29,7 @@ TEST(MontgomeryTest, SingleLimbMatchesInt128) {
     uint64_t a = rng.UniformBelow(kPrime61);
     uint64_t b = rng.UniformBelow(kPrime61);
     uint64_t expected = static_cast<uint64_t>(
-        (static_cast<unsigned __int128>(a) * b) % kPrime61);
+        (static_cast<uint128_t>(a) * b) % kPrime61);
     EXPECT_EQ(ctx.MulMod(U64::FromU64(a), U64::FromU64(b)).limb[0], expected);
   }
 }
