@@ -1,6 +1,8 @@
 #include "src/common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace vdp {
 
@@ -41,6 +43,26 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Shared between the calling thread and every queued shard. Heap-allocated and
+// owned jointly (shared_ptr) so a queued task can never observe a destroyed
+// stack frame, no matter how the calling thread unwinds.
+struct ParallelForControl {
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+  size_t count = 0;
+  size_t shards = 0;
+  std::function<void(size_t)> fn;  // owned copy; outlives the caller's argument
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t done_shards = 0;               // guarded by done_mutex
+  std::exception_ptr first_error;       // guarded by done_mutex
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
   if (count == 0) {
     return;
@@ -53,22 +75,33 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
     return;
   }
 
-  std::atomic<size_t> next{0};
-  std::atomic<size_t> done_shards{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  auto ctl = std::make_shared<ParallelForControl>();
+  ctl->count = count;
+  ctl->shards = shards;
+  ctl->fn = fn;
 
-  auto shard_body = [&] {
+  auto shard_body = [ctl] {
     for (;;) {
-      size_t i = next.fetch_add(1);
-      if (i >= count) {
+      if (ctl->abort.load(std::memory_order_relaxed)) {
         break;
       }
-      fn(i);
+      size_t i = ctl->next.fetch_add(1);
+      if (i >= ctl->count) {
+        break;
+      }
+      try {
+        ctl->fn(i);
+      } catch (...) {
+        ctl->abort.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(ctl->done_mutex);
+        if (!ctl->first_error) {
+          ctl->first_error = std::current_exception();
+        }
+      }
     }
-    if (done_shards.fetch_add(1) + 1 == shards) {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      done_cv.notify_one();
+    std::lock_guard<std::mutex> lock(ctl->done_mutex);
+    if (++ctl->done_shards == ctl->shards) {
+      ctl->done_cv.notify_all();
     }
   };
 
@@ -81,13 +114,22 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   work_available_.notify_all();
   shard_body();  // The calling thread participates as the final shard.
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done_shards.load() == shards; });
+  std::unique_lock<std::mutex> lock(ctl->done_mutex);
+  ctl->done_cv.wait(lock, [&] { return ctl->done_shards == ctl->shards; });
+  if (ctl->first_error) {
+    std::rethrow_exception(ctl->first_error);
+  }
 }
 
 ThreadPool& GlobalPool() {
-  static ThreadPool pool;
-  return pool;
+  // Intentionally leaked: a function-local static ThreadPool would run its
+  // destructor during static teardown, joining workers while other static
+  // destructors (gtest fixtures, group parameter caches) may still race with
+  // or wait on the pool -- a known deadlock class. Worker threads either park
+  // in the condition-variable wait or are reaped by the OS at process exit,
+  // so leaking the object is safe and deliberate.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
 }
 
 }  // namespace vdp

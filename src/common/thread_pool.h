@@ -26,7 +26,11 @@ class ThreadPool {
   size_t worker_count() const { return workers_.size(); }
 
   // Runs fn(i) for i in [0, count), blocking until all iterations finish.
-  // Iterations must not throw.
+  // Exception-safe: if any iteration throws, remaining iterations are skipped
+  // (already-started ones run to completion), the call still blocks until all
+  // shards have drained, and the first exception is rethrown on the calling
+  // thread. Shared state lives in a heap-allocated control block co-owned by
+  // the queued tasks, so no queued shard can dangle into the caller's stack.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
  private:
@@ -40,6 +44,8 @@ class ThreadPool {
 };
 
 // Process-wide pool sized to the machine; use for batch crypto operations.
+// The pool is intentionally leaked (never destroyed): joining workers from a
+// static destructor can deadlock against other static teardown.
 ThreadPool& GlobalPool();
 
 }  // namespace vdp

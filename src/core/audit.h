@@ -130,9 +130,20 @@ AuditReport AuditTranscript(const PublicTranscript<G>& t, const ProtocolConfig& 
   AuditReport report;
   PublicVerifier<G> verifier(config, ped);
 
-  // Honors config.batch_verify: the auditor re-checks sigma proofs with the
-  // same batched RLC verifier the live run used (or per-proof when disabled).
-  report.accepted_clients = verifier.ValidateClients(t.client_uploads, nullptr, pool);
+  // Honors config.batch_verify and config.num_verify_shards: the auditor
+  // re-checks sigma proofs with the same batched/sharded pipeline the live
+  // run used (or per-proof when disabled). The sharded verdict's commitment
+  // products double as the client half of the Eq. 10 check below -- the
+  // audit path has no private share-consistency filter, so they always cover
+  // exactly the accepted set.
+  const bool sharded = config.num_verify_shards > 1;
+  ShardedVerdict<G> verdict;
+  if (sharded) {
+    verdict = verifier.ValidateClientsSharded(t.client_uploads, pool);
+    report.accepted_clients = verdict.accepted;
+  } else {
+    report.accepted_clients = verifier.ValidateClients(t.client_uploads, nullptr, pool);
+  }
 
   const size_t bins = config.num_bins;
   using S = typename G::Scalar;
@@ -152,8 +163,14 @@ AuditReport AuditTranscript(const PublicTranscript<G>& t, const ProtocolConfig& 
                                        "audit: coin proof invalid");
       return report;
     }
-    if (!verifier.CheckFinal(k, t.client_uploads, report.accepted_clients, t.prover_coins[k],
-                             t.public_bits[k], t.prover_outputs[k])) {
+    bool final_ok = sharded
+                        ? verifier.CheckFinalWithProducts(verdict.commitment_products[k],
+                                                          t.prover_coins[k], t.public_bits[k],
+                                                          t.prover_outputs[k])
+                        : verifier.CheckFinal(k, t.client_uploads, report.accepted_clients,
+                                              t.prover_coins[k], t.public_bits[k],
+                                              t.prover_outputs[k]);
+    if (!final_ok) {
       report.verdict =
           Verdict::Reject(VerdictCode::kFinalCheckFailed, k, "audit: Eq. 10 failed");
       return report;

@@ -36,6 +36,18 @@ struct ProtocolConfig {
   // falls back to per-proof checks to attribute blame.
   bool batch_verify = false;
 
+  // Partition client uploads into this many contiguous shards for validation
+  // (src/shard/sharded_verifier.h). Each shard batch-verifies independently
+  // (fanned across the ThreadPool) and a deterministic combiner merges the
+  // per-shard results; the accepted set is bit-identical to the monolithic
+  // path. On a batch failure only the offending shard pays the per-proof
+  // blame-attribution fallback. 1 (the default) keeps the monolithic path.
+  // Note: sharded validation always uses the RLC batch check within each
+  // shard, regardless of batch_verify -- decisions are still identical (the
+  // fallback is the per-proof oracle), but to run the pure per-proof mode
+  // leave num_verify_shards at 1 with batch_verify false.
+  size_t num_verify_shards = 1;
+
   // Domain separation for all Fiat-Shamir transcripts of this run.
   std::string session_id = "vdp-session";
 

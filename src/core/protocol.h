@@ -114,7 +114,19 @@ ProtocolResult RunProtocol(const ProtocolConfig& config, const Pedersen<G>& ped,
     record->client_uploads = uploads;
   }
   timer.Reset();
-  std::vector<size_t> accepted = verifier.ValidateClients(uploads, nullptr, pool);
+  // With num_verify_shards > 1, validation runs through the sharded pipeline
+  // and we keep the verdict: its per-prover/per-bin commitment products are
+  // exactly the client half of the Eq. 10 product, so CheckFinal below can
+  // reuse them instead of re-multiplying every accepted upload.
+  const bool sharded_validation = config.num_verify_shards > 1;
+  ShardedVerdict<G> sharded;
+  std::vector<size_t> accepted;
+  if (sharded_validation) {
+    sharded = verifier.ValidateClientsSharded(uploads, pool);
+    accepted = sharded.accepted;
+  } else {
+    accepted = verifier.ValidateClients(uploads, nullptr, pool);
+  }
 
   // Prover-side share consistency: a client whose private share does not
   // match its public commitment is excluded (publicly attributable, since
@@ -197,10 +209,16 @@ ProtocolResult RunProtocol(const ProtocolConfig& config, const Pedersen<G>& ped,
       record->prover_outputs.push_back(output);
     }
 
-    // Lines 12-13.
+    // Lines 12-13. The sharded products cover the *accepted* set; they are
+    // only reusable when no accepted client was dropped by the private
+    // share-consistency filter above (the common case -- that filter only
+    // fires on clients who sent garbage to a prover but valid broadcasts).
     timer.Reset();
     bool final_ok =
-        verifier.CheckFinal(prover->index(), uploads, consistent, coins, bits, output);
+        (sharded_validation && consistent.size() == sharded.accepted.size())
+            ? verifier.CheckFinalWithProducts(sharded.commitment_products[prover->index()],
+                                              coins, bits, output)
+            : verifier.CheckFinal(prover->index(), uploads, consistent, coins, bits, output);
     result.timings.check_ms += timer.ElapsedMillis();
     if (!final_ok) {
       result.verdict = Verdict::Reject(VerdictCode::kFinalCheckFailed, prover->index(),

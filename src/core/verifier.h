@@ -12,6 +12,7 @@
 #include "src/core/client.h"
 #include "src/core/messages.h"
 #include "src/core/verdict.h"
+#include "src/shard/sharded_verifier.h"
 
 namespace vdp {
 
@@ -31,10 +32,23 @@ class PublicVerifier {
   // mode (config.batch_verify) folds every OR proof of every client into one
   // random-linear-combination check (src/batch/batch_or_proof.h), falling
   // back to per-proof verification only when the combined check fails, so the
-  // accepted set is identical either way.
+  // accepted set is identical either way. With config.num_verify_shards > 1
+  // the uploads are partitioned into contiguous shards that batch-verify
+  // independently (src/shard/sharded_verifier.h); the merged decisions are
+  // again identical, and a failed batch re-checks only its own shard.
   std::vector<size_t> ValidateClients(const std::vector<ClientUploadMsg<G>>& uploads,
                                       std::vector<std::string>* reasons = nullptr,
                                       ThreadPool* pool = nullptr) const {
+    if (config_.num_verify_shards > 1) {
+      // Products are skipped here: this entry point only reports decisions.
+      // Callers that feed CheckFinalWithProducts use ValidateClientsSharded.
+      auto verdict = ShardedVerifier<G>::VerifyAll(config_, ped_, uploads, pool,
+                                                   /*compute_products=*/false);
+      if (reasons != nullptr) {
+        reasons->insert(reasons->end(), verdict.reasons.begin(), verdict.reasons.end());
+      }
+      return std::move(verdict.accepted);
+    }
     std::vector<uint8_t> ok(uploads.size(), 0);
     std::vector<std::string> why(uploads.size());
     if (config_.batch_verify) {
@@ -60,6 +74,14 @@ class PublicVerifier {
       }
     }
     return accepted;
+  }
+
+  // Line 3, sharded: the full verdict including per-prover/per-bin products
+  // of the accepted clients' commitments, which CheckFinalWithProducts can
+  // consume so the Eq. 10 product is never recomputed from scratch.
+  ShardedVerdict<G> ValidateClientsSharded(const std::vector<ClientUploadMsg<G>>& uploads,
+                                           ThreadPool* pool = nullptr) const {
+    return ShardedVerifier<G>::VerifyAll(config_, ped_, uploads, pool);
   }
 
   // Lines 5-6: every private coin commitment must prove membership in LBit.
@@ -116,20 +138,36 @@ class PublicVerifier {
                   const std::vector<std::vector<bool>>& public_bits,
                   const ProverOutputMsg<G>& output) const {
     const size_t bins = config_.num_bins;
-    const size_t nb = config_.NumCoins();
     if (output.y.size() != bins || output.z.size() != bins) {
       return false;
     }
     for (size_t bin = 0; bin < bins; ++bin) {
-      Element lhs = G::Identity();
+      Element product = G::Identity();
       for (size_t client : accepted_clients) {
-        lhs = G::Mul(lhs, uploads[client].commitments[prover_index][bin]);
+        product = G::Mul(product, uploads[client].commitments[prover_index][bin]);
       }
-      for (size_t j = 0; j < nb; ++j) {
-        lhs = G::Mul(lhs, UpdateCoinCommitment(coins.coin_commitments[bin][j],
-                                               public_bits[bin][j]));
+      if (!CheckFinalBin(bin, product, coins, public_bits, output)) {
+        return false;  // reject on the first bad bin, before touching the rest
       }
-      if (lhs != ped_.Commit(output.y[bin], output.z[bin])) {
+    }
+    return true;
+  }
+
+  // Eq. 10 given the precomputed per-bin product of this prover's accepted
+  // client commitments -- e.g. a ShardedVerdict's commitment_products[k]
+  // (src/shard/sharded_verifier.h), so sharded validation's partial products
+  // are reused instead of re-multiplying every accepted upload.
+  bool CheckFinalWithProducts(const std::vector<Element>& client_products,
+                              const ProverCoinsMsg<G>& coins,
+                              const std::vector<std::vector<bool>>& public_bits,
+                              const ProverOutputMsg<G>& output) const {
+    const size_t bins = config_.num_bins;
+    if (output.y.size() != bins || output.z.size() != bins ||
+        client_products.size() != bins) {
+      return false;
+    }
+    for (size_t bin = 0; bin < bins; ++bin) {
+      if (!CheckFinalBin(bin, client_products[bin], coins, public_bits, output)) {
         return false;
       }
     }
@@ -137,70 +175,41 @@ class PublicVerifier {
   }
 
  private:
+  // One bin of Eq. 10: client_product times the updated coin commitments
+  // must open to (y_bin, z_bin).
+  bool CheckFinalBin(size_t bin, const Element& client_product, const ProverCoinsMsg<G>& coins,
+                     const std::vector<std::vector<bool>>& public_bits,
+                     const ProverOutputMsg<G>& output) const {
+    const size_t nb = config_.NumCoins();
+    Element lhs = client_product;
+    for (size_t j = 0; j < nb; ++j) {
+      lhs = G::Mul(lhs, UpdateCoinCommitment(coins.coin_commitments[bin][j],
+                                             public_bits[bin][j]));
+    }
+    return lhs == ped_.Commit(output.y[bin], output.z[bin]);
+  }
+
   std::string CoinProofContext(size_t prover_index, size_t bin) const {
     return config_.session_id + "/prover/" + std::to_string(prover_index) + "/coins/bin/" +
            std::to_string(bin);
   }
 
   // Batch client validation: structural checks per client (parallel), then
-  // one RLC check over every bin proof of every structurally valid client.
-  // Only a failed batch -- i.e. at least one cheating client -- pays for
-  // per-proof re-verification to attribute blame.
+  // one RLC check over every bin proof of every structurally valid client,
+  // with per-proof blame attribution only when the batch fails. Delegates to
+  // VerifyShard (src/shard/sharded_verifier.h) as a single whole-stream
+  // shard -- one implementation serves both the monolithic and the sharded
+  // pipeline, so their decisions cannot drift apart.
   void ValidateClientsBatched(const std::vector<ClientUploadMsg<G>>& uploads, ThreadPool* pool,
                               std::vector<uint8_t>* ok, std::vector<std::string>* why) const {
-    const size_t n = uploads.size();
-    std::vector<std::vector<Element>> aggregated(n);
-    auto structure = [&](size_t i) {
-      auto agg = ClientUploadStructure(uploads[i], config_, ped_, &(*why)[i]);
-      if (agg.has_value()) {
-        aggregated[i] = std::move(*agg);
-        (*ok)[i] = 1;
-      }
-    };
-    if (pool != nullptr) {
-      pool->ParallelFor(n, structure);
-    } else {
-      for (size_t i = 0; i < n; ++i) {
-        structure(i);
-      }
+    ShardResult<G> result =
+        VerifyShard(config_, ped_, uploads.data(), uploads.size(), /*base=*/0,
+                    /*shard_index=*/0, pool, /*compute_products=*/false);
+    for (size_t idx : result.accepted) {
+      (*ok)[idx] = 1;
     }
-
-    std::vector<OrInstance<G>> instances;
-    for (size_t i = 0; i < n; ++i) {
-      if ((*ok)[i] == 0) {
-        continue;
-      }
-      for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
-        instances.push_back({aggregated[i][bin], uploads[i].bin_proofs[bin],
-                             ClientProofContext(config_.session_id, i, bin)});
-      }
-    }
-    if (BatchOrVerify(ped_, instances, pool)) {
-      return;
-    }
-    // Some proof in the batch is invalid; rerun the per-proof oracle to find
-    // the offending clients (decisions stay bit-identical to per-proof mode).
-    // The structural pass already succeeded for these clients, so only the OR
-    // proofs are re-checked, against the cached aggregated commitments.
-    auto recheck = [&](size_t i) {
-      if ((*ok)[i] == 0) {
-        return;
-      }
-      for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
-        if (!OrVerify(ped_, aggregated[i][bin], uploads[i].bin_proofs[bin],
-                      ClientProofContext(config_.session_id, i, bin))) {
-          (*why)[i] = "bin OR proof invalid";
-          (*ok)[i] = 0;
-          return;
-        }
-      }
-    };
-    if (pool != nullptr) {
-      pool->ParallelFor(n, recheck);
-    } else {
-      for (size_t i = 0; i < n; ++i) {
-        recheck(i);
-      }
+    for (const auto& [idx, reason] : result.rejections) {
+      (*why)[idx] = reason;
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace vdp {
@@ -11,6 +12,15 @@ uint64_t NumCoinsForPrivacy(double epsilon, double delta) {
     throw std::invalid_argument("NumCoinsForPrivacy: need epsilon > 0 and delta in (0,1)");
   }
   double raw = 100.0 * std::log(2.0 / delta) / (epsilon * epsilon);
+  // For tiny epsilon the formula exceeds uint64_t range (or overflows to
+  // +inf) and the cast below would be undefined behavior. 2^63 coins is far
+  // beyond anything sampleable anyway, so reject rather than clamp. The
+  // negated comparison also catches NaN.
+  constexpr double kMaxCoins = 9223372036854775808.0;  // 2^63
+  if (!(std::ceil(raw) < kMaxCoins)) {
+    throw std::overflow_error(
+        "NumCoinsForPrivacy: epsilon too small, coin count overflows uint64_t");
+  }
   auto coins = static_cast<uint64_t>(std::ceil(raw));
   return coins < kMinBinomialCoins ? kMinBinomialCoins : coins;
 }
@@ -40,7 +50,11 @@ BinomialMechanism::BinomialMechanism(double epsilon, double delta)
     : epsilon_(epsilon), delta_(delta), num_coins_(NumCoinsForPrivacy(epsilon, delta)) {}
 
 uint64_t BinomialMechanism::Apply(uint64_t true_count, SecureRng& rng) const {
-  return true_count + SampleBinomialHalf(num_coins_, rng);
+  uint64_t noise = SampleBinomialHalf(num_coins_, rng);
+  if (true_count > std::numeric_limits<uint64_t>::max() - noise) {
+    throw std::overflow_error("BinomialMechanism::Apply: true_count + noise overflows uint64_t");
+  }
+  return true_count + noise;
 }
 
 double BinomialMechanism::ExpectedOffset(size_t noise_draws) const {

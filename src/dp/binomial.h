@@ -20,7 +20,8 @@ namespace vdp {
 inline constexpr uint64_t kMinBinomialCoins = 31;
 
 // nb(eps, delta) = ceil(100 * ln(2/delta) / eps^2), clamped to > 30.
-// Requires eps > 0 and 0 < delta < 1.
+// Requires eps > 0 and 0 < delta < 1; throws std::overflow_error when the
+// formula exceeds uint64_t range (epsilon too small to be realizable).
 uint64_t NumCoinsForPrivacy(double epsilon, double delta);
 
 // The epsilon achieved by nb coins at a given delta (inverse of the above).
@@ -40,6 +41,7 @@ class BinomialMechanism {
 
   // Raw mechanism output: true_count + Binomial(nb, 1/2). The +nb/2 offset is
   // public; consumers subtract ExpectedOffset() for an unbiased estimate.
+  // Throws std::overflow_error if the sum would wrap uint64_t.
   uint64_t Apply(uint64_t true_count, SecureRng& rng) const;
 
   // The publicly known mean of the added noise (nb / 2 per noise draw).

@@ -1,0 +1,353 @@
+// Sharded client-upload verification: the horizontal-scaling layer above the
+// batch subsystem (src/batch/).
+//
+// The paper's public verifier re-checks every broadcast client upload; PR 1
+// collapsed that to one MSM per batch. A single monolithic batch still has
+// two scaling problems: (a) one bad proof forces a per-proof re-scan of the
+// *entire* population to attribute blame, and (b) one thread of control caps
+// ingestion. This module partitions the upload stream into contiguous shards,
+// batch-verifies each shard independently (RLC + MSM, fanned across the
+// ThreadPool), and merges the per-shard results with a deterministic
+// combiner. Guarantees:
+//
+//   - Equivalence: the merged accepted set, rejection reasons, and the
+//     per-prover/per-bin products of accepted commitments are bit-identical
+//     to what the monolithic PublicVerifier::ValidateClients path computes
+//     (per-client decisions are independent and deterministic; sharding only
+//     changes which random-linear combination covers which proofs, and batch
+//     failure always falls back to the per-proof oracle).
+//   - Confined blame attribution: a corrupted upload makes only its own
+//     shard's RLC check fail, so only that shard re-verifies per proof. The
+//     fallback cost is bounded by the shard size, not the population.
+//   - Bounded memory: the streaming API (Add / Finish) keeps at most
+//     max_pending_shards * shard_capacity uploads resident; verified shards
+//     are reduced to their compact ShardResult immediately. Millions of
+//     uploads never need to coexist in memory.
+#ifndef SRC_SHARD_SHARDED_VERIFIER_H_
+#define SRC_SHARD_SHARDED_VERIFIER_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/batch/batch_or_proof.h"
+#include "src/core/client.h"
+
+namespace vdp {
+
+namespace shard_internal {
+
+// Dispatch policy shared by the one-shot and streaming paths: fan whole
+// shards across the pool only when there are enough of them to occupy every
+// worker; otherwise run them serially and give each shard the full pool
+// internally (same total work, full parallelism either way). verify is
+// called as verify(shard_index, inner_pool).
+template <typename Fn>
+void DispatchShards(size_t n, ThreadPool* pool, const Fn& verify) {
+  if (pool != nullptr && n > 1 && n >= pool->worker_count()) {
+    pool->ParallelFor(n, [&](size_t s) { verify(s, nullptr); });
+  } else {
+    for (size_t s = 0; s < n; ++s) {
+      verify(s, pool);
+    }
+  }
+}
+
+}  // namespace shard_internal
+
+// Outcome of verifying one contiguous shard of the upload stream. Everything
+// downstream (combiner, Eq. 10 check) needs survives here; the uploads
+// themselves can be released once this is produced.
+template <PrimeOrderGroup G>
+struct ShardResult {
+  size_t shard_index = 0;
+  size_t base = 0;   // global index of the shard's first upload
+  size_t count = 0;  // uploads in the shard
+  // Global indices of accepted uploads, ascending.
+  std::vector<size_t> accepted;
+  // (global index, reason) for every rejected upload, ascending by index.
+  std::vector<std::pair<size_t, std::string>> rejections;
+  // partial_products[k][m] = prod over accepted uploads of commitments[k][m]
+  // -- this shard's contribution to the Eq. 10 left-hand side.
+  std::vector<std::vector<typename G::Element>> partial_products;
+  // True iff this shard's RLC batch check failed and the shard re-verified
+  // per proof to attribute blame.
+  bool fallback_used = false;
+};
+
+// The deterministic combiner's merge of all shard results.
+template <PrimeOrderGroup G>
+struct ShardedVerdict {
+  // Ascending global indices; equals the monolithic ValidateClients output.
+  std::vector<size_t> accepted;
+  // "client <i>: <why>" strings, same format and order as the monolithic
+  // path's reasons output.
+  std::vector<std::string> reasons;
+  // commitment_products[k][m] = prod over *all* accepted uploads of
+  // commitments[k][m]; feed to PublicVerifier::CheckFinalWithProducts.
+  std::vector<std::vector<typename G::Element>> commitment_products;
+  size_t total_uploads = 0;
+  size_t num_shards = 0;
+  size_t shards_with_fallback = 0;  // shards that paid the per-proof fallback
+};
+
+// Verifies uploads[0..count) as one shard whose first element has global
+// index `base`. Structural checks and (on fallback) per-proof re-checks fan
+// across `pool`; the RLC batch check shards its MSM onto `pool` too. Pass
+// pool == nullptr when calling from inside a pool task (ParallelFor does not
+// nest). This is the single implementation of the batched validation
+// algorithm: the monolithic PublicVerifier path runs it as one whole-stream
+// shard (with compute_products = false, since it discards the products), so
+// the two paths cannot drift apart.
+template <PrimeOrderGroup G>
+ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
+                           const ClientUploadMsg<G>* uploads, size_t count, size_t base,
+                           size_t shard_index, ThreadPool* pool = nullptr,
+                           bool compute_products = true) {
+  using Element = typename G::Element;
+  ShardResult<G> result;
+  result.shard_index = shard_index;
+  result.base = base;
+  result.count = count;
+
+  std::vector<uint8_t> ok(count, 0);
+  std::vector<std::string> why(count);
+  std::vector<std::vector<Element>> aggregated(count);
+
+  // Structural pass: shape, per-bin aggregated commitments, one-hot opening.
+  auto structure = [&](size_t i) {
+    auto agg = ClientUploadStructure(uploads[i], config, ped, &why[i]);
+    if (agg.has_value()) {
+      aggregated[i] = std::move(*agg);
+      ok[i] = 1;
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(count, structure);
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      structure(i);
+    }
+  }
+
+  // One RLC check over every bin proof of every structurally valid upload in
+  // this shard. Contexts carry the *global* client index, so the challenge
+  // schedule is identical to the monolithic verifier's.
+  std::vector<OrInstance<G>> instances;
+  for (size_t i = 0; i < count; ++i) {
+    if (ok[i] == 0) {
+      continue;
+    }
+    for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
+      instances.push_back({aggregated[i][bin], uploads[i].bin_proofs[bin],
+                           ClientProofContext(config.session_id, base + i, bin)});
+    }
+  }
+  if (!BatchOrVerify(ped, instances, pool)) {
+    // Someone in *this shard* cheated; re-run the per-proof oracle on this
+    // shard only. Decisions stay bit-identical to the monolithic path because
+    // the per-upload verdict is independent of every other upload.
+    result.fallback_used = true;
+    auto recheck = [&](size_t i) {
+      if (ok[i] == 0) {
+        return;
+      }
+      for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
+        if (!OrVerify(ped, aggregated[i][bin], uploads[i].bin_proofs[bin],
+                      ClientProofContext(config.session_id, base + i, bin))) {
+          why[i] = "bin OR proof invalid";
+          ok[i] = 0;
+          return;
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(count, recheck);
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        recheck(i);
+      }
+    }
+  }
+
+  if (compute_products) {
+    result.partial_products.assign(config.num_provers,
+                                   std::vector<Element>(config.num_bins, G::Identity()));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (ok[i] == 0) {
+      result.rejections.emplace_back(base + i, why[i]);
+      continue;
+    }
+    result.accepted.push_back(base + i);
+    if (!compute_products) {
+      continue;
+    }
+    for (size_t k = 0; k < config.num_provers; ++k) {
+      for (size_t m = 0; m < config.num_bins; ++m) {
+        result.partial_products[k][m] =
+            G::Mul(result.partial_products[k][m], uploads[i].commitments[k][m]);
+      }
+    }
+  }
+  return result;
+}
+
+// Deterministic combiner: merges shard results (which must cover contiguous,
+// ascending ranges) into the global verdict. Pure data-plane: no group or
+// hash operations beyond one Mul per shard per (prover, bin).
+template <PrimeOrderGroup G>
+ShardedVerdict<G> CombineShardResults(const ProtocolConfig& config,
+                                      std::vector<ShardResult<G>> results) {
+  using Element = typename G::Element;
+  std::sort(results.begin(), results.end(),
+            [](const ShardResult<G>& a, const ShardResult<G>& b) {
+              return a.shard_index < b.shard_index;
+            });
+  ShardedVerdict<G> verdict;
+  verdict.num_shards = results.size();
+  verdict.commitment_products.assign(config.num_provers,
+                                     std::vector<Element>(config.num_bins, G::Identity()));
+  for (const ShardResult<G>& r : results) {
+    verdict.total_uploads += r.count;
+    if (r.fallback_used) {
+      ++verdict.shards_with_fallback;
+    }
+    verdict.accepted.insert(verdict.accepted.end(), r.accepted.begin(), r.accepted.end());
+    for (const auto& [index, why] : r.rejections) {
+      verdict.reasons.push_back("client " + std::to_string(index) + ": " + why);
+    }
+    if (r.partial_products.empty()) {
+      continue;  // produced with compute_products = false; nothing to fold in
+    }
+    for (size_t k = 0; k < config.num_provers; ++k) {
+      for (size_t m = 0; m < config.num_bins; ++m) {
+        verdict.commitment_products[k][m] =
+            G::Mul(verdict.commitment_products[k][m], r.partial_products[k][m]);
+      }
+    }
+  }
+  return verdict;
+}
+
+// Streaming sharded verifier. Feed uploads in broadcast order with Add();
+// full shards are dispatched (batch-verified and reduced to ShardResults) as
+// soon as max_pending_shards buffers have accumulated, so memory stays
+// bounded no matter how long the stream runs. Finish() drains the remainder
+// and returns the combined verdict; the instance is then reset and reusable.
+template <PrimeOrderGroup G>
+class ShardedVerifier {
+ public:
+  // shard_capacity == 0 picks a default sized for MSM efficiency.
+  // max_pending_shards == 0 keeps one buffer per pool worker (or 1 without a
+  // pool), which is what lets a flush fan whole shards across the workers.
+  ShardedVerifier(const ProtocolConfig& config, Pedersen<G> ped, ThreadPool* pool = nullptr,
+                  size_t shard_capacity = 0, size_t max_pending_shards = 0)
+      : config_(config),
+        ped_(std::move(ped)),
+        pool_(pool),
+        shard_capacity_(shard_capacity > 0 ? shard_capacity : kDefaultShardCapacity),
+        max_pending_(max_pending_shards > 0
+                         ? max_pending_shards
+                         : (pool != nullptr ? std::max<size_t>(1, pool->worker_count()) : 1)) {
+  }
+
+  size_t shard_capacity() const { return shard_capacity_; }
+
+  // Ingest the next upload of the broadcast stream (global index assigned in
+  // arrival order). May synchronously verify and release buffered shards.
+  void Add(ClientUploadMsg<G> upload) {
+    current_.push_back(std::move(upload));
+    if (current_.size() == shard_capacity_) {
+      CloseCurrentShard();
+      if (pending_.size() >= max_pending_) {
+        FlushPending();
+      }
+    }
+  }
+
+  // Verifies whatever is still buffered, merges all shard results, and resets
+  // the verifier for a fresh stream.
+  ShardedVerdict<G> Finish() {
+    CloseCurrentShard();
+    FlushPending();
+    ShardedVerdict<G> verdict = CombineShardResults(config_, std::move(results_));
+    results_.clear();
+    next_base_ = 0;
+    next_shard_index_ = 0;
+    return verdict;
+  }
+
+  // One-shot sharded verification of an in-memory vector: partitions into
+  // config.num_verify_shards contiguous shards (no copies, whole shards
+  // fanned across the pool) and combines. This is the path PublicVerifier
+  // delegates to. Pass compute_products = false when the caller only needs
+  // the accepted set and reasons, skipping the per-(prover, bin) Muls.
+  static ShardedVerdict<G> VerifyAll(const ProtocolConfig& config, const Pedersen<G>& ped,
+                                     const std::vector<ClientUploadMsg<G>>& uploads,
+                                     ThreadPool* pool = nullptr,
+                                     bool compute_products = true) {
+    const size_t n = uploads.size();
+    size_t shards = std::max<size_t>(1, config.num_verify_shards);
+    shards = std::min(shards, std::max<size_t>(1, n));
+    std::vector<ShardResult<G>> results(shards);
+    shard_internal::DispatchShards(shards, pool, [&](size_t s, ThreadPool* inner) {
+      size_t from = n * s / shards;
+      size_t to = n * (s + 1) / shards;
+      results[s] = VerifyShard(config, ped, uploads.data() + from, to - from, from, s, inner,
+                               compute_products);
+    });
+    return CombineShardResults(config, std::move(results));
+  }
+
+ private:
+  static constexpr size_t kDefaultShardCapacity = 1024;
+
+  void CloseCurrentShard() {
+    if (current_.empty()) {
+      return;
+    }
+    pending_.push_back(PendingShard{next_base_, next_shard_index_, std::move(current_)});
+    next_base_ += pending_.back().uploads.size();
+    ++next_shard_index_;
+    current_.clear();
+  }
+
+  void FlushPending() {
+    if (pending_.empty()) {
+      return;
+    }
+    size_t first = results_.size();
+    results_.resize(first + pending_.size());
+    shard_internal::DispatchShards(pending_.size(), pool_, [&](size_t p, ThreadPool* inner) {
+      const PendingShard& shard = pending_[p];
+      results_[first + p] = VerifyShard(config_, ped_, shard.uploads.data(),
+                                        shard.uploads.size(), shard.base, shard.shard_index,
+                                        inner);
+    });
+    pending_.clear();  // releases the upload buffers
+  }
+
+  struct PendingShard {
+    size_t base;
+    size_t shard_index;
+    std::vector<ClientUploadMsg<G>> uploads;
+  };
+
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+  ThreadPool* pool_;
+  size_t shard_capacity_;
+  size_t max_pending_;
+
+  std::vector<ClientUploadMsg<G>> current_;  // the shard being filled
+  std::vector<PendingShard> pending_;        // full shards awaiting dispatch
+  std::vector<ShardResult<G>> results_;      // compact results of verified shards
+  size_t next_base_ = 0;
+  size_t next_shard_index_ = 0;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_SHARD_SHARDED_VERIFIER_H_

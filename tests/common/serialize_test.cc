@@ -63,6 +63,88 @@ TEST(SerializeTest, EmptyReader) {
   EXPECT_FALSE(r.U8().has_value());
 }
 
+// --- adversarial / truncated inputs ----------------------------------------
+// A Reader fed attacker-controlled bytes must return nullopt on any
+// inconsistency and never read past the end of its view (the ASan CI job
+// would flag an over-read).
+
+TEST(SerializeAdversarialTest, BlobLengthPrefixLargerThanRemaining) {
+  // Claims 0xFFFFFFFF bytes follow; only 3 do.
+  Bytes data = {0xff, 0xff, 0xff, 0xff, 0x01, 0x02, 0x03};
+  Reader r(data);
+  EXPECT_FALSE(r.Blob().has_value());
+  // The failed length prefix was consumed, but no payload byte was: the
+  // reader stays usable at a well-defined position.
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(SerializeAdversarialTest, BlobLengthPrefixOffByOne) {
+  // Claims 4 bytes; exactly 3 remain after the prefix.
+  Writer w;
+  w.U32(4);
+  w.Raw(Bytes{1, 2, 3});
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.Blob().has_value());
+}
+
+TEST(SerializeAdversarialTest, TruncatedU32) {
+  for (size_t len = 1; len < 4; ++len) {
+    Bytes data(len, 0xab);
+    Reader r(data);
+    EXPECT_FALSE(r.U32().has_value()) << "len=" << len;
+    // A failed fixed-width read consumes nothing.
+    EXPECT_EQ(r.remaining(), len);
+  }
+}
+
+TEST(SerializeAdversarialTest, TruncatedU64) {
+  for (size_t len = 1; len < 8; ++len) {
+    Bytes data(len, 0xcd);
+    Reader r(data);
+    EXPECT_FALSE(r.U64().has_value()) << "len=" << len;
+    EXPECT_EQ(r.remaining(), len);
+  }
+}
+
+TEST(SerializeAdversarialTest, ZeroLengthBlobs) {
+  // A run of zero-length blobs is valid and consumes exactly its prefixes.
+  Writer w;
+  w.Blob(Bytes{});
+  w.Blob(Bytes{});
+  w.Blob(Bytes{});
+  Reader r(w.bytes());
+  for (int i = 0; i < 3; ++i) {
+    auto blob = r.Blob();
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_TRUE(blob->empty());
+  }
+  EXPECT_TRUE(r.AtEnd());
+  // But a bare zero-length prefix with trailing garbage must not over-read.
+  Bytes lone = {0x00, 0x00, 0x00, 0x00};
+  Reader r2(lone);
+  auto blob = r2.Blob();
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_TRUE(blob->empty());
+  EXPECT_TRUE(r2.AtEnd());
+}
+
+TEST(SerializeAdversarialTest, BlobPrefixAloneIsTruncated) {
+  // 4 prefix bytes claiming 1 byte, nothing after.
+  Writer w;
+  w.U32(1);
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.Blob().has_value());
+}
+
+TEST(SerializeAdversarialTest, HugeRawRequestFails) {
+  Bytes data = {1, 2, 3};
+  Reader r(data);
+  EXPECT_FALSE(r.Raw(static_cast<size_t>(-1)).has_value());
+  EXPECT_FALSE(r.Raw(4).has_value());
+  EXPECT_TRUE(r.Raw(3).has_value());
+  EXPECT_TRUE(r.AtEnd());
+}
+
 TEST(SerializeTest, MixedStructuredMessage) {
   Writer w;
   w.U8(2);  // version

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace vdp {
@@ -62,6 +63,100 @@ TEST(ThreadPoolTest, GlobalPoolIsUsable) {
   std::atomic<int> count{0};
   GlobalPool().ParallelFor(16, [&](size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 16);
+}
+
+// Regression for GlobalPool lifetime: this file-scope static is constructed
+// before main() (and before the pool's function-local static), so its
+// destructor runs *after* the pool's would -- exactly the static-teardown
+// ordering that used to deadlock when the pool joined its workers in a
+// destructor. With the intentionally-leaked pool the late ParallelFor still
+// completes; with the old code this hung the test binary (ctest --timeout
+// turns that into a failure).
+struct StaticPoolUser {
+  ~StaticPoolUser() {
+    std::atomic<int> count{0};
+    GlobalPool().ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+    if (count.load() != 8) {
+      std::abort();  // gtest is gone by now; a hard abort fails the binary
+    }
+  }
+};
+StaticPoolUser static_pool_user;
+
+TEST(ThreadPoolTest, GlobalPoolUsableAcrossStaticTeardown) {
+  // Force the pool's static to be constructed after static_pool_user so the
+  // destructor ordering in the comment above actually holds. The real
+  // assertion runs in ~StaticPoolUser after main() returns.
+  EXPECT_GE(GlobalPool().worker_count(), 1u);
+}
+
+// Regression: a throwing iteration used to let the calling thread unwind past
+// the completion wait while queued shards still referenced its (destroyed)
+// stack frame -- a use-after-free under ASan and a lost-wakeup hang
+// otherwise. ParallelFor must now drain every shard, rethrow the first
+// exception on the calling thread, and leave the pool fully reusable.
+TEST(ThreadPoolTest, ThrowingIterationPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&](size_t i) {
+                         started.fetch_add(1);
+                         if (i == 17) {
+                           throw std::runtime_error("iteration 17 failed");
+                         }
+                       }),
+      std::runtime_error);
+  // Remaining iterations are skipped once a shard has thrown (the abort flag
+  // stops the other shards), so not all 1000 need to have started -- but at
+  // least the throwing one did.
+  EXPECT_GE(started.load(), 1);
+  EXPECT_LE(started.load(), 1000);
+
+  // The pool must still work: the control block was heap-owned, no worker
+  // dangled into the unwound stack, and no task remained queued.
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(100, [&](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, EveryIterationThrowingStillRethrowsOnce) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(64, [](size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ThrowOnSingleShardPathPropagates) {
+  // count == 1 runs inline on the calling thread; the exception must still
+  // surface (and trivially cannot dangle).
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(1, [](size_t) { throw std::runtime_error("inline"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersWithExceptionsDoNotDeadlock) {
+  // Two pools hammered with throwing and non-throwing work interleaved; the
+  // shared_ptr control block keeps every queued shard self-contained.
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    if (round % 3 == 0) {
+      EXPECT_THROW(pool.ParallelFor(32, [](size_t i) {
+        if (i % 4 == 0) {
+          throw std::runtime_error("sporadic");
+        }
+      }),
+                   std::runtime_error);
+    } else {
+      std::atomic<int> count{0};
+      pool.ParallelFor(32, [&](size_t) { count.fetch_add(1); });
+      EXPECT_EQ(count.load(), 32);
+    }
+  }
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace vdp {
 namespace {
@@ -51,6 +53,33 @@ TEST(BinomialParamsTest, InvalidArgumentsThrow) {
   EXPECT_THROW(NumCoinsForPrivacy(1.0, 0.0), std::invalid_argument);
   EXPECT_THROW(NumCoinsForPrivacy(1.0, 1.5), std::invalid_argument);
   EXPECT_THROW(EpsilonForCoins(0, 0.01), std::invalid_argument);
+}
+
+// Regression: for tiny epsilon the coin formula exceeds uint64_t range and
+// static_cast<uint64_t> of the out-of-range double was undefined behavior.
+// The function must reject instead of silently producing garbage.
+TEST(BinomialParamsTest, TinyEpsilonOverflowRejected) {
+  // raw = 100 * ln(2/delta) / eps^2: eps = 1e-12 puts raw around 1e27.
+  EXPECT_THROW(NumCoinsForPrivacy(1e-12, 1e-6), std::overflow_error);
+  // eps = 1e-8 gives raw ~ 1.45e19, just past 2^63 ~ 9.22e18.
+  EXPECT_THROW(NumCoinsForPrivacy(1e-8, 1e-6), std::overflow_error);
+  // Denormal epsilon drives the quotient to +inf; still a clean rejection.
+  EXPECT_THROW(NumCoinsForPrivacy(1e-300, 1e-6), std::overflow_error);
+  // Just inside the representable range must keep working.
+  uint64_t huge = NumCoinsForPrivacy(1e-7, 1e-6);
+  EXPECT_GT(huge, uint64_t{1} << 56);
+}
+
+// Regression: Apply wrapped around uint64_t when true_count + noise
+// overflowed, producing a tiny (and very wrong) noisy count.
+TEST(BinomialMechanismTest, ApplyOverflowRejected) {
+  BinomialMechanism mech(1.0, 1e-6);  // nb ~ 1452, noise ~ 726 expected
+  SecureRng rng("mech-overflow");
+  EXPECT_THROW(mech.Apply(std::numeric_limits<uint64_t>::max() - 1, rng),
+               std::overflow_error);
+  // Counts with headroom for the full noise range never throw.
+  uint64_t safe = std::numeric_limits<uint64_t>::max() - mech.num_coins();
+  EXPECT_GE(mech.Apply(safe, rng), safe);
 }
 
 TEST(SampleBinomialTest, RangeAndMoments) {

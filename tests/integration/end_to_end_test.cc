@@ -4,7 +4,9 @@
 // certified Binomial noise.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "src/baseline/nonverifiable_curator.h"
 #include "src/core/adversary.h"
@@ -26,6 +28,12 @@ ProtocolConfig E2eConfig(size_t k, size_t m, const std::string& sid) {
   config.num_provers = k;
   config.num_bins = m;
   config.session_id = sid;
+  // CI hook: one workflow configuration exports VDP_NUM_VERIFY_SHARDS > 1 so
+  // the whole integration suite exercises the sharded validation pipeline
+  // (src/shard/), which is decision-equivalent to the monolithic path.
+  if (const char* env = std::getenv("VDP_NUM_VERIFY_SHARDS")) {
+    config.num_verify_shards = static_cast<size_t>(std::max(1L, std::strtol(env, nullptr, 10)));
+  }
   return config;
 }
 
