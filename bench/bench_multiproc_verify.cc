@@ -1,0 +1,158 @@
+// In-process vs multi-process shard verification.
+//
+// Measures the cost of taking shard verification across the process
+// boundary (src/shard/process_pool.h + tools/verify_worker): the same
+// upload stream is validated by the in-process sharded pipeline (PR 2,
+// ThreadPool fan-out) and by fleets of verify_worker subprocesses fed over
+// the versioned wire format. Every configuration's accepted count is
+// cross-checked so a speedup can never come from a wrong verdict.
+//
+// Emits BENCH_multiproc_verify.json. The interesting numbers:
+//   - multiproc_ms vs inproc_ms: wire serialization + pipe transport +
+//     process scheduling overhead at equal hardware parallelism.
+//   - wire_mb: how many megabytes of tasks/results crossed the pipes --
+//     the budget a socket transport (multi-machine) would spend on the NIC.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/shard/process_pool.h"
+
+namespace {
+
+using G = vdp::ModP256;
+using S = G::Scalar;
+
+struct Point {
+  size_t n_uploads = 0;
+  size_t num_shards = 0;
+  size_t workers = 0;       // 0 = in-process baseline
+  double elapsed_ms = 0;
+  double wire_mb = 0;       // task + result bytes crossing the pipes
+  size_t accepted = 0;
+};
+
+// Serialized task+result volume for one full pass (measured once; the
+// driver re-serializes identically every run).
+double WireMegabytes(const vdp::ProtocolConfig& config, const vdp::Pedersen<G>& ped,
+                     const std::vector<vdp::ClientUploadMsg<G>>& uploads) {
+  vdp::wire::WireSetup setup = vdp::wire::MakeWireSetup(config, ped);
+  const auto digest = setup.Digest();
+  const size_t n = uploads.size();
+  const size_t shards = config.num_verify_shards;
+  size_t bytes = setup.Serialize().size();
+  for (size_t s = 0; s < shards; ++s) {
+    size_t from = n * s / shards;
+    size_t to = n * (s + 1) / shards;
+    auto task = vdp::wire::MakeShardTask<G>(digest, s, from, true, uploads.data() + from,
+                                            to - from);
+    bytes += task.Serialize().size();
+    auto result = vdp::VerifyShard(config, ped, uploads.data() + from, to - from, from, s);
+    bytes += vdp::wire::ResultToWire<G>(digest, result).Serialize().size();
+  }
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+void WriteJson(const std::vector<Point>& points) {
+  FILE* f = std::fopen("BENCH_multiproc_verify.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write BENCH_multiproc_verify.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"multiproc_verify\",\n");
+  std::fprintf(f, "  \"group\": \"%s\",\n", G::Name().c_str());
+  std::fprintf(f, "  \"pipeline\": \"wire ShardTask -> verify_worker fleet -> wire "
+               "ShardResult -> combine\",\n");
+  // Speedup over in-process is only possible with real cores to spread
+  // worker processes over; on a single-core box this bench measures pure
+  // wire + process overhead instead.
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"n_uploads\": %zu, \"num_shards\": %zu, \"mode\": \"%s\", "
+                 "\"workers\": %zu, \"elapsed_ms\": %.3f, \"wire_mb\": %.3f, "
+                 "\"accepted\": %zu}%s\n",
+                 p.n_uploads, p.num_shards, p.workers == 0 ? "in-process" : "multi-process",
+                 p.workers, p.elapsed_ms, p.wire_mb, p.accepted,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_multiproc_verify.json\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kUploads = 4096;
+  constexpr size_t kShards = 8;
+
+  vdp::ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.num_provers = 1;
+  config.num_bins = 1;
+  config.session_id = "bench-multiproc-verify";
+  config.batch_verify = true;
+  config.num_verify_shards = kShards;
+
+  vdp::Pedersen<G> ped;
+  vdp::SecureRng rng("bench-multiproc");
+  std::printf("building %zu uploads (%s)...\n", kUploads, G::Name().c_str());
+  std::vector<vdp::ClientUploadMsg<G>> uploads;
+  uploads.reserve(kUploads);
+  for (size_t i = 0; i < kUploads; ++i) {
+    uploads.push_back(vdp::MakeClientBundle<G>(i % 2, i, config, ped, rng).upload);
+  }
+
+  const double wire_mb = WireMegabytes(config, ped, uploads);
+  std::vector<Point> points;
+  vdp::ThreadPool& pool = vdp::GlobalPool();
+  vdp::Stopwatch timer;
+
+  // In-process baseline (PR 2 pipeline on the global thread pool).
+  timer.Reset();
+  auto inproc = vdp::ShardedVerifier<G>::VerifyAll(config, ped, uploads, &pool);
+  Point baseline;
+  baseline.n_uploads = kUploads;
+  baseline.num_shards = kShards;
+  baseline.elapsed_ms = timer.ElapsedMillis();
+  baseline.accepted = inproc.accepted.size();
+  points.push_back(baseline);
+  std::printf("in-process   %zu shards: %8.1f ms (%zu accepted)\n", kShards,
+              baseline.elapsed_ms, baseline.accepted);
+
+  for (size_t workers : {2, 4, 8}) {
+    vdp::ProcessPoolOptions options;
+    options.num_workers = workers;
+    vdp::MultiprocessVerifier<G> verifier(config, ped, options);
+    vdp::ProcessPoolReport report;
+    timer.Reset();
+    auto verdict = verifier.VerifyAll(uploads, /*compute_products=*/true, &report);
+    Point p;
+    p.n_uploads = kUploads;
+    p.num_shards = kShards;
+    p.workers = workers;
+    p.elapsed_ms = timer.ElapsedMillis();
+    p.wire_mb = wire_mb;
+    p.accepted = verdict.accepted.size();
+    points.push_back(p);
+    std::printf("multi-process %zu workers: %7.1f ms (%zu accepted, %zu failures, "
+                "%.1f MB wire)\n",
+                workers, p.elapsed_ms, p.accepted, report.failures.size(), wire_mb);
+    if (p.accepted != baseline.accepted || !verdict.reasons.empty() ||
+        verdict.accepted != inproc.accepted) {
+      std::fprintf(stderr, "FATAL: multi-process verdict diverged from in-process\n");
+      return 1;
+    }
+  }
+
+  WriteJson(points);
+  return 0;
+}

@@ -130,13 +130,13 @@ AuditReport AuditTranscript(const PublicTranscript<G>& t, const ProtocolConfig& 
   AuditReport report;
   PublicVerifier<G> verifier(config, ped);
 
-  // Honors config.batch_verify and config.num_verify_shards: the auditor
-  // re-checks sigma proofs with the same batched/sharded pipeline the live
-  // run used (or per-proof when disabled). The sharded verdict's commitment
-  // products double as the client half of the Eq. 10 check below -- the
-  // audit path has no private share-consistency filter, so they always cover
-  // exactly the accepted set.
-  const bool sharded = config.num_verify_shards > 1;
+  // Honors config.batch_verify, config.num_verify_shards, and
+  // config.verify_workers: the auditor re-checks sigma proofs with the same
+  // batched/sharded/multi-process pipeline the live run used (or per-proof
+  // when disabled). The sharded verdict's commitment products double as the
+  // client half of the Eq. 10 check below -- the audit path has no private
+  // share-consistency filter, so they always cover exactly the accepted set.
+  const bool sharded = verifier.UsesShardedPipeline();
   ShardedVerdict<G> verdict;
   if (sharded) {
     verdict = verifier.ValidateClientsSharded(t.client_uploads, pool);

@@ -48,6 +48,17 @@ struct ProtocolConfig {
   // leave num_verify_shards at 1 with batch_verify false.
   size_t num_verify_shards = 1;
 
+  // Farm shard verification out to this many verify_worker subprocesses
+  // (src/shard/process_pool.h): shards are serialized over the versioned
+  // wire format (src/wire/), verified out of process, and the decoded
+  // results feed the same deterministic combiner, bit-identically to the
+  // in-process path. Worker failures are blamed, retried, and -- as a last
+  // resort -- recovered in process, so the verdict never depends on fleet
+  // health. 0 or 1 (the default) keeps verification in process. The shard
+  // partition honors num_verify_shards when > 1, else defaults to two
+  // shards per worker.
+  size_t verify_workers = 0;
+
   // Domain separation for all Fiat-Shamir transcripts of this run.
   std::string session_id = "vdp-session";
 

@@ -114,11 +114,13 @@ ProtocolResult RunProtocol(const ProtocolConfig& config, const Pedersen<G>& ped,
     record->client_uploads = uploads;
   }
   timer.Reset();
-  // With num_verify_shards > 1, validation runs through the sharded pipeline
-  // and we keep the verdict: its per-prover/per-bin commitment products are
-  // exactly the client half of the Eq. 10 product, so CheckFinal below can
-  // reuse them instead of re-multiplying every accepted upload.
-  const bool sharded_validation = config.num_verify_shards > 1;
+  // With num_verify_shards > 1 (in-process shards) or verify_workers > 1
+  // (verify_worker subprocesses over the wire format), validation runs
+  // through the shard combiner and we keep the verdict: its per-prover/
+  // per-bin commitment products are exactly the client half of the Eq. 10
+  // product, so CheckFinal below can reuse them instead of re-multiplying
+  // every accepted upload.
+  const bool sharded_validation = verifier.UsesShardedPipeline();
   ShardedVerdict<G> sharded;
   std::vector<size_t> accepted;
   if (sharded_validation) {

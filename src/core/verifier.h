@@ -12,6 +12,7 @@
 #include "src/core/client.h"
 #include "src/core/messages.h"
 #include "src/core/verdict.h"
+#include "src/shard/process_pool.h"
 #include "src/shard/sharded_verifier.h"
 
 namespace vdp {
@@ -35,15 +36,17 @@ class PublicVerifier {
   // accepted set is identical either way. With config.num_verify_shards > 1
   // the uploads are partitioned into contiguous shards that batch-verify
   // independently (src/shard/sharded_verifier.h); the merged decisions are
-  // again identical, and a failed batch re-checks only its own shard.
+  // again identical, and a failed batch re-checks only its own shard. With
+  // config.verify_workers > 1 the shards additionally leave the process:
+  // they are farmed out to verify_worker subprocesses over the wire format
+  // (src/shard/process_pool.h), still decision-identical.
   std::vector<size_t> ValidateClients(const std::vector<ClientUploadMsg<G>>& uploads,
                                       std::vector<std::string>* reasons = nullptr,
                                       ThreadPool* pool = nullptr) const {
-    if (config_.num_verify_shards > 1) {
+    if (UsesShardedPipeline()) {
       // Products are skipped here: this entry point only reports decisions.
       // Callers that feed CheckFinalWithProducts use ValidateClientsSharded.
-      auto verdict = ShardedVerifier<G>::VerifyAll(config_, ped_, uploads, pool,
-                                                   /*compute_products=*/false);
+      auto verdict = RunShardedPipeline(uploads, pool, /*compute_products=*/false);
       if (reasons != nullptr) {
         reasons->insert(reasons->end(), verdict.reasons.begin(), verdict.reasons.end());
       }
@@ -81,7 +84,14 @@ class PublicVerifier {
   // consume so the Eq. 10 product is never recomputed from scratch.
   ShardedVerdict<G> ValidateClientsSharded(const std::vector<ClientUploadMsg<G>>& uploads,
                                            ThreadPool* pool = nullptr) const {
-    return ShardedVerifier<G>::VerifyAll(config_, ped_, uploads, pool);
+    return RunShardedPipeline(uploads, pool, /*compute_products=*/true);
+  }
+
+  // True when client validation runs through the shard combiner (in-process
+  // shards, worker subprocesses, or both); RunProtocol and AuditTranscript
+  // use this to decide whether a ShardedVerdict's products are available.
+  bool UsesShardedPipeline() const {
+    return config_.num_verify_shards > 1 || config_.verify_workers > 1;
   }
 
   // Lines 5-6: every private coin commitment must prove membership in LBit.
@@ -175,6 +185,21 @@ class PublicVerifier {
   }
 
  private:
+  // Shared body of the sharded entry points: multi-process when
+  // config.verify_workers > 1 (wire format + verify_worker subprocesses,
+  // with blamed retries and in-process recovery), in-process sharding
+  // otherwise. Both produce the same ShardedVerdict bit for bit.
+  ShardedVerdict<G> RunShardedPipeline(const std::vector<ClientUploadMsg<G>>& uploads,
+                                       ThreadPool* pool, bool compute_products) const {
+    if (config_.verify_workers > 1) {
+      ProcessPoolOptions options;
+      options.num_workers = config_.verify_workers;
+      MultiprocessVerifier<G> verifier(config_, ped_, std::move(options));
+      return verifier.VerifyAll(uploads, compute_products);
+    }
+    return ShardedVerifier<G>::VerifyAll(config_, ped_, uploads, pool, compute_products);
+  }
+
   // One bin of Eq. 10: client_product times the updated coin commitments
   // must open to (y_bin, z_bin).
   bool CheckFinalBin(size_t bin, const Element& client_product, const ProverCoinsMsg<G>& coins,

@@ -1,0 +1,301 @@
+// Multi-process shard verification: a work-queue driver that farms shards of
+// the upload stream out to verify_worker subprocesses over pipes, speaking
+// the versioned wire format of src/wire/, and feeds the decoded ShardResults
+// into the same deterministic combiner as the in-process pipeline.
+//
+// Topology: N driver threads, each owning one worker process (spawned from
+// tools/verify_worker.cc). Shards are claimed from a shared counter, so a
+// slow worker never stalls the queue. Failure handling is strictly
+// per-shard:
+//
+//   - A worker that dies, emits garbage, or exceeds the shard deadline is
+//     destroyed (blame recorded: which worker, which shard, how it ended)
+//     and a replacement is spawned for the retry.
+//   - A shard whose retries are exhausted is re-verified *in process*, so a
+//     broken worker fleet degrades to the PR-2 sharded path instead of
+//     losing shards.
+//
+// Either way every shard yields exactly one ShardResult and the combined
+// verdict is bit-identical to the in-process path; worker failures only show
+// up in the ProcessPoolReport.
+#ifndef SRC_SHARD_PROCESS_POOL_H_
+#define SRC_SHARD_PROCESS_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/shard/sharded_verifier.h"
+#include "src/shard/worker_process.h"
+#include "src/wire/frame_io.h"
+#include "src/wire/wire_convert.h"
+
+namespace vdp {
+
+// One failed attempt at farming a shard out: who was blamed and why. The
+// shard itself still completes (on a replacement worker or in process).
+struct WorkerFailure {
+  size_t shard_index = 0;
+  size_t worker_id = 0;
+  pid_t pid = -1;
+  std::string reason;
+};
+
+struct ProcessPoolReport {
+  std::vector<WorkerFailure> failures;
+  size_t shards_total = 0;
+  size_t shards_from_workers = 0;
+  size_t shards_recovered_in_process = 0;  // retries exhausted, verified locally
+  size_t workers_spawned = 0;
+};
+
+struct ProcessPoolOptions {
+  size_t num_workers = 2;
+  // Empty picks DefaultWorkerPath() (env override or build-dir sibling).
+  std::string worker_path;
+  // Deadline for one shard round-trip (send task, receive result).
+  int shard_timeout_ms = 120'000;
+  // Deadline for the hello frame after spawn.
+  int handshake_timeout_ms = 15'000;
+  // Worker attempts per shard before the in-process fallback.
+  size_t max_worker_attempts = 2;
+};
+
+template <PrimeOrderGroup G>
+class MultiprocessVerifier {
+ public:
+  MultiprocessVerifier(const ProtocolConfig& config, Pedersen<G> ped,
+                       ProcessPoolOptions options = {})
+      : config_(config), ped_(std::move(ped)), options_(std::move(options)) {
+    if (options_.num_workers == 0) {
+      options_.num_workers = 1;
+    }
+    if (options_.worker_path.empty()) {
+      options_.worker_path = DefaultWorkerPath();
+    }
+    wire::WireSetup setup = wire::MakeWireSetup(config_, ped_);
+    setup_payload_ = setup.Serialize();
+    params_digest_ = setup.Digest();
+  }
+
+  // Verifies all uploads across the worker fleet and combines. The shard
+  // partition honors config.num_verify_shards when set (> 1); otherwise it
+  // defaults to two shards per worker so a straggler can be overlapped.
+  ShardedVerdict<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
+                              bool compute_products = true,
+                              ProcessPoolReport* report = nullptr) {
+    const size_t n = uploads.size();
+    size_t shards = config_.num_verify_shards > 1 ? config_.num_verify_shards
+                                                  : 2 * options_.num_workers;
+    shards = std::min(std::max<size_t>(1, shards), std::max<size_t>(1, n));
+
+    std::vector<ShardResult<G>> results(shards);
+    ProcessPoolReport local_report;
+    local_report.shards_total = shards;
+
+    std::atomic<size_t> next_shard{0};
+    std::atomic<size_t> next_worker_id{0};
+    std::mutex report_mutex;
+
+    auto drive = [&]() {
+      std::optional<WorkerProcess> worker;
+      while (true) {
+        const size_t s = next_shard.fetch_add(1);
+        if (s >= shards) {
+          break;
+        }
+        const size_t from = n * s / shards;
+        const size_t to = n * (s + 1) / shards;
+        wire::WireShardTask task = wire::MakeShardTask<G>(
+            params_digest_, s, from, compute_products, uploads.data() + from, to - from);
+        const Bytes task_payload = task.Serialize();
+        // Retries resend task_payload; only the task's scalar metadata is
+        // needed from here on. Dropping the per-upload copies halves the
+        // per-shard memory held across the worker round-trip.
+        task.uploads.clear();
+        task.uploads.shrink_to_fit();
+
+        bool done = false;
+        // A task the frame layer would refuse (payload over kMaxFramePayload)
+        // can never succeed on any worker: skip the futile attempts and go
+        // straight to the in-process fallback, with the reason on record.
+        // (Seen only with shards of ~1M+ uploads; raise num_verify_shards.)
+        const bool oversized = task_payload.size() > wire::kMaxFramePayload;
+        if (oversized) {
+          RecordFailure(&local_report, &report_mutex, s, /*worker_id=*/SIZE_MAX, -1,
+                        "task frame exceeds wire payload limit (" +
+                            std::to_string(task_payload.size()) +
+                            " bytes); shard too large -- raise num_verify_shards");
+        }
+        for (size_t attempt = 0;
+             attempt < options_.max_worker_attempts && !done && !oversized; ++attempt) {
+          if (!worker.has_value()) {
+            worker = StartWorker(&next_worker_id, &local_report, &report_mutex, s);
+            if (!worker.has_value()) {
+              continue;  // spawn/handshake failure already blamed
+            }
+          }
+          std::string blame;
+          if (AttemptShard(*worker, task_payload, task, to - from, &results[s], &blame)) {
+            std::lock_guard<std::mutex> lock(report_mutex);
+            ++local_report.shards_from_workers;
+            done = true;
+          } else {
+            RecordFailure(&local_report, &report_mutex, s, worker->worker_id, worker->pid,
+                          blame + " (" + DestroyWorker(&*worker) + ")");
+            worker.reset();
+          }
+        }
+        if (!done) {
+          // Retries exhausted: verify locally so the shard -- and the
+          // combined verdict -- is never lost to a broken fleet.
+          results[s] = VerifyShard(config_, ped_, uploads.data() + from, to - from, from, s,
+                                   nullptr, compute_products);
+          std::lock_guard<std::mutex> lock(report_mutex);
+          ++local_report.shards_recovered_in_process;
+        }
+      }
+      if (worker.has_value()) {
+        DestroyWorker(&*worker);
+      }
+    };
+
+    const size_t threads = std::min(options_.num_workers, shards);
+    std::vector<std::thread> drivers;
+    drivers.reserve(threads);
+    for (size_t t = 0; t + 1 < threads; ++t) {
+      drivers.emplace_back(drive);
+    }
+    drive();  // the calling thread drives a worker too
+    for (std::thread& t : drivers) {
+      t.join();
+    }
+
+    if (report != nullptr) {
+      *report = std::move(local_report);
+    }
+    return CombineShardResults(config_, std::move(results));
+  }
+
+ private:
+  // Spawns and handshakes one worker: hello (version check) then setup.
+  std::optional<WorkerProcess> StartWorker(std::atomic<size_t>* next_worker_id,
+                                           ProcessPoolReport* report, std::mutex* mutex,
+                                           size_t shard_for_blame) {
+    const size_t id = next_worker_id->fetch_add(1);
+    auto worker = SpawnWorker(options_.worker_path, id);
+    if (!worker.has_value()) {
+      RecordFailure(report, mutex, shard_for_blame, id, -1,
+                    "spawn failed: " + options_.worker_path);
+      return std::nullopt;
+    }
+    {
+      std::lock_guard<std::mutex> lock(*mutex);
+      ++report->workers_spawned;
+    }
+    wire::Frame frame;
+    wire::ReadStatus status =
+        wire::ReadFrame(worker->result_fd, &frame, options_.handshake_timeout_ms);
+    std::string blame;
+    if (status != wire::ReadStatus::kOk) {
+      blame = std::string("no hello (") + wire::ReadStatusName(status) + ")";
+    } else if (frame.type != wire::FrameType::kHello) {
+      blame = "handshake sent wrong frame type";
+    } else {
+      auto hello = wire::WireHello::Deserialize(frame.payload);
+      if (!hello.has_value()) {
+        blame = "malformed hello";
+      } else if (hello->version != wire::kWireVersion) {
+        blame = "wire version mismatch: worker speaks v" + std::to_string(hello->version);
+      } else if (wire::WriteFrame(worker->task_fd, wire::FrameType::kSetup,
+                                  setup_payload_) != wire::WriteStatus::kOk) {
+        blame = "setup write failed";
+      }
+    }
+    if (!blame.empty()) {
+      RecordFailure(report, mutex, shard_for_blame, id, worker->pid,
+                    blame + " (" + DestroyWorker(&*worker) + ")");
+      return std::nullopt;
+    }
+    return worker;
+  }
+
+  // One task round-trip on a live worker, under ONE shard_timeout_ms
+  // deadline covering both the task write and the result read. On failure
+  // fills `blame` and returns false; the caller destroys the worker.
+  bool AttemptShard(const WorkerProcess& worker, BytesView task_payload,
+                    const wire::WireShardTask& task, size_t expected_count,
+                    ShardResult<G>* out, std::string* blame) {
+    const auto start = std::chrono::steady_clock::now();
+    wire::WriteStatus wstatus = wire::WriteFrame(worker.task_fd, wire::FrameType::kTask,
+                                                 task_payload, options_.shard_timeout_ms);
+    if (wstatus != wire::WriteStatus::kOk) {
+      *blame = wstatus == wire::WriteStatus::kTimeout ? "task write timed out"
+                                                      : "task write failed";
+      return false;
+    }
+    const auto write_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    const int remaining_ms = static_cast<int>(
+        std::max<long long>(0, options_.shard_timeout_ms - write_ms));
+    wire::Frame frame;
+    wire::ReadStatus status = wire::ReadFrame(worker.result_fd, &frame, remaining_ms);
+    if (status != wire::ReadStatus::kOk) {
+      *blame = std::string("no result (") + wire::ReadStatusName(status) + ")";
+      return false;
+    }
+    if (frame.type == wire::FrameType::kError) {
+      auto error = wire::WireError::Deserialize(frame.payload);
+      *blame = "worker error: " + (error.has_value() ? error->message : "<malformed>");
+      return false;
+    }
+    if (frame.type != wire::FrameType::kResult) {
+      *blame = "unexpected frame type in response";
+      return false;
+    }
+    auto wire_result = wire::WireShardResult::Deserialize(frame.payload);
+    if (!wire_result.has_value()) {
+      *blame = "malformed result frame";
+      return false;
+    }
+    if (!std::equal(wire_result->params_digest.begin(), wire_result->params_digest.end(),
+                    params_digest_.begin()) ||
+        wire_result->shard_index != task.shard_index || wire_result->base != task.base ||
+        wire_result->count != expected_count ||
+        wire_result->partial_products.empty() == (task.compute_products == 1)) {
+      *blame = "result does not match task";
+      return false;
+    }
+    auto result = wire::ResultFromWire<G>(config_, *wire_result);
+    if (!result.has_value()) {
+      *blame = "result elements fail group decoding";
+      return false;
+    }
+    *out = std::move(*result);
+    return true;
+  }
+
+  static void RecordFailure(ProcessPoolReport* report, std::mutex* mutex, size_t shard,
+                            size_t worker_id, pid_t pid, std::string reason) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    report->failures.push_back(WorkerFailure{shard, worker_id, pid, std::move(reason)});
+  }
+
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+  ProcessPoolOptions options_;
+  Bytes setup_payload_;
+  Sha256::Digest params_digest_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_SHARD_PROCESS_POOL_H_

@@ -1,0 +1,150 @@
+// For pipe2 (O_CLOEXEC pipes must be created atomically: driver threads
+// fork concurrently, so a close-on-exec flag set after pipe() would leave a
+// window for sibling workers to inherit each other's pipe ends).
+#define _GNU_SOURCE 1
+
+#include "src/shard/worker_process.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <limits.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace vdp {
+
+namespace {
+
+void CloseIfOpen(int* fd) {
+  if (*fd >= 0) {
+    close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+std::string DefaultWorkerPath() {
+  if (const char* env = std::getenv("VDP_VERIFY_WORKER_PATH")) {
+    return env;
+  }
+  char exe[PATH_MAX];
+  ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) {
+    return "";
+  }
+  exe[n] = '\0';
+  std::string path(exe);
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return "";
+  }
+  return path.substr(0, slash + 1) + "verify_worker";
+}
+
+std::optional<WorkerProcess> SpawnWorker(const std::string& path, size_t worker_id) {
+  IgnoreSigpipe();
+  // O_CLOEXEC on every end: a worker must inherit ONLY its own stdin/stdout
+  // (dup2 below clears the flag on those two). Without it, a sibling worker
+  // forked by another driver thread would keep e.g. the write end of this
+  // worker's result pipe open, so the driver would never see EOF when this
+  // worker dies (stalling for the full shard timeout instead), and closing
+  // task_fd would not deliver EOF-shutdown to a healthy worker.
+  int task_pipe[2];    // driver -> worker
+  int result_pipe[2];  // worker -> driver
+  if (pipe2(task_pipe, O_CLOEXEC) != 0) {
+    return std::nullopt;
+  }
+  if (pipe2(result_pipe, O_CLOEXEC) != 0) {
+    close(task_pipe[0]);
+    close(task_pipe[1]);
+    return std::nullopt;
+  }
+
+  // Everything the child needs is materialized BEFORE fork(): driver
+  // threads fork concurrently, so the child may inherit a locked malloc
+  // arena -- between fork and exec only async-signal-safe calls are legal.
+  const std::string id = std::to_string(worker_id);
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(task_pipe[0]);
+    close(task_pipe[1]);
+    close(result_pipe[0]);
+    close(result_pipe[1]);
+    return std::nullopt;
+  }
+
+  if (pid == 0) {
+    // Child: stdin <- task pipe, stdout -> result pipe, stderr inherited.
+    // dup2 clears O_CLOEXEC on the two fds the worker keeps; every other
+    // inherited pipe end closes on exec. Async-signal-safe calls only.
+    dup2(task_pipe[0], STDIN_FILENO);
+    dup2(result_pipe[1], STDOUT_FILENO);
+    execl(path.c_str(), path.c_str(), id.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed; the driver sees EOF on result_fd
+  }
+
+  close(task_pipe[0]);
+  close(result_pipe[1]);
+  // Non-blocking write end so the driver's WriteFrame deadline is honored
+  // even when a wedged worker stops draining the pipe. The worker's read end
+  // is a separate open file description and stays blocking.
+  int flags = fcntl(task_pipe[1], F_GETFL, 0);
+  if (flags >= 0) {
+    fcntl(task_pipe[1], F_SETFL, flags | O_NONBLOCK);
+  }
+  WorkerProcess worker;
+  worker.pid = pid;
+  worker.task_fd = task_pipe[1];
+  worker.result_fd = result_pipe[0];
+  worker.worker_id = worker_id;
+  return worker;
+}
+
+std::string DestroyWorker(WorkerProcess* worker) {
+  CloseIfOpen(&worker->task_fd);  // EOF: a healthy worker exits on its own
+  CloseIfOpen(&worker->result_fd);
+  if (worker->pid < 0) {
+    return "never started";
+  }
+
+  // Grace period: a healthy worker exits as soon as it sees EOF on stdin;
+  // only a hung or wedged one needs SIGKILL.
+  int status = 0;
+  pid_t reaped = 0;
+  for (int waited_ms = 0; waited_ms < 500; waited_ms += 10) {
+    reaped = waitpid(worker->pid, &status, WNOHANG);
+    if (reaped != 0) {
+      break;
+    }
+    usleep(10 * 1000);
+  }
+  if (reaped == 0) {
+    kill(worker->pid, SIGKILL);
+    reaped = waitpid(worker->pid, &status, 0);
+  }
+  worker->pid = -1;
+  if (reaped < 0) {
+    return "wait failed";
+  }
+  if (WIFEXITED(status)) {
+    return "exited " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended";
+}
+
+void IgnoreSigpipe() {
+  // Safe to run from multiple threads: every call installs the same
+  // disposition, and it is never reverted.
+  signal(SIGPIPE, SIG_IGN);
+}
+
+}  // namespace vdp

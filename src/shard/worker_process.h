@@ -1,0 +1,43 @@
+// Child-process plumbing for the multi-process verifier: spawn a
+// verify_worker with its stdin/stdout bridged to driver-side pipe fds, and
+// tear it down without leaking fds or zombies. Group-agnostic; the wire
+// protocol spoken over the pipes lives in src/wire/.
+#ifndef SRC_SHARD_WORKER_PROCESS_H_
+#define SRC_SHARD_WORKER_PROCESS_H_
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+
+namespace vdp {
+
+struct WorkerProcess {
+  pid_t pid = -1;
+  int task_fd = -1;    // driver writes frames here (worker's stdin)
+  int result_fd = -1;  // driver reads frames here (worker's stdout)
+  size_t worker_id = 0;
+};
+
+// Absolute path of the verify_worker binary: $VDP_VERIFY_WORKER_PATH if set,
+// else a sibling of the running executable (both land in the same build
+// directory). Empty when neither resolves.
+std::string DefaultWorkerPath();
+
+// Forks and execs `path <worker_id>` with pipes on stdin/stdout (stderr is
+// inherited so worker diagnostics reach the driver's log). nullopt when the
+// pipes or fork fail; an exec failure surfaces later as EOF on result_fd.
+std::optional<WorkerProcess> SpawnWorker(const std::string& path, size_t worker_id);
+
+// Closes the pipes, SIGKILLs if still running, and reaps. Returns a short
+// human-readable description of how the worker ended ("exited 0",
+// "killed by signal 9", ...) for blame reports.
+std::string DestroyWorker(WorkerProcess* worker);
+
+// Process-wide, idempotent: a write into a dead worker must fail with EPIPE
+// instead of killing the driver.
+void IgnoreSigpipe();
+
+}  // namespace vdp
+
+#endif  // SRC_SHARD_WORKER_PROCESS_H_

@@ -1,0 +1,185 @@
+#include "src/wire/frame_io.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace vdp {
+namespace wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Milliseconds until `deadline`, clamped to >= 0; -1 for "no deadline".
+int RemainingMs(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) {
+    return -1;
+  }
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+// Reads exactly `len` bytes. `*got` reports progress so the caller can tell
+// a clean EOF (got == 0) from a mid-frame close.
+ReadStatus ReadExact(int fd, uint8_t* buf, size_t len, bool has_deadline,
+                     Clock::time_point deadline, size_t* got) {
+  *got = 0;
+  while (*got < len) {
+    int wait = RemainingMs(has_deadline, deadline);
+    if (has_deadline && wait == 0) {
+      return ReadStatus::kTimeout;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ReadStatus::kError;
+    }
+    if (ready == 0) {
+      return ReadStatus::kTimeout;
+    }
+    ssize_t n = read(fd, buf + *got, len - *got);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ReadStatus::kError;
+    }
+    if (n == 0) {
+      return ReadStatus::kEof;
+    }
+    *got += static_cast<size_t>(n);
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace
+
+const char* ReadStatusName(ReadStatus status) {
+  switch (status) {
+    case ReadStatus::kOk:
+      return "ok";
+    case ReadStatus::kEof:
+      return "eof";
+    case ReadStatus::kTimeout:
+      return "timeout";
+    case ReadStatus::kVersionSkew:
+      return "wire version skew";
+    case ReadStatus::kMalformed:
+      return "malformed";
+    case ReadStatus::kError:
+      return "io-error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+WriteStatus WriteAll(int fd, BytesView data, bool has_deadline,
+                     Clock::time_point deadline) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Pipe full: wait for the peer to drain it, up to the deadline.
+        int wait = RemainingMs(has_deadline, deadline);
+        if (has_deadline && wait == 0) {
+          return WriteStatus::kTimeout;
+        }
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        int ready = poll(&pfd, 1, wait);
+        if (ready < 0 && errno != EINTR) {
+          return WriteStatus::kError;
+        }
+        if (ready == 0) {
+          return WriteStatus::kTimeout;
+        }
+        continue;
+      }
+      return WriteStatus::kError;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return WriteStatus::kOk;
+}
+
+}  // namespace
+
+WriteStatus WriteFrame(int fd, FrameType type, BytesView payload, int timeout_ms) {
+  // Enforced on the encode side too: a payload the peer's header check would
+  // reject (or whose size would wrap the u32 length field and desynchronize
+  // the stream) must never leave this process.
+  if (payload.size() > kMaxFramePayload) {
+    return WriteStatus::kError;
+  }
+  const bool has_deadline = timeout_ms >= 0;
+  const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Header and payload are written back to back instead of concatenated, so
+  // a multi-hundred-MB frame does not cost an extra full copy.
+  Bytes header = EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()));
+  WriteStatus status = WriteAll(fd, header, has_deadline, deadline);
+  if (status != WriteStatus::kOk) {
+    return status;
+  }
+  return WriteAll(fd, payload, has_deadline, deadline);
+}
+
+ReadStatus ReadFrame(int fd, Frame* out, int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  uint8_t header_bytes[kFrameHeaderSize];
+  size_t got = 0;
+  ReadStatus status =
+      ReadExact(fd, header_bytes, kFrameHeaderSize, has_deadline, deadline, &got);
+  if (status == ReadStatus::kEof && got > 0) {
+    return ReadStatus::kMalformed;  // stream died inside a frame header
+  }
+  if (status != ReadStatus::kOk) {
+    return status;
+  }
+  auto header = DecodeFrameHeader(BytesView(header_bytes, kFrameHeaderSize));
+  if (!header.has_value()) {
+    // A well-formed magic with a different version byte is a peer from
+    // another release, not line noise -- classify it so the blame report
+    // says "version skew" instead of "malformed" for mixed-version fleets.
+    if (std::equal(kMagic.begin(), kMagic.end(), header_bytes) &&
+        header_bytes[kMagic.size()] != kWireVersion) {
+      return ReadStatus::kVersionSkew;
+    }
+    return ReadStatus::kMalformed;
+  }
+
+  out->type = header->type;
+  out->payload.assign(header->payload_size, 0);
+  if (header->payload_size > 0) {
+    status = ReadExact(fd, out->payload.data(), out->payload.size(), has_deadline, deadline,
+                       &got);
+    if (status == ReadStatus::kEof) {
+      return ReadStatus::kMalformed;  // truncated payload
+    }
+    if (status != ReadStatus::kOk) {
+      return status;
+    }
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace wire
+}  // namespace vdp

@@ -1,0 +1,192 @@
+// Versioned binary wire format for multi-process shard verification.
+//
+// The sharded pipeline (src/shard/sharded_verifier.h) reduced each shard of
+// the upload stream to a compact, self-contained ShardResult. This module
+// takes that value across the process boundary: a driver serializes shard
+// *tasks* (params digest, shard range, uploads), worker processes return
+// shard *results* (accepted indices, rejection reasons, partial commitment
+// products), and the existing deterministic combiner ingests the decoded
+// results bit-identically to the in-process path. The same frames will carry
+// over a socket unchanged, which is what makes this the stepping stone to
+// multi-machine verification.
+//
+// Every message travels inside a length-prefixed frame:
+//
+//   magic "VDPW" (4) | version u8 | frame type u8 | payload length u32 LE
+//
+// followed by `payload length` bytes. Unknown versions and unknown frame
+// types are rejected at the header, before any payload is interpreted, so a
+// version bump can never be silently misparsed. Payload structs are
+// group-agnostic: group elements ride as opaque byte blobs (producers use
+// G::Encode; consumers run G::Decode with its strict subgroup checks), so
+// the wire layer never depends on a particular backend.
+//
+// Decoding is total: every Deserialize returns std::nullopt on any
+// malformed, truncated, or out-of-spec input -- never UB, never a throw.
+// Well-formedness is part of decoding: a WireShardResult whose indices are
+// out of range, unsorted, or double-counted does not decode.
+#ifndef SRC_WIRE_WIRE_FORMAT_H_
+#define SRC_WIRE_WIRE_FORMAT_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/common/sha256.h"
+
+namespace vdp {
+namespace wire {
+
+// Bumped on any incompatible change to the frame header or payload layout.
+inline constexpr uint8_t kWireVersion = 1;
+
+// "VDPW" in little-endian byte order.
+inline constexpr std::array<uint8_t, 4> kMagic = {0x56, 0x44, 0x50, 0x57};
+
+// magic + version + type + payload length.
+inline constexpr size_t kFrameHeaderSize = 10;
+
+// Upper bound on a frame payload; a header announcing more than this is
+// malformed (protects a reader from attacker-controlled allocations).
+inline constexpr uint32_t kMaxFramePayload = 256u * 1024 * 1024;
+
+enum class FrameType : uint8_t {
+  kHello = 1,   // worker -> driver, first frame after spawn
+  kSetup = 2,   // driver -> worker, session parameters
+  kTask = 3,    // driver -> worker, one shard to verify
+  kResult = 4,  // worker -> driver, the shard's verdict
+  kError = 5,   // worker -> driver, diagnostic before giving up on a task
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kHello;
+  uint32_t payload_size = 0;
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  Bytes payload;
+};
+
+// Serializes header + payload into one buffer ready for the pipe.
+Bytes EncodeFrame(FrameType type, BytesView payload);
+
+// Just the kFrameHeaderSize header announcing a payload of the given size
+// (frame_io streams header and payload separately to avoid concatenating
+// large frames).
+Bytes EncodeFrameHeader(FrameType type, uint32_t payload_size);
+
+// Validates magic, version, frame type, and the payload bound. Exactly
+// kFrameHeaderSize bytes are consumed; nullopt on any mismatch.
+std::optional<FrameHeader> DecodeFrameHeader(BytesView header);
+
+// Decodes one complete frame (header + payload, no trailing bytes).
+std::optional<Frame> DecodeFrame(BytesView data);
+
+// --- Handshake ---------------------------------------------------------
+
+// Worker's first message: which wire version it speaks and its pid (used in
+// blame messages when the driver has to kill it).
+struct WireHello {
+  uint8_t version = kWireVersion;
+  uint64_t pid = 0;
+
+  Bytes Serialize() const;
+  static std::optional<WireHello> Deserialize(BytesView data);
+};
+
+// Group-agnostic mirror of ProtocolConfig. Doubles travel as their IEEE-754
+// bit patterns so the encoding is exact and byte-stable.
+struct WireConfig {
+  uint64_t epsilon_bits = 0;
+  uint64_t delta_bits = 0;
+  uint64_t num_provers = 1;
+  uint64_t num_bins = 1;
+  uint8_t morra_mode = 0;
+  uint8_t batch_verify = 0;
+  uint64_t num_verify_shards = 1;
+  uint64_t verify_workers = 0;
+  std::string session_id;
+
+  void SerializeInto(Writer* w) const;
+  static std::optional<WireConfig> DeserializeFrom(Reader* r);
+
+  bool operator==(const WireConfig&) const = default;
+};
+
+// Everything a worker needs to verify shards of one session: the group
+// backend by name, the protocol config, and the Pedersen generators.
+struct WireSetup {
+  std::string group_name;
+  WireConfig config;
+  Bytes pedersen_g;  // G::Encode of the commitment bases
+  Bytes pedersen_h;
+
+  Bytes Serialize() const;
+  static std::optional<WireSetup> Deserialize(BytesView data);
+
+  // SHA-256 of the serialized setup; every task and result carries it so a
+  // worker can prove it verified under the parameters the driver meant.
+  Sha256::Digest Digest() const;
+
+  bool operator==(const WireSetup&) const = default;
+};
+
+// --- Shard task / result ------------------------------------------------
+
+// One contiguous shard of the broadcast upload stream, addressed to any
+// worker holding the matching setup.
+struct WireShardTask {
+  std::array<uint8_t, Sha256::kDigestSize> params_digest{};
+  uint64_t shard_index = 0;
+  uint64_t base = 0;  // global index of uploads[0]
+  uint8_t compute_products = 1;
+  std::vector<Bytes> uploads;  // each: ClientUploadMsg<G>::Serialize()
+
+  Bytes Serialize() const;
+  static std::optional<WireShardTask> Deserialize(BytesView data);
+
+  bool operator==(const WireShardTask&) const = default;
+};
+
+// The wire form of ShardResult<G> (src/shard/sharded_verifier.h).
+//
+// Decoding enforces the combiner's invariants: accepted and rejection
+// indices strictly ascending, every index within [base, base + count), and
+// accepted + rejections partitioning the shard exactly.
+struct WireShardResult {
+  std::array<uint8_t, Sha256::kDigestSize> params_digest{};
+  uint64_t shard_index = 0;
+  uint64_t base = 0;
+  uint64_t count = 0;
+  std::vector<uint64_t> accepted;  // global indices, strictly ascending
+  // (global index, reason), strictly ascending by index.
+  std::vector<std::pair<uint64_t, std::string>> rejections;
+  // [num_provers][num_bins] encoded elements; empty when the task said
+  // compute_products = 0.
+  std::vector<std::vector<Bytes>> partial_products;
+  uint8_t fallback_used = 0;
+
+  Bytes Serialize() const;
+  static std::optional<WireShardResult> Deserialize(BytesView data);
+
+  bool operator==(const WireShardResult&) const = default;
+};
+
+// Worker-side diagnostic accompanying a refusal (bad digest, undecodable
+// upload bytes). The driver logs it into the blame report.
+struct WireError {
+  std::string message;
+
+  Bytes Serialize() const;
+  static std::optional<WireError> Deserialize(BytesView data);
+};
+
+}  // namespace wire
+}  // namespace vdp
+
+#endif  // SRC_WIRE_WIRE_FORMAT_H_

@@ -1,0 +1,287 @@
+// Multi-process shard verification (src/shard/process_pool.h +
+// tools/verify_worker): the combined verdict must be bit-identical to the
+// in-process sharded pipeline in every fleet condition -- healthy, workers
+// crashing mid-shard, workers emitting garbage, workers hanging past the
+// deadline, and a fleet that cannot run at all. Failures must be blamed
+// (which worker, which shard, how it ended) without perturbing the verdict.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "src/shard/process_pool.h"
+#include "src/shard/worker_process.h"
+#include "src/wire/frame_io.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+using S = G::Scalar;
+
+// Scoped setter for the worker fault-injection hook; the env var is
+// inherited through fork/exec by every worker the pool spawns.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec) {
+    setenv("VDP_WORKER_FAULT", spec.c_str(), 1);
+  }
+  ~ScopedFault() { unsetenv("VDP_WORKER_FAULT"); }
+};
+
+ProtocolConfig PoolConfig(size_t shards) {
+  ProtocolConfig config;
+  config.epsilon = 50.0;  // nb = 31: keeps upload construction fast
+  config.num_provers = 1;
+  config.num_bins = 1;
+  config.session_id = "process-pool-test";
+  config.batch_verify = true;
+  config.num_verify_shards = shards;
+  return config;
+}
+
+std::vector<ClientUploadMsg<G>> MakeUploads(const ProtocolConfig& config,
+                                            const Pedersen<G>& ped, size_t n) {
+  SecureRng rng("process-pool-uploads");
+  std::vector<ClientUploadMsg<G>> uploads;
+  uploads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uploads.push_back(
+        MakeClientBundle<G>(static_cast<uint32_t>(i % 2), i, config, ped, rng).upload);
+  }
+  // A rejection partway through the stream: the verdicts must agree on
+  // rejections and their reasons too, not just on the happy path.
+  uploads[n / 3].bin_proofs[0].z0 += S::One();
+  return uploads;
+}
+
+void ExpectSameVerdict(const ShardedVerdict<G>& expected, const ShardedVerdict<G>& actual) {
+  EXPECT_EQ(expected.accepted, actual.accepted);
+  EXPECT_EQ(expected.reasons, actual.reasons);
+  EXPECT_EQ(expected.total_uploads, actual.total_uploads);
+  ASSERT_EQ(expected.commitment_products.size(), actual.commitment_products.size());
+  for (size_t k = 0; k < expected.commitment_products.size(); ++k) {
+    ASSERT_EQ(expected.commitment_products[k].size(), actual.commitment_products[k].size());
+    for (size_t m = 0; m < expected.commitment_products[k].size(); ++m) {
+      EXPECT_TRUE(expected.commitment_products[k][m] == actual.commitment_products[k][m])
+          << "commitment product mismatch at prover " << k << " bin " << m;
+    }
+  }
+}
+
+class ProcessPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = PoolConfig(/*shards=*/4);
+    uploads_ = MakeUploads(config_, ped_, 64);
+    expected_ = ShardedVerifier<G>::VerifyAll(config_, ped_, uploads_, nullptr);
+  }
+
+  ShardedVerdict<G> RunPool(ProcessPoolOptions options, ProcessPoolReport* report) {
+    MultiprocessVerifier<G> verifier(config_, ped_, std::move(options));
+    return verifier.VerifyAll(uploads_, /*compute_products=*/true, report);
+  }
+
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+  std::vector<ClientUploadMsg<G>> uploads_;
+  ShardedVerdict<G> expected_;
+};
+
+TEST_F(ProcessPoolTest, HealthyFleetMatchesInProcess) {
+  ProcessPoolOptions options;
+  options.num_workers = 2;
+  ProcessPoolReport report;
+  auto verdict = RunPool(options, &report);
+  ExpectSameVerdict(expected_, verdict);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(report.shards_from_workers, report.shards_total);
+  EXPECT_EQ(report.shards_recovered_in_process, 0u);
+  EXPECT_EQ(report.shards_total, 4u);
+}
+
+TEST_F(ProcessPoolTest, CrashedWorkerIsBlamedAndShardRetried) {
+  // Worker 0 dies on every task it receives; its shards must be retried on
+  // replacement workers (fresh ids, no fault match) with the verdict intact.
+  ScopedFault fault("crash:0");
+  ProcessPoolOptions options;
+  options.num_workers = 2;
+  ProcessPoolReport report;
+  auto verdict = RunPool(options, &report);
+  ExpectSameVerdict(expected_, verdict);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_EQ(report.failures[0].worker_id, 0u);
+  EXPECT_NE(report.failures[0].reason.find("no result"), std::string::npos)
+      << report.failures[0].reason;
+  EXPECT_NE(report.failures[0].reason.find("exited 134"), std::string::npos)
+      << report.failures[0].reason;
+  EXPECT_EQ(report.shards_from_workers + report.shards_recovered_in_process,
+            report.shards_total);
+}
+
+TEST_F(ProcessPoolTest, GarbageEmittingWorkerIsBlamed) {
+  ScopedFault fault("garbage:0");
+  ProcessPoolOptions options;
+  options.num_workers = 2;
+  ProcessPoolReport report;
+  auto verdict = RunPool(options, &report);
+  ExpectSameVerdict(expected_, verdict);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].reason.find("malformed"), std::string::npos)
+      << report.failures[0].reason;
+}
+
+TEST_F(ProcessPoolTest, HungWorkerTimesOutAndIsKilled) {
+  ScopedFault fault("hang:0");
+  ProcessPoolOptions options;
+  options.num_workers = 2;
+  options.shard_timeout_ms = 300;
+  ProcessPoolReport report;
+  auto verdict = RunPool(options, &report);
+  ExpectSameVerdict(expected_, verdict);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].reason.find("timeout"), std::string::npos)
+      << report.failures[0].reason;
+  EXPECT_NE(report.failures[0].reason.find("killed by signal"), std::string::npos)
+      << report.failures[0].reason;
+}
+
+TEST_F(ProcessPoolTest, FullyBrokenFleetRecoversInProcess) {
+  // Every worker (including replacements) crashes: after max_worker_attempts
+  // the driver verifies each shard locally, so the verdict survives a fleet
+  // that cannot verify anything.
+  ScopedFault fault("crash:all");
+  ProcessPoolOptions options;
+  options.num_workers = 2;
+  options.max_worker_attempts = 2;
+  ProcessPoolReport report;
+  auto verdict = RunPool(options, &report);
+  ExpectSameVerdict(expected_, verdict);
+  EXPECT_EQ(report.shards_from_workers, 0u);
+  EXPECT_EQ(report.shards_recovered_in_process, report.shards_total);
+  EXPECT_GE(report.failures.size(), report.shards_total);
+}
+
+TEST_F(ProcessPoolTest, MissingWorkerBinaryRecoversInProcess) {
+  ProcessPoolOptions options;
+  options.num_workers = 2;
+  options.worker_path = "/nonexistent/verify_worker";
+  ProcessPoolReport report;
+  auto verdict = RunPool(options, &report);
+  ExpectSameVerdict(expected_, verdict);
+  EXPECT_EQ(report.shards_from_workers, 0u);
+  EXPECT_EQ(report.shards_recovered_in_process, report.shards_total);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].reason.find("no hello"), std::string::npos)
+      << report.failures[0].reason;
+}
+
+TEST_F(ProcessPoolTest, ProductsSkippedWhenNotRequested) {
+  ProcessPoolOptions options;
+  options.num_workers = 2;
+  MultiprocessVerifier<G> verifier(config_, ped_, std::move(options));
+  ProcessPoolReport report;
+  auto verdict = verifier.VerifyAll(uploads_, /*compute_products=*/false, &report);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(verdict.accepted, expected_.accepted);
+  EXPECT_EQ(verdict.reasons, expected_.reasons);
+  // No products were computed: the combiner leaves identity products.
+  for (const auto& row : verdict.commitment_products) {
+    for (const auto& element : row) {
+      EXPECT_TRUE(element == G::Identity());
+    }
+  }
+}
+
+// --- Direct worker protocol checks (no pool) ---------------------------
+
+// Drives one worker by hand through the handshake so protocol-level
+// refusals can be observed directly.
+class WorkerProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = PoolConfig(/*shards=*/1);
+    setup_ = wire::MakeWireSetup(config_, ped_);
+    auto spawned = SpawnWorker(DefaultWorkerPath(), /*worker_id=*/0);
+    ASSERT_TRUE(spawned.has_value());
+    worker_ = *spawned;
+
+    wire::Frame hello;
+    ASSERT_EQ(wire::ReadFrame(worker_.result_fd, &hello, 15'000), wire::ReadStatus::kOk);
+    ASSERT_EQ(hello.type, wire::FrameType::kHello);
+    auto parsed = wire::WireHello::Deserialize(hello.payload);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->version, wire::kWireVersion);
+    ASSERT_EQ(wire::WriteFrame(worker_.task_fd, wire::FrameType::kSetup,
+                               setup_.Serialize(), 15'000),
+              wire::WriteStatus::kOk);
+  }
+
+  void TearDown() override { DestroyWorker(&worker_); }
+
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+  wire::WireSetup setup_;
+  WorkerProcess worker_;
+};
+
+TEST_F(WorkerProtocolTest, RefusesTaskWithMismatchedParamsDigest) {
+  wire::WireShardTask task;
+  task.params_digest.fill(0xEE);  // not the setup digest
+  ASSERT_EQ(wire::WriteFrame(worker_.task_fd, wire::FrameType::kTask, task.Serialize(),
+                             15'000),
+            wire::WriteStatus::kOk);
+  wire::Frame response;
+  ASSERT_EQ(wire::ReadFrame(worker_.result_fd, &response, 15'000), wire::ReadStatus::kOk);
+  ASSERT_EQ(response.type, wire::FrameType::kError);
+  auto error = wire::WireError::Deserialize(response.payload);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->message.find("digest"), std::string::npos) << error->message;
+}
+
+TEST_F(WorkerProtocolTest, AnswersWellFormedTask) {
+  auto uploads = MakeUploads(config_, ped_, 8);
+  wire::WireShardTask task = wire::MakeShardTask<G>(
+      setup_.Digest(), /*shard_index=*/0, /*base=*/0, /*compute_products=*/true,
+      uploads.data(), uploads.size());
+  ASSERT_EQ(wire::WriteFrame(worker_.task_fd, wire::FrameType::kTask, task.Serialize(),
+                             15'000),
+            wire::WriteStatus::kOk);
+  wire::Frame response;
+  ASSERT_EQ(wire::ReadFrame(worker_.result_fd, &response, 60'000), wire::ReadStatus::kOk);
+  ASSERT_EQ(response.type, wire::FrameType::kResult);
+  auto wire_result = wire::WireShardResult::Deserialize(response.payload);
+  ASSERT_TRUE(wire_result.has_value());
+  auto result = wire::ResultFromWire<G>(config_, *wire_result);
+  ASSERT_TRUE(result.has_value());
+
+  auto expected = VerifyShard(config_, ped_, uploads.data(), uploads.size(), 0, 0);
+  EXPECT_EQ(result->accepted, expected.accepted);
+  EXPECT_EQ(result->rejections, expected.rejections);
+  ASSERT_EQ(result->partial_products.size(), expected.partial_products.size());
+  for (size_t k = 0; k < expected.partial_products.size(); ++k) {
+    for (size_t m = 0; m < expected.partial_products[k].size(); ++m) {
+      EXPECT_TRUE(result->partial_products[k][m] == expected.partial_products[k][m]);
+    }
+  }
+}
+
+TEST_F(WorkerProtocolTest, RejectsFutureWireVersionCleanly) {
+  // Hand-build a frame claiming wire version kWireVersion + 1: the worker
+  // must classify it as malformed and answer with a clean error frame
+  // instead of interpreting the payload.
+  Bytes frame = wire::EncodeFrame(wire::FrameType::kTask, Bytes(4, 0x00));
+  frame[4] = wire::kWireVersion + 1;  // version byte follows the 4-byte magic
+  size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n = write(worker_.task_fd, frame.data() + written, frame.size() - written);
+    ASSERT_GT(n, 0);
+    written += static_cast<size_t>(n);
+  }
+  wire::Frame response;
+  ASSERT_EQ(wire::ReadFrame(worker_.result_fd, &response, 15'000), wire::ReadStatus::kOk);
+  ASSERT_EQ(response.type, wire::FrameType::kError);
+}
+
+}  // namespace
+}  // namespace vdp

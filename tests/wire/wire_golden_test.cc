@@ -1,0 +1,169 @@
+// Golden-vector pins for the multi-process wire format: the exact bytes of
+// representative frames are frozen here as hex fixtures, so ANY drift in
+// the encoding -- field order, widths, endianness, frame header, element
+// encoding, or the setup digest -- fails this suite instead of silently
+// breaking mixed-version fleets. If a change is intentional, bump
+// wire::kWireVersion and regenerate the fixtures (each assertion prints the
+// actual encoding on mismatch).
+#include <gtest/gtest.h>
+
+#include "src/common/hex.h"
+#include "src/wire/wire_convert.h"
+#include "src/wire/wire_format.h"
+
+namespace vdp {
+namespace wire {
+namespace {
+
+// EncodeFrame(kResult, ...) of a synthetic WireShardResult: digest 00..1f,
+// shard 2 covering [10, 14), accepted {10, 12}, two canonical rejection
+// reasons, a 1x2 product matrix, fallback used.
+constexpr char kGoldenResultFrameHex[] =
+    "564450570104a7000000000102030405060708090a0b0c0d0e0f10111213141516171819"
+    "1a1b1c1d1e1f02000000000000000a0000000000000004000000000000000200000"
+    "00a000000000000000c00000000000000020000000b00000000000000140000006269"
+    "6e204f522070726f6f6620696e76616c69640d000000000000001600000"
+    "06d616c666f726d65642075706c6f61642073686170650100000002000000030000000"
+    "10203010000000401";
+
+// EncodeFrame(kTask, ...) of a synthetic WireShardTask: digest a0..bf,
+// shard 1 based at 16, compute_products on, two opaque upload blobs.
+constexpr char kGoldenTaskFrameHex[] =
+    "56445057010342000000a0a1a2a3a4a5a6a7a8a9aaabacadaeafb0b1b2b3b4b5b6b7b8b9"
+    "babbbcbdbebf0100000000000000100000000000000001020000000200000"
+    "0dead03000000beef01";
+
+// WireSetup payload for ModP256 with the default (nothing-up-my-sleeve)
+// Pedersen bases and a fixed config. Pins the config layout AND the group
+// name / element encoding / hash-to-group derivation of the bases.
+constexpr char kGoldenSetupPayloadHex[] =
+    "080000006d6f64702d323536000000000000f03f000000000000503f0200000000000000"
+    "03000000000000000001040000000000000003000000000000000e000000676f6c64656e"
+    "2d73657373696f6e20000000000000000000000000000000000000000000000000000000"
+    "00000000000000042000000064f6261ba1ef974ff605a06cf1accb2b78944fde8a184b4d"
+    "91b325aea5225600";
+
+// SHA-256 tagged digest of the setup payload above; every task and result
+// frame of that session carries these 32 bytes.
+constexpr char kGoldenSetupDigestHex[] =
+    "b371da10bb7b346dc547777f03a47d7962a766716d1bda4627600b62aaddeb92";
+
+// EncodeFrame(kHello, ...) for version 1, pid 4242.
+constexpr char kGoldenHelloFrameHex[] = "56445057010109000000019210000000000000";
+
+WireShardResult GoldenResult() {
+  WireShardResult r;
+  for (size_t i = 0; i < r.params_digest.size(); ++i) {
+    r.params_digest[i] = static_cast<uint8_t>(i);
+  }
+  r.shard_index = 2;
+  r.base = 10;
+  r.count = 4;
+  r.accepted = {10, 12};
+  r.rejections = {{11, "bin OR proof invalid"}, {13, "malformed upload shape"}};
+  r.partial_products = {{Bytes{0x01, 0x02, 0x03}, Bytes{0x04}}};
+  r.fallback_used = 1;
+  return r;
+}
+
+WireShardTask GoldenTask() {
+  WireShardTask t;
+  for (size_t i = 0; i < t.params_digest.size(); ++i) {
+    t.params_digest[i] = static_cast<uint8_t>(0xA0 + i);
+  }
+  t.shard_index = 1;
+  t.base = 16;
+  t.compute_products = 1;
+  t.uploads = {Bytes{0xDE, 0xAD}, Bytes{0xBE, 0xEF, 0x01}};
+  return t;
+}
+
+WireSetup GoldenSetup() {
+  ProtocolConfig config;
+  config.epsilon = 1.0;
+  config.delta = 1.0 / 1024;
+  config.num_provers = 2;
+  config.num_bins = 3;
+  config.batch_verify = true;
+  config.num_verify_shards = 4;
+  config.verify_workers = 3;
+  config.session_id = "golden-session";
+  Pedersen<ModP256> ped;
+  return MakeWireSetup(config, ped);
+}
+
+TEST(WireGolden, ResultFrameBytesArePinned) {
+  Bytes frame = EncodeFrame(FrameType::kResult, GoldenResult().Serialize());
+  EXPECT_EQ(HexEncode(frame), kGoldenResultFrameHex);
+}
+
+TEST(WireGolden, TaskFrameBytesArePinned) {
+  Bytes frame = EncodeFrame(FrameType::kTask, GoldenTask().Serialize());
+  EXPECT_EQ(HexEncode(frame), kGoldenTaskFrameHex);
+}
+
+TEST(WireGolden, SetupPayloadAndDigestArePinned) {
+  WireSetup setup = GoldenSetup();
+  EXPECT_EQ(HexEncode(setup.Serialize()), kGoldenSetupPayloadHex);
+  auto digest = setup.Digest();
+  EXPECT_EQ(HexEncode(BytesView(digest.data(), digest.size())), kGoldenSetupDigestHex);
+}
+
+TEST(WireGolden, HelloFrameBytesArePinned) {
+  WireHello hello;
+  hello.version = 1;
+  hello.pid = 4242;
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kHello, hello.Serialize())),
+            kGoldenHelloFrameHex);
+}
+
+// The checked-in fixtures must decode back to the values that produced
+// them (guards against fixtures rotting if Serialize and Deserialize drift
+// together in a way round-trip tests cannot see).
+TEST(WireGolden, FixturesDecode) {
+  auto result_frame = HexDecode(kGoldenResultFrameHex);
+  ASSERT_TRUE(result_frame.has_value());
+  auto frame = DecodeFrame(*result_frame);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kResult);
+  auto result = WireShardResult::Deserialize(frame->payload);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, GoldenResult());
+
+  auto task_frame = HexDecode(kGoldenTaskFrameHex);
+  ASSERT_TRUE(task_frame.has_value());
+  frame = DecodeFrame(*task_frame);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kTask);
+  auto task = WireShardTask::Deserialize(frame->payload);
+  ASSERT_TRUE(task.has_value());
+  EXPECT_EQ(*task, GoldenTask());
+
+  auto setup_payload = HexDecode(kGoldenSetupPayloadHex);
+  ASSERT_TRUE(setup_payload.has_value());
+  auto setup = WireSetup::Deserialize(*setup_payload);
+  ASSERT_TRUE(setup.has_value());
+  EXPECT_EQ(*setup, GoldenSetup());
+}
+
+// An unknown (future) wire version must be rejected at the frame header,
+// before any payload is interpreted -- a version bump can never be
+// misparsed as the current format.
+TEST(WireGolden, FutureVersionIsRejectedCleanly) {
+  auto frame_bytes = HexDecode(kGoldenResultFrameHex);
+  ASSERT_TRUE(frame_bytes.has_value());
+  ASSERT_TRUE(DecodeFrame(*frame_bytes).has_value());
+
+  Bytes bumped = *frame_bytes;
+  bumped[4] = kWireVersion + 1;  // the version byte follows the 4-byte magic
+  EXPECT_FALSE(DecodeFrame(bumped).has_value());
+  EXPECT_FALSE(
+      DecodeFrameHeader(BytesView(bumped.data(), kFrameHeaderSize)).has_value());
+
+  bumped[4] = 0;  // ancient/zero version: equally rejected
+  EXPECT_FALSE(DecodeFrame(bumped).has_value());
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace vdp

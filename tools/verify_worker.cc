@@ -1,0 +1,188 @@
+// verify_worker: one shard-verification subprocess of the multi-process
+// pipeline (src/shard/process_pool.h).
+//
+// Protocol (all frames per src/wire/wire_format.h, stdin/stdout):
+//   1. worker -> driver: kHello (wire version + pid)
+//   2. driver -> worker: kSetup (group name, protocol config, Pedersen bases)
+//   3. repeat: driver sends kTask, worker answers kResult (or kError with a
+//      diagnostic when it refuses the task); EOF on stdin ends the worker.
+//
+// The worker is stateless across tasks apart from the session setup, and
+// every task/result carries the setup digest, so a result can always be tied
+// to the exact parameters it was verified under. Verification itself is the
+// same VerifyShard (src/shard/sharded_verifier.h) the in-process pipeline
+// runs, so results are bit-identical by construction.
+//
+// VDP_WORKER_FAULT (test hook, "<mode>:<worker-id|all>" with mode one of
+// crash | garbage | hang): makes this worker misbehave on every task it
+// receives, so the driver's failure handling can be exercised end to end.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/shard/sharded_verifier.h"
+#include "src/shard/worker_process.h"
+#include "src/wire/frame_io.h"
+#include "src/wire/group_dispatch.h"
+#include "src/wire/wire_convert.h"
+
+namespace vdp {
+namespace {
+
+enum class FaultMode { kNone, kCrash, kGarbage, kHang };
+
+FaultMode ParseFault(size_t worker_id) {
+  const char* env = std::getenv("VDP_WORKER_FAULT");
+  if (env == nullptr) {
+    return FaultMode::kNone;
+  }
+  std::string spec(env);
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return FaultMode::kNone;
+  }
+  std::string target = spec.substr(colon + 1);
+  if (target != "all" && target != std::to_string(worker_id)) {
+    return FaultMode::kNone;
+  }
+  std::string mode = spec.substr(0, colon);
+  if (mode == "crash") {
+    return FaultMode::kCrash;
+  }
+  if (mode == "garbage") {
+    return FaultMode::kGarbage;
+  }
+  if (mode == "hang") {
+    return FaultMode::kHang;
+  }
+  return FaultMode::kNone;
+}
+
+[[noreturn]] void ApplyFault(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kCrash:
+      _exit(134);
+    case FaultMode::kGarbage: {
+      // Not a frame: the driver's header check must classify this as
+      // malformed, not misparse it.
+      uint8_t junk[64];
+      for (size_t i = 0; i < sizeof(junk); ++i) {
+        junk[i] = 0xAB;
+      }
+      [[maybe_unused]] ssize_t n = write(STDOUT_FILENO, junk, sizeof(junk));
+      _exit(1);
+    }
+    case FaultMode::kHang:
+      for (;;) {
+        sleep(1);
+      }
+    case FaultMode::kNone:
+      break;
+  }
+  _exit(1);
+}
+
+void SendError(const std::string& message) {
+  wire::WireError error;
+  error.message = message;
+  wire::WriteFrame(STDOUT_FILENO, wire::FrameType::kError, error.Serialize());
+}
+
+template <PrimeOrderGroup G>
+int Serve(const wire::WireSetup& setup, FaultMode fault) {
+  auto session = wire::SessionFromWire<G>(setup);
+  if (!session.has_value()) {
+    SendError("setup rejected: generators do not decode for " + setup.group_name);
+    return 1;
+  }
+  const ProtocolConfig config = session->first;
+  const Pedersen<G> ped = std::move(session->second);
+  const Sha256::Digest digest = setup.Digest();
+
+  for (;;) {
+    wire::Frame frame;
+    wire::ReadStatus status = wire::ReadFrame(STDIN_FILENO, &frame, /*timeout_ms=*/-1);
+    if (status == wire::ReadStatus::kEof) {
+      return 0;  // driver is done with us
+    }
+    if (status != wire::ReadStatus::kOk) {
+      SendError(std::string("task stream broken: ") + wire::ReadStatusName(status));
+      return 1;
+    }
+    if (frame.type != wire::FrameType::kTask) {
+      SendError("unexpected frame type");
+      return 1;
+    }
+    auto task = wire::WireShardTask::Deserialize(frame.payload);
+    if (!task.has_value()) {
+      SendError("malformed task payload");
+      return 1;
+    }
+    if (!std::equal(task->params_digest.begin(), task->params_digest.end(),
+                    digest.begin())) {
+      SendError("task params digest does not match session setup");
+      continue;  // refuse this task; the session itself is still good
+    }
+    if (fault != FaultMode::kNone) {
+      ApplyFault(fault);
+    }
+
+    std::vector<ClientUploadMsg<G>> uploads = wire::UploadsFromWire<G>(*task);
+    ShardResult<G> result =
+        VerifyShard(config, ped, uploads.data(), uploads.size(), task->base,
+                    task->shard_index, /*pool=*/nullptr, task->compute_products == 1);
+    wire::WireShardResult wire_result = wire::ResultToWire<G>(digest, result);
+    if (wire::WriteFrame(STDOUT_FILENO, wire::FrameType::kResult,
+                         wire_result.Serialize()) != wire::WriteStatus::kOk) {
+      return 1;  // driver hung up mid-result
+    }
+  }
+}
+
+int WorkerMain(int argc, char** argv) {
+  IgnoreSigpipe();
+  size_t worker_id = 0;
+  if (argc > 1) {
+    worker_id = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+  }
+  const FaultMode fault = ParseFault(worker_id);
+
+  wire::WireHello hello;
+  hello.pid = static_cast<uint64_t>(getpid());
+  if (wire::WriteFrame(STDOUT_FILENO, wire::FrameType::kHello, hello.Serialize()) !=
+      wire::WriteStatus::kOk) {
+    return 1;
+  }
+
+  wire::Frame frame;
+  wire::ReadStatus status = wire::ReadFrame(STDIN_FILENO, &frame, /*timeout_ms=*/-1);
+  if (status != wire::ReadStatus::kOk || frame.type != wire::FrameType::kSetup) {
+    SendError("expected setup frame");
+    return 1;
+  }
+  auto setup = wire::WireSetup::Deserialize(frame.payload);
+  if (!setup.has_value()) {
+    SendError("malformed setup frame");
+    return 1;
+  }
+
+  int exit_code = 1;
+  bool known_group = wire::DispatchGroup(setup->group_name, [&](auto tag) {
+    using G = typename decltype(tag)::Group;
+    exit_code = Serve<G>(*setup, fault);
+  });
+  if (!known_group) {
+    SendError("unknown group backend: " + setup->group_name);
+    return 1;
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace vdp
+
+int main(int argc, char** argv) {
+  return vdp::WorkerMain(argc, argv);
+}
