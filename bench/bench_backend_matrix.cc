@@ -1,0 +1,147 @@
+// The backend matrix: every registered VerifyBackend timed on the same 4096
+// uploads, decisions cross-checked so a speedup can never come from a wrong
+// verdict.
+//
+// This is the perf contract of the VerifyBackend API (src/verify/): the
+// factory's four execution strategies are interchangeable in outcome, so the
+// only thing this bench is allowed to show differing is wall clock. Emits
+// BENCH_backend_matrix.json. Expected shape on real hardware: batched beats
+// per-proof by the PR-1 RLC/MSM factor, sharded adds thread-level fan-out,
+// multiprocess pays wire + process overhead it can only win back with
+// physical cores.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/verify/factory.h"
+
+namespace {
+
+using G = vdp::ModP256;
+
+struct Row {
+  std::string scenario;
+  std::string backend;
+  double elapsed_ms = 0;
+  double verify_ms = 0;
+  double combine_ms = 0;
+  size_t accepted = 0;
+  size_t num_shards = 0;
+};
+
+vdp::ProtocolConfig ConfigFor(vdp::VerifyBackendKind kind) {
+  vdp::ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.num_provers = 1;
+  config.num_bins = 1;
+  config.session_id = "bench-backend-matrix";
+  switch (kind) {
+    case vdp::VerifyBackendKind::kPerProof:
+      break;
+    case vdp::VerifyBackendKind::kBatched:
+      config.batch_verify = true;
+      break;
+    case vdp::VerifyBackendKind::kSharded:
+      config.num_verify_shards = 8;
+      break;
+    case vdp::VerifyBackendKind::kMultiprocess:
+      config.num_verify_shards = 8;
+      config.verify_workers = 4;
+      break;
+  }
+  return config;
+}
+
+void WriteJson(size_t n_uploads, const std::vector<Row>& rows) {
+  FILE* f = std::fopen("BENCH_backend_matrix.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write BENCH_backend_matrix.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"backend_matrix\",\n");
+  std::fprintf(f, "  \"group\": \"%s\",\n", G::Name().c_str());
+  std::fprintf(f, "  \"n_uploads\": %zu,\n", n_uploads);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"backend\": \"%s\", \"elapsed_ms\": %.3f, "
+                 "\"verify_ms\": %.3f, \"combine_ms\": %.3f, \"accepted\": %zu, "
+                 "\"num_shards\": %zu}%s\n",
+                 r.scenario.c_str(), r.backend.c_str(), r.elapsed_ms, r.verify_ms,
+                 r.combine_ms, r.accepted, r.num_shards, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_backend_matrix.json\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kUploads = 4096;
+
+  // One corpus, built once under the shared session id: every backend sees
+  // identical Fiat-Shamir contexts and so must make identical decisions.
+  const vdp::ProtocolConfig base = ConfigFor(vdp::VerifyBackendKind::kPerProof);
+  vdp::Pedersen<G> ped;
+  vdp::SecureRng rng("bench-backend-matrix");
+  std::printf("building %zu uploads (%s)...\n", kUploads, G::Name().c_str());
+  std::vector<vdp::ClientUploadMsg<G>> uploads;
+  uploads.reserve(kUploads);
+  for (size_t i = 0; i < kUploads; ++i) {
+    uploads.push_back(vdp::MakeClientBundle<G>(i % 2, i, base, ped, rng).upload);
+  }
+
+  vdp::ThreadPool& pool = vdp::GlobalPool();
+  vdp::VerifyOptions options;
+  options.pool = &pool;
+
+  // Two regimes: an all-valid stream (the RLC batch accepts in one check)
+  // and a stream with one tampered proof (the whole-stream batch pays a full
+  // per-proof fallback; sharding confines that cost to one shard of 512).
+  std::vector<Row> rows;
+  for (const char* scenario : {"clean", "one-tampered"}) {
+    if (std::string(scenario) == "one-tampered") {
+      uploads[kUploads / 3].bin_proofs[0].z0 += G::Scalar::One();
+    }
+    std::printf("-- scenario: %s --\n", scenario);
+    std::vector<size_t> reference_accepted;
+    bool have_reference = false;
+    vdp::Stopwatch timer;
+    for (vdp::VerifyBackendKind kind : vdp::AllVerifyBackendKinds()) {
+      auto backend = vdp::MakeVerifyBackend<G>(kind, ConfigFor(kind), ped);
+      timer.Reset();
+      auto report = backend->VerifyAll(uploads, options);
+      Row row;
+      row.scenario = scenario;
+      row.backend = report.backend;
+      row.elapsed_ms = timer.ElapsedMillis();
+      row.verify_ms = report.timings.verify_ms;
+      row.combine_ms = report.timings.combine_ms;
+      row.accepted = report.accepted.size();
+      row.num_shards = report.num_shards;
+      rows.push_back(row);
+      std::printf("%-12s %9.1f ms (%zu accepted, %zu shards)\n", row.backend.c_str(),
+                  row.elapsed_ms, row.accepted, row.num_shards);
+      if (!have_reference) {
+        reference_accepted = report.accepted;
+        have_reference = true;
+      } else if (report.accepted != reference_accepted) {
+        std::fprintf(stderr, "FATAL: backend %s diverged from the per-proof oracle\n",
+                     row.backend.c_str());
+        return 1;
+      }
+    }
+  }
+
+  WriteJson(kUploads, rows);
+  return 0;
+}

@@ -146,7 +146,7 @@ int main() {
     std::printf("multi-process %zu workers: %7.1f ms (%zu accepted, %zu failures, "
                 "%.1f MB wire)\n",
                 workers, p.elapsed_ms, p.accepted, report.failures.size(), wire_mb);
-    if (p.accepted != baseline.accepted || !verdict.reasons.empty() ||
+    if (p.accepted != baseline.accepted || !verdict.rejections.empty() ||
         verdict.accepted != inproc.accepted) {
       std::fprintf(stderr, "FATAL: multi-process verdict diverged from in-process\n");
       return 1;

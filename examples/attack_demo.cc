@@ -61,8 +61,15 @@ int main() {
     vdp::Pedersen<G> ped;
     vdp::SecureRng crng("fig1b-clients");
     auto double_voter = vdp::MakeDoubleVoteClientBundle<G>(0, config, ped, crng);
-    bool accepted = vdp::ValidateClientUpload(double_voter.upload, 0, config, ped);
-    std::printf("[Pi_Bin]           double vote accepted: %s\n", accepted ? "YES" : "no");
+    vdp::PublicVerifier<G> verifier(config, ped);
+    auto report = verifier.ValidateClientsReport({double_voter.upload});
+    std::printf("[Pi_Bin]           double vote accepted: %s\n",
+                report.accepted.empty() ? "no" : "YES");
+    if (!report.rejections.empty()) {
+      std::printf("                   rejection [%s]: %s\n",
+                  vdp::RejectCodeName(report.rejections[0].code),
+                  report.rejections[0].Render().c_str());
+    }
     std::printf("                   -> validity is a PUBLIC proof; no server collusion can\n");
     std::printf("                      admit an out-of-language input.\n");
   }

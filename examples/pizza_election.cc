@@ -40,8 +40,10 @@ int main() {
   std::printf("== verifiable DP pizza election: %zu voters, %zu candidates, K=%zu servers ==\n",
               votes.size(), static_cast<size_t>(config.num_bins),
               static_cast<size_t>(config.num_provers));
-  std::printf("privacy: eps=%.2f (nb=%llu coins per server per bin)\n\n", config.epsilon,
+  std::printf("privacy: eps=%.2f (nb=%llu coins per server per bin)\n", config.epsilon,
               static_cast<unsigned long long>(config.NumCoins()));
+  std::printf("verify backend: %s\n\n",
+              vdp::VerifyBackendKindName(vdp::SelectVerifyBackend(config)));
 
   // --- Honest run ---------------------------------------------------------
   vdp::SecureRng rng("pizza-honest");

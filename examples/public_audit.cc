@@ -63,5 +63,24 @@ int main() {
               vdp::VerdictCodeName(forged_report.verdict.code),
               forged_report.verdict.cheating_prover);
 
-  return (report.accepted() && !forged_report.accepted()) ? 0 : 1;
+  // --- A tampered client upload gets a typed, attributed rejection --------
+  // Client validation runs through whichever VerifyBackend the config
+  // selects; the structured VerifyReport names the culprit with a
+  // machine-readable code, not just a formatted string.
+  auto tampered = *parsed;
+  tampered.client_uploads[5].bin_proofs[0].z0 += G::Scalar::One();
+  vdp::PublicVerifier<G> bystander(config, ped);
+  auto validation = bystander.ValidateClientsReport(tampered.client_uploads);
+  std::printf("tampered-upload validation via '%s' backend: %zu/%zu accepted\n",
+              validation.backend.c_str(), validation.accepted.size(),
+              tampered.client_uploads.size());
+  for (const auto& rejection : validation.rejections) {
+    std::printf("  rejected client %zu [%s]: %s\n", rejection.index,
+                vdp::RejectCodeName(rejection.code), rejection.detail.c_str());
+  }
+
+  return (report.accepted() && !forged_report.accepted() &&
+          validation.rejections.size() == 1)
+             ? 0
+             : 1;
 }

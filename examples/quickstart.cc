@@ -32,6 +32,8 @@ int main() {
   std::printf("verifiable DP counting query (group %s)\n", G::Name().c_str());
   std::printf("  clients                : %zu (all validated: %s)\n", bits.size(),
               result.accepted_clients.size() == bits.size() ? "yes" : "no");
+  std::printf("  verify backend         : %s (selected by the config's flags)\n",
+              vdp::VerifyBackendKindName(vdp::SelectVerifyBackend(config)));
   std::printf("  privacy                : eps=%.2f delta=2^-10  (nb=%llu coins)\n",
               config.epsilon, static_cast<unsigned long long>(config.NumCoins()));
   std::printf("  verifier verdict       : %s\n", vdp::VerdictCodeName(result.verdict.code));

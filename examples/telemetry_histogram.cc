@@ -15,6 +15,10 @@ int main() {
   config.num_provers = 3;
   config.num_bins = 16;
   config.session_id = "telemetry-2026-w23";
+  // 240 browsers x 16 buckets is enough proofs that the RLC-batched verify
+  // backend pays off; the factory (src/verify/factory.h) selects it from
+  // this one flag, decision-identically to the per-proof oracle.
+  config.batch_verify = true;
 
   // 240 clients report their page-load-latency bucket (skewed distribution).
   std::vector<uint32_t> reports;
@@ -38,9 +42,9 @@ int main() {
   vdp::SecureRng rng("telemetry-run");
   auto [result, summary] = vdp::RunVerifiableElection<G>(config, reports, rng, &pool);
 
-  std::printf("verdict: %s; %zu/%zu clients validated\n",
+  std::printf("verdict: %s; %zu/%zu clients validated (backend: %s)\n",
               vdp::VerdictCodeName(result.verdict.code), result.accepted_clients.size(),
-              reports.size());
+              reports.size(), vdp::VerifyBackendKindName(vdp::SelectVerifyBackend(config)));
   std::printf("\nbucket  estimate   bar\n");
   for (size_t bin = 0; bin < summary.estimates.size(); ++bin) {
     double est = summary.estimates[bin] < 0 ? 0 : summary.estimates[bin];

@@ -68,6 +68,9 @@ void Sha256::Compress(const uint8_t block[64]) {
 }
 
 Sha256& Sha256::Update(BytesView data) {
+  if (data.empty()) {
+    return *this;  // also avoids memcpy from a null data() (UB even for 0 bytes)
+  }
   total_bytes_ += data.size();
   size_t offset = 0;
   if (buffered_ > 0) {

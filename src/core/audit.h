@@ -128,22 +128,21 @@ template <PrimeOrderGroup G>
 AuditReport AuditTranscript(const PublicTranscript<G>& t, const ProtocolConfig& config,
                             const Pedersen<G>& ped, ThreadPool* pool = nullptr) {
   AuditReport report;
+
+  if (auto error = config.Validate(); error.has_value()) {
+    report.verdict = Verdict::Reject(VerdictCode::kInvalidConfig, kNoParty, error->Render());
+    return report;
+  }
+
   PublicVerifier<G> verifier(config, ped);
 
-  // Honors config.batch_verify, config.num_verify_shards, and
-  // config.verify_workers: the auditor re-checks sigma proofs with the same
-  // batched/sharded/multi-process pipeline the live run used (or per-proof
-  // when disabled). The sharded verdict's commitment products double as the
-  // client half of the Eq. 10 check below -- the audit path has no private
-  // share-consistency filter, so they always cover exactly the accepted set.
-  const bool sharded = verifier.UsesShardedPipeline();
-  ShardedVerdict<G> verdict;
-  if (sharded) {
-    verdict = verifier.ValidateClientsSharded(t.client_uploads, pool);
-    report.accepted_clients = verdict.accepted;
-  } else {
-    report.accepted_clients = verifier.ValidateClients(t.client_uploads, nullptr, pool);
-  }
+  // The auditor re-checks client uploads through whichever VerifyBackend the
+  // config selects (src/verify/factory.h) -- the same pipeline the live run
+  // used. The report's commitment products double as the client half of the
+  // Eq. 10 check below: the audit path has no private share-consistency
+  // filter, so they always cover exactly the accepted set.
+  VerifyReport<G> validation = verifier.ValidateClientsReport(t.client_uploads, pool);
+  report.accepted_clients = validation.accepted;
 
   const size_t bins = config.num_bins;
   using S = typename G::Scalar;
@@ -163,8 +162,8 @@ AuditReport AuditTranscript(const PublicTranscript<G>& t, const ProtocolConfig& 
                                        "audit: coin proof invalid");
       return report;
     }
-    bool final_ok = sharded
-                        ? verifier.CheckFinalWithProducts(verdict.commitment_products[k],
+    bool final_ok = validation.has_products()
+                        ? verifier.CheckFinalWithProducts(validation.commitment_products[k],
                                                           t.prover_coins[k], t.public_bits[k],
                                                           t.prover_outputs[k])
                         : verifier.CheckFinal(k, t.client_uploads, report.accepted_clients,

@@ -16,6 +16,7 @@
 #include "src/core/messages.h"
 #include "src/core/params.h"
 #include "src/share/additive.h"
+#include "src/verify/report.h"
 
 namespace vdp {
 
@@ -97,11 +98,11 @@ std::optional<std::vector<typename G::Element>> ClientUploadStructure(
   const size_t k = config.num_provers;
   const size_t m = config.num_bins;
   if (upload.commitments.size() != k || upload.bin_proofs.size() != m) {
-    return fail("malformed upload shape");
+    return fail(kDetailMalformedUpload);
   }
   for (const auto& row : upload.commitments) {
     if (row.size() != m) {
-      return fail("malformed upload shape");
+      return fail(kDetailMalformedUpload);
     }
   }
 
@@ -121,7 +122,7 @@ std::optional<std::vector<typename G::Element>> ClientUploadStructure(
     // disclosed total randomness (Appendix C, final paragraph).
     using S = typename G::Scalar;
     if (!ped.Verify(product_all, S::One(), upload.sum_randomness)) {
-      return fail("bins do not sum to one");
+      return fail(kDetailNotOneHot);
     }
   }
   return aggregated;
@@ -142,7 +143,7 @@ bool ValidateClientUpload(const ClientUploadMsg<G>& upload, size_t client_index,
     if (!OrVerify(ped, (*aggregated)[bin], upload.bin_proofs[bin],
                   ClientProofContext(config.session_id, client_index, bin))) {
       if (reason != nullptr) {
-        *reason = "bin OR proof invalid";
+        *reason = kDetailProofInvalid;
       }
       return false;
     }

@@ -2,12 +2,25 @@
 #ifndef SRC_CORE_PARAMS_H_
 #define SRC_CORE_PARAMS_H_
 
+#include <cmath>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/dp/binomial.h"
 
 namespace vdp {
+
+// A rejected ProtocolConfig: which field is nonsensical and why. Returned by
+// ProtocolConfig::Validate() and surfaced as VerdictCode::kInvalidConfig by
+// RunProtocol / AuditTranscript, or as std::invalid_argument by the backend
+// factory (src/verify/factory.h).
+struct ConfigError {
+  std::string field;
+  std::string message;
+
+  std::string Render() const { return "ProtocolConfig." + field + ": " + message; }
+};
 
 // Which protocol realizes the O_morra oracle.
 enum class MorraMode {
@@ -61,6 +74,35 @@ struct ProtocolConfig {
 
   // Domain separation for all Fiat-Shamir transcripts of this run.
   std::string session_id = "vdp-session";
+
+  // Structural sanity check, run before any cryptographic work: RunProtocol,
+  // AuditTranscript, and MakeVerifyBackend all call this at entry so a
+  // nonsensical configuration is rejected with attribution instead of
+  // producing undefined protocol behavior deep inside a backend.
+  std::optional<ConfigError> Validate() const {
+    if (!std::isfinite(epsilon) || !(epsilon > 0.0)) {
+      return ConfigError{"epsilon", "must be finite and > 0"};
+    }
+    if (!std::isfinite(delta) || !(delta > 0.0) || !(delta < 1.0)) {
+      return ConfigError{"delta", "must lie in (0, 1)"};
+    }
+    if (num_provers == 0) {
+      return ConfigError{"num_provers", "at least one prover is required"};
+    }
+    if (num_bins == 0) {
+      return ConfigError{"num_bins", "at least one histogram bin is required"};
+    }
+    if (num_verify_shards == 0) {
+      return ConfigError{"num_verify_shards",
+                         "0 shards is meaningless; use 1 for the unsharded path"};
+    }
+    if (verify_workers == 1) {
+      return ConfigError{"verify_workers",
+                         "1 is ambiguous (a single worker has in-process semantics); "
+                         "use 0 for in-process verification or >= 2 workers"};
+    }
+    return std::nullopt;
+  }
 
   // Coins per prover per bin (Lemma 2.1).
   uint64_t NumCoins() const { return NumCoinsForPrivacy(epsilon, delta); }

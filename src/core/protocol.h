@@ -101,6 +101,14 @@ ProtocolResult RunProtocol(const ProtocolConfig& config, const Pedersen<G>& ped,
                            ThreadPool* pool = nullptr,
                            PublicTranscript<G>* record = nullptr) {
   ProtocolResult result;
+
+  // A nonsensical configuration is rejected with attribution before any
+  // cryptographic work (and before the backend factory would throw).
+  if (auto error = config.Validate(); error.has_value()) {
+    result.verdict = Verdict::Reject(VerdictCode::kInvalidConfig, kNoParty, error->Render());
+    return result;
+  }
+
   PublicVerifier<G> verifier(config, ped);
   Stopwatch timer;
 
@@ -114,21 +122,13 @@ ProtocolResult RunProtocol(const ProtocolConfig& config, const Pedersen<G>& ped,
     record->client_uploads = uploads;
   }
   timer.Reset();
-  // With num_verify_shards > 1 (in-process shards) or verify_workers > 1
-  // (verify_worker subprocesses over the wire format), validation runs
-  // through the shard combiner and we keep the verdict: its per-prover/
-  // per-bin commitment products are exactly the client half of the Eq. 10
-  // product, so CheckFinal below can reuse them instead of re-multiplying
-  // every accepted upload.
-  const bool sharded_validation = verifier.UsesShardedPipeline();
-  ShardedVerdict<G> sharded;
-  std::vector<size_t> accepted;
-  if (sharded_validation) {
-    sharded = verifier.ValidateClientsSharded(uploads, pool);
-    accepted = sharded.accepted;
-  } else {
-    accepted = verifier.ValidateClients(uploads, nullptr, pool);
-  }
+  // Validation runs through whichever VerifyBackend the config selects
+  // (src/verify/factory.h); every backend returns the same structured
+  // report. Its per-prover/per-bin commitment products are exactly the
+  // client half of the Eq. 10 product, so the final check below can reuse
+  // them instead of re-multiplying every accepted upload.
+  VerifyReport<G> report = verifier.ValidateClientsReport(uploads, pool);
+  const std::vector<size_t>& accepted = report.accepted;
 
   // Prover-side share consistency: a client whose private share does not
   // match its public commitment is excluded (publicly attributable, since
@@ -211,14 +211,14 @@ ProtocolResult RunProtocol(const ProtocolConfig& config, const Pedersen<G>& ped,
       record->prover_outputs.push_back(output);
     }
 
-    // Lines 12-13. The sharded products cover the *accepted* set; they are
+    // Lines 12-13. The report's products cover the *accepted* set; they are
     // only reusable when no accepted client was dropped by the private
     // share-consistency filter above (the common case -- that filter only
     // fires on clients who sent garbage to a prover but valid broadcasts).
     timer.Reset();
     bool final_ok =
-        (sharded_validation && consistent.size() == sharded.accepted.size())
-            ? verifier.CheckFinalWithProducts(sharded.commitment_products[prover->index()],
+        (report.has_products() && consistent.size() == report.accepted.size())
+            ? verifier.CheckFinalWithProducts(report.commitment_products[prover->index()],
                                               coins, bits, output)
             : verifier.CheckFinal(prover->index(), uploads, consistent, coins, bits, output);
     result.timings.check_ms += timer.ElapsedMillis();

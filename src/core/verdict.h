@@ -18,6 +18,7 @@ enum class VerdictCode {
   kMorraAborted,        // public-coin generation failed / participant cheated (Line 7-8)
   kFinalCheckFailed,    // commitment product mismatch (Line 13, Eq. 10)
   kMalformedMessage,    // undecodable protocol message
+  kInvalidConfig,       // ProtocolConfig::Validate() rejected the parameters
 };
 
 inline const char* VerdictCodeName(VerdictCode code) {
@@ -34,6 +35,8 @@ inline const char* VerdictCodeName(VerdictCode code) {
       return "final-check-failed";
     case VerdictCode::kMalformedMessage:
       return "malformed-message";
+    case VerdictCode::kInvalidConfig:
+      return "invalid-config";
   }
   return "unknown";
 }

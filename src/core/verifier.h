@@ -12,8 +12,7 @@
 #include "src/core/client.h"
 #include "src/core/messages.h"
 #include "src/core/verdict.h"
-#include "src/shard/process_pool.h"
-#include "src/shard/sharded_verifier.h"
+#include "src/verify/factory.h"
 
 namespace vdp {
 
@@ -28,70 +27,35 @@ class PublicVerifier {
 
   const Pedersen<G>& pedersen() const { return ped_; }
 
-  // Line 3: public client validation; returns indices of accepted clients.
-  // Per-proof mode fans the independent validations across the pool; batch
-  // mode (config.batch_verify) folds every OR proof of every client into one
-  // random-linear-combination check (src/batch/batch_or_proof.h), falling
-  // back to per-proof verification only when the combined check fails, so the
-  // accepted set is identical either way. With config.num_verify_shards > 1
-  // the uploads are partitioned into contiguous shards that batch-verify
-  // independently (src/shard/sharded_verifier.h); the merged decisions are
-  // again identical, and a failed batch re-checks only its own shard. With
-  // config.verify_workers > 1 the shards additionally leave the process:
-  // they are farmed out to verify_worker subprocesses over the wire format
-  // (src/shard/process_pool.h), still decision-identical.
+  // Line 3: public client validation, executed by whichever VerifyBackend
+  // the config's flags select (src/verify/factory.h owns that policy; all
+  // backends are decision-identical). Returns the full structured report:
+  // accepted indices, typed rejection reasons, and -- unless
+  // compute_products is false -- the per-prover/per-bin products of accepted
+  // commitments that CheckFinalWithProducts consumes, so the Eq. 10 product
+  // is never recomputed from scratch.
+  VerifyReport<G> ValidateClientsReport(const std::vector<ClientUploadMsg<G>>& uploads,
+                                        ThreadPool* pool = nullptr,
+                                        bool compute_products = true) const {
+    VerifyOptions options;
+    options.compute_products = compute_products;
+    options.pool = pool;
+    return MakeVerifyBackend<G>(config_, ped_)->VerifyAll(uploads, options);
+  }
+
+  // Line 3, accepted indices only. Rendered rejection reasons (the canonical
+  // "client <i>: <why>" strings) are appended to *reasons when provided.
   std::vector<size_t> ValidateClients(const std::vector<ClientUploadMsg<G>>& uploads,
                                       std::vector<std::string>* reasons = nullptr,
                                       ThreadPool* pool = nullptr) const {
-    if (UsesShardedPipeline()) {
-      // Products are skipped here: this entry point only reports decisions.
-      // Callers that feed CheckFinalWithProducts use ValidateClientsSharded.
-      auto verdict = RunShardedPipeline(uploads, pool, /*compute_products=*/false);
-      if (reasons != nullptr) {
-        reasons->insert(reasons->end(), verdict.reasons.begin(), verdict.reasons.end());
-      }
-      return std::move(verdict.accepted);
-    }
-    std::vector<uint8_t> ok(uploads.size(), 0);
-    std::vector<std::string> why(uploads.size());
-    if (config_.batch_verify) {
-      ValidateClientsBatched(uploads, pool, &ok, &why);
-    } else {
-      auto work = [&](size_t i) {
-        ok[i] = ValidateClientUpload(uploads[i], i, config_, ped_, &why[i]) ? 1 : 0;
-      };
-      if (pool != nullptr) {
-        pool->ParallelFor(uploads.size(), work);
-      } else {
-        for (size_t i = 0; i < uploads.size(); ++i) {
-          work(i);
-        }
+    VerifyReport<G> report =
+        ValidateClientsReport(uploads, pool, /*compute_products=*/false);
+    if (reasons != nullptr) {
+      for (const RejectionReason& r : report.rejections) {
+        reasons->push_back(r.Render());
       }
     }
-    std::vector<size_t> accepted;
-    for (size_t i = 0; i < uploads.size(); ++i) {
-      if (ok[i] != 0) {
-        accepted.push_back(i);
-      } else if (reasons != nullptr) {
-        reasons->push_back("client " + std::to_string(i) + ": " + why[i]);
-      }
-    }
-    return accepted;
-  }
-
-  // Line 3, sharded: the full verdict including per-prover/per-bin products
-  // of the accepted clients' commitments, which CheckFinalWithProducts can
-  // consume so the Eq. 10 product is never recomputed from scratch.
-  ShardedVerdict<G> ValidateClientsSharded(const std::vector<ClientUploadMsg<G>>& uploads,
-                                           ThreadPool* pool = nullptr) const {
-    return RunShardedPipeline(uploads, pool, /*compute_products=*/true);
-  }
-
-  // True when client validation runs through the shard combiner (in-process
-  // shards, worker subprocesses, or both); RunProtocol and AuditTranscript
-  // use this to decide whether a ShardedVerdict's products are available.
-  bool UsesShardedPipeline() const {
-    return config_.num_verify_shards > 1 || config_.verify_workers > 1;
+    return std::move(report.accepted);
   }
 
   // Lines 5-6: every private coin commitment must prove membership in LBit.
@@ -164,9 +128,9 @@ class PublicVerifier {
   }
 
   // Eq. 10 given the precomputed per-bin product of this prover's accepted
-  // client commitments -- e.g. a ShardedVerdict's commitment_products[k]
-  // (src/shard/sharded_verifier.h), so sharded validation's partial products
-  // are reused instead of re-multiplying every accepted upload.
+  // client commitments -- a VerifyReport's commitment_products[k]
+  // (src/verify/report.h), so validation's products are reused instead of
+  // re-multiplying every accepted upload.
   bool CheckFinalWithProducts(const std::vector<Element>& client_products,
                               const ProverCoinsMsg<G>& coins,
                               const std::vector<std::vector<bool>>& public_bits,
@@ -185,21 +149,6 @@ class PublicVerifier {
   }
 
  private:
-  // Shared body of the sharded entry points: multi-process when
-  // config.verify_workers > 1 (wire format + verify_worker subprocesses,
-  // with blamed retries and in-process recovery), in-process sharding
-  // otherwise. Both produce the same ShardedVerdict bit for bit.
-  ShardedVerdict<G> RunShardedPipeline(const std::vector<ClientUploadMsg<G>>& uploads,
-                                       ThreadPool* pool, bool compute_products) const {
-    if (config_.verify_workers > 1) {
-      ProcessPoolOptions options;
-      options.num_workers = config_.verify_workers;
-      MultiprocessVerifier<G> verifier(config_, ped_, std::move(options));
-      return verifier.VerifyAll(uploads, compute_products);
-    }
-    return ShardedVerifier<G>::VerifyAll(config_, ped_, uploads, pool, compute_products);
-  }
-
   // One bin of Eq. 10: client_product times the updated coin commitments
   // must open to (y_bin, z_bin).
   bool CheckFinalBin(size_t bin, const Element& client_product, const ProverCoinsMsg<G>& coins,
@@ -217,25 +166,6 @@ class PublicVerifier {
   std::string CoinProofContext(size_t prover_index, size_t bin) const {
     return config_.session_id + "/prover/" + std::to_string(prover_index) + "/coins/bin/" +
            std::to_string(bin);
-  }
-
-  // Batch client validation: structural checks per client (parallel), then
-  // one RLC check over every bin proof of every structurally valid client,
-  // with per-proof blame attribution only when the batch fails. Delegates to
-  // VerifyShard (src/shard/sharded_verifier.h) as a single whole-stream
-  // shard -- one implementation serves both the monolithic and the sharded
-  // pipeline, so their decisions cannot drift apart.
-  void ValidateClientsBatched(const std::vector<ClientUploadMsg<G>>& uploads, ThreadPool* pool,
-                              std::vector<uint8_t>* ok, std::vector<std::string>* why) const {
-    ShardResult<G> result =
-        VerifyShard(config_, ped_, uploads.data(), uploads.size(), /*base=*/0,
-                    /*shard_index=*/0, pool, /*compute_products=*/false);
-    for (size_t idx : result.accepted) {
-      (*ok)[idx] = 1;
-    }
-    for (const auto& [idx, reason] : result.rejections) {
-      (*why)[idx] = reason;
-    }
   }
 
   ProtocolConfig config_;

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/timer.h"
 #include "src/shard/sharded_verifier.h"
 #include "src/shard/worker_process.h"
 #include "src/wire/frame_io.h"
@@ -88,9 +89,10 @@ class MultiprocessVerifier {
   // Verifies all uploads across the worker fleet and combines. The shard
   // partition honors config.num_verify_shards when set (> 1); otherwise it
   // defaults to two shards per worker so a straggler can be overlapped.
-  ShardedVerdict<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
-                              bool compute_products = true,
-                              ProcessPoolReport* report = nullptr) {
+  VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
+                            bool compute_products = true,
+                            ProcessPoolReport* report = nullptr) {
+    Stopwatch timer;
     const size_t n = uploads.size();
     size_t shards = config_.num_verify_shards > 1 ? config_.num_verify_shards
                                                   : 2 * options_.num_workers;
@@ -181,7 +183,11 @@ class MultiprocessVerifier {
     if (report != nullptr) {
       *report = std::move(local_report);
     }
-    return CombineShardResults(config_, std::move(results));
+    const double verify_ms = timer.ElapsedMillis();
+    VerifyReport<G> combined =
+        CombineShardResults(config_, std::move(results), compute_products);
+    combined.timings.verify_ms = verify_ms;
+    return combined;
   }
 
  private:

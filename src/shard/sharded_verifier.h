@@ -32,7 +32,9 @@
 #include <vector>
 
 #include "src/batch/batch_or_proof.h"
+#include "src/common/timer.h"
 #include "src/core/client.h"
+#include "src/verify/report.h"
 
 namespace vdp {
 
@@ -76,41 +78,61 @@ struct ShardResult {
   bool fallback_used = false;
 };
 
-// The deterministic combiner's merge of all shard results.
+// Reduces per-upload verdicts (ok / why, with global index base + i) to a
+// compact ShardResult: accepted indices, rejections, and optionally the
+// per-(prover, bin) partial products of accepted commitments. The single
+// implementation of result assembly -- VerifyShard and PerProofBackend
+// (src/verify/per_proof_backend.h) both build their results here, so the
+// bit-identity contract between backends cannot be broken by one copy
+// drifting. Consumes `why` (details are moved out).
 template <PrimeOrderGroup G>
-struct ShardedVerdict {
-  // Ascending global indices; equals the monolithic ValidateClients output.
-  std::vector<size_t> accepted;
-  // "client <i>: <why>" strings, same format and order as the monolithic
-  // path's reasons output.
-  std::vector<std::string> reasons;
-  // commitment_products[k][m] = prod over *all* accepted uploads of
-  // commitments[k][m]; feed to PublicVerifier::CheckFinalWithProducts.
-  std::vector<std::vector<typename G::Element>> commitment_products;
-  size_t total_uploads = 0;
-  size_t num_shards = 0;
-  size_t shards_with_fallback = 0;  // shards that paid the per-proof fallback
-};
+ShardResult<G> BuildShardResult(const ProtocolConfig& config,
+                                const ClientUploadMsg<G>* uploads, size_t count, size_t base,
+                                size_t shard_index, const std::vector<uint8_t>& ok,
+                                std::vector<std::string>& why, bool compute_products,
+                                bool fallback_used = false) {
+  using Element = typename G::Element;
+  ShardResult<G> result;
+  result.shard_index = shard_index;
+  result.base = base;
+  result.count = count;
+  result.fallback_used = fallback_used;
+  if (compute_products) {
+    result.partial_products.assign(config.num_provers,
+                                   std::vector<Element>(config.num_bins, G::Identity()));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (ok[i] == 0) {
+      result.rejections.emplace_back(base + i, std::move(why[i]));
+      continue;
+    }
+    result.accepted.push_back(base + i);
+    if (!compute_products) {
+      continue;
+    }
+    for (size_t k = 0; k < config.num_provers; ++k) {
+      for (size_t m = 0; m < config.num_bins; ++m) {
+        result.partial_products[k][m] =
+            G::Mul(result.partial_products[k][m], uploads[i].commitments[k][m]);
+      }
+    }
+  }
+  return result;
+}
 
 // Verifies uploads[0..count) as one shard whose first element has global
 // index `base`. Structural checks and (on fallback) per-proof re-checks fan
 // across `pool`; the RLC batch check shards its MSM onto `pool` too. Pass
 // pool == nullptr when calling from inside a pool task (ParallelFor does not
 // nest). This is the single implementation of the batched validation
-// algorithm: the monolithic PublicVerifier path runs it as one whole-stream
-// shard (with compute_products = false, since it discards the products), so
-// the two paths cannot drift apart.
+// algorithm: BatchedBackend (src/verify/batched_backend.h) runs it as one
+// whole-stream shard, so the batched and sharded paths cannot drift apart.
 template <PrimeOrderGroup G>
 ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
                            const ClientUploadMsg<G>* uploads, size_t count, size_t base,
                            size_t shard_index, ThreadPool* pool = nullptr,
                            bool compute_products = true) {
   using Element = typename G::Element;
-  ShardResult<G> result;
-  result.shard_index = shard_index;
-  result.base = base;
-  result.count = count;
-
   std::vector<uint8_t> ok(count, 0);
   std::vector<std::string> why(count);
   std::vector<std::vector<Element>> aggregated(count);
@@ -144,11 +166,12 @@ ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
                            ClientProofContext(config.session_id, base + i, bin)});
     }
   }
+  bool fallback_used = false;
   if (!BatchOrVerify(ped, instances, pool)) {
     // Someone in *this shard* cheated; re-run the per-proof oracle on this
     // shard only. Decisions stay bit-identical to the monolithic path because
     // the per-upload verdict is independent of every other upload.
-    result.fallback_used = true;
+    fallback_used = true;
     auto recheck = [&](size_t i) {
       if (ok[i] == 0) {
         return;
@@ -156,7 +179,7 @@ ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
       for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
         if (!OrVerify(ped, aggregated[i][bin], uploads[i].bin_proofs[bin],
                       ClientProofContext(config.session_id, base + i, bin))) {
-          why[i] = "bin OR proof invalid";
+          why[i] = kDetailProofInvalid;
           ok[i] = 0;
           return;
         }
@@ -171,64 +194,52 @@ ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
     }
   }
 
-  if (compute_products) {
-    result.partial_products.assign(config.num_provers,
-                                   std::vector<Element>(config.num_bins, G::Identity()));
-  }
-  for (size_t i = 0; i < count; ++i) {
-    if (ok[i] == 0) {
-      result.rejections.emplace_back(base + i, why[i]);
-      continue;
-    }
-    result.accepted.push_back(base + i);
-    if (!compute_products) {
-      continue;
-    }
-    for (size_t k = 0; k < config.num_provers; ++k) {
-      for (size_t m = 0; m < config.num_bins; ++m) {
-        result.partial_products[k][m] =
-            G::Mul(result.partial_products[k][m], uploads[i].commitments[k][m]);
-      }
-    }
-  }
-  return result;
+  return BuildShardResult(config, uploads, count, base, shard_index, ok, why,
+                          compute_products, fallback_used);
 }
 
 // Deterministic combiner: merges shard results (which must cover contiguous,
-// ascending ranges) into the global verdict. Pure data-plane: no group or
-// hash operations beyond one Mul per shard per (prover, bin).
+// ascending ranges) into the global VerifyReport. Pure data-plane: no group
+// or hash operations beyond one Mul per shard per (prover, bin). When
+// compute_products is false the report carries no products (has_products()
+// is false) so downstream consumers recompute Eq. 10 from the uploads.
 template <PrimeOrderGroup G>
-ShardedVerdict<G> CombineShardResults(const ProtocolConfig& config,
-                                      std::vector<ShardResult<G>> results) {
+VerifyReport<G> CombineShardResults(const ProtocolConfig& config,
+                                    std::vector<ShardResult<G>> results,
+                                    bool compute_products = true) {
   using Element = typename G::Element;
+  Stopwatch timer;
   std::sort(results.begin(), results.end(),
             [](const ShardResult<G>& a, const ShardResult<G>& b) {
               return a.shard_index < b.shard_index;
             });
-  ShardedVerdict<G> verdict;
-  verdict.num_shards = results.size();
-  verdict.commitment_products.assign(config.num_provers,
-                                     std::vector<Element>(config.num_bins, G::Identity()));
+  VerifyReport<G> report;
+  report.num_shards = results.size();
+  if (compute_products) {
+    report.commitment_products.assign(config.num_provers,
+                                      std::vector<Element>(config.num_bins, G::Identity()));
+  }
   for (const ShardResult<G>& r : results) {
-    verdict.total_uploads += r.count;
+    report.total_uploads += r.count;
     if (r.fallback_used) {
-      ++verdict.shards_with_fallback;
+      ++report.shards_with_fallback;
     }
-    verdict.accepted.insert(verdict.accepted.end(), r.accepted.begin(), r.accepted.end());
+    report.accepted.insert(report.accepted.end(), r.accepted.begin(), r.accepted.end());
     for (const auto& [index, why] : r.rejections) {
-      verdict.reasons.push_back("client " + std::to_string(index) + ": " + why);
+      report.rejections.push_back(RejectionReason{index, ClassifyRejectDetail(why), why});
     }
-    if (r.partial_products.empty()) {
-      continue;  // produced with compute_products = false; nothing to fold in
+    if (!compute_products || r.partial_products.empty()) {
+      continue;  // nothing to fold in
     }
     for (size_t k = 0; k < config.num_provers; ++k) {
       for (size_t m = 0; m < config.num_bins; ++m) {
-        verdict.commitment_products[k][m] =
-            G::Mul(verdict.commitment_products[k][m], r.partial_products[k][m]);
+        report.commitment_products[k][m] =
+            G::Mul(report.commitment_products[k][m], r.partial_products[k][m]);
       }
     }
   }
-  return verdict;
+  report.timings.combine_ms = timer.ElapsedMillis();
+  return report;
 }
 
 // Streaming sharded verifier. Feed uploads in broadcast order with Add();
@@ -242,16 +253,19 @@ class ShardedVerifier {
   // shard_capacity == 0 picks a default sized for MSM efficiency.
   // max_pending_shards == 0 keeps one buffer per pool worker (or 1 without a
   // pool), which is what lets a flush fan whole shards across the workers.
+  // compute_products == false skips the per-(prover, bin) partial products,
+  // for callers that only need decisions and reasons.
   ShardedVerifier(const ProtocolConfig& config, Pedersen<G> ped, ThreadPool* pool = nullptr,
-                  size_t shard_capacity = 0, size_t max_pending_shards = 0)
+                  size_t shard_capacity = 0, size_t max_pending_shards = 0,
+                  bool compute_products = true)
       : config_(config),
         ped_(std::move(ped)),
         pool_(pool),
         shard_capacity_(shard_capacity > 0 ? shard_capacity : kDefaultShardCapacity),
         max_pending_(max_pending_shards > 0
                          ? max_pending_shards
-                         : (pool != nullptr ? std::max<size_t>(1, pool->worker_count()) : 1)) {
-  }
+                         : (pool != nullptr ? std::max<size_t>(1, pool->worker_count()) : 1)),
+        compute_products_(compute_products) {}
 
   size_t shard_capacity() const { return shard_capacity_; }
 
@@ -269,25 +283,29 @@ class ShardedVerifier {
 
   // Verifies whatever is still buffered, merges all shard results, and resets
   // the verifier for a fresh stream.
-  ShardedVerdict<G> Finish() {
+  VerifyReport<G> Finish() {
     CloseCurrentShard();
     FlushPending();
-    ShardedVerdict<G> verdict = CombineShardResults(config_, std::move(results_));
+    VerifyReport<G> report =
+        CombineShardResults(config_, std::move(results_), compute_products_);
+    report.timings.verify_ms = flushed_verify_ms_;
     results_.clear();
     next_base_ = 0;
     next_shard_index_ = 0;
-    return verdict;
+    flushed_verify_ms_ = 0;
+    return report;
   }
 
   // One-shot sharded verification of an in-memory vector: partitions into
   // config.num_verify_shards contiguous shards (no copies, whole shards
-  // fanned across the pool) and combines. This is the path PublicVerifier
-  // delegates to. Pass compute_products = false when the caller only needs
-  // the accepted set and reasons, skipping the per-(prover, bin) Muls.
-  static ShardedVerdict<G> VerifyAll(const ProtocolConfig& config, const Pedersen<G>& ped,
-                                     const std::vector<ClientUploadMsg<G>>& uploads,
-                                     ThreadPool* pool = nullptr,
-                                     bool compute_products = true) {
+  // fanned across the pool) and combines. This is the path ShardedBackend
+  // (src/verify/sharded_backend.h) delegates to for bulk input. Pass
+  // compute_products = false when the caller only needs the accepted set and
+  // reasons, skipping the per-(prover, bin) Muls.
+  static VerifyReport<G> VerifyAll(const ProtocolConfig& config, const Pedersen<G>& ped,
+                                   const std::vector<ClientUploadMsg<G>>& uploads,
+                                   ThreadPool* pool = nullptr, bool compute_products = true) {
+    Stopwatch timer;
     const size_t n = uploads.size();
     size_t shards = std::max<size_t>(1, config.num_verify_shards);
     shards = std::min(shards, std::max<size_t>(1, n));
@@ -298,7 +316,10 @@ class ShardedVerifier {
       results[s] = VerifyShard(config, ped, uploads.data() + from, to - from, from, s, inner,
                                compute_products);
     });
-    return CombineShardResults(config, std::move(results));
+    const double verify_ms = timer.ElapsedMillis();
+    VerifyReport<G> report = CombineShardResults(config, std::move(results), compute_products);
+    report.timings.verify_ms = verify_ms;
+    return report;
   }
 
  private:
@@ -318,15 +339,17 @@ class ShardedVerifier {
     if (pending_.empty()) {
       return;
     }
+    Stopwatch timer;
     size_t first = results_.size();
     results_.resize(first + pending_.size());
     shard_internal::DispatchShards(pending_.size(), pool_, [&](size_t p, ThreadPool* inner) {
       const PendingShard& shard = pending_[p];
       results_[first + p] = VerifyShard(config_, ped_, shard.uploads.data(),
                                         shard.uploads.size(), shard.base, shard.shard_index,
-                                        inner);
+                                        inner, compute_products_);
     });
     pending_.clear();  // releases the upload buffers
+    flushed_verify_ms_ += timer.ElapsedMillis();
   }
 
   struct PendingShard {
@@ -340,12 +363,14 @@ class ShardedVerifier {
   ThreadPool* pool_;
   size_t shard_capacity_;
   size_t max_pending_;
+  bool compute_products_;
 
   std::vector<ClientUploadMsg<G>> current_;  // the shard being filled
   std::vector<PendingShard> pending_;        // full shards awaiting dispatch
   std::vector<ShardResult<G>> results_;      // compact results of verified shards
   size_t next_base_ = 0;
   size_t next_shard_index_ = 0;
+  double flushed_verify_ms_ = 0;             // verify time accumulated across flushes
 };
 
 }  // namespace vdp

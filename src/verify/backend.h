@@ -1,0 +1,124 @@
+// VerifyBackend: the one seam through which client-upload verification
+// (Line 3 of Figure 2) executes.
+//
+// The paper's public verifier is a single logical object; this interface
+// keeps it that way in code. Every execution strategy -- per-proof,
+// RLC-batched, in-process sharded, multi-process, and eventually a remote
+// fleet over sockets -- implements the same three-step lifecycle:
+//
+//   backend->Start(options);          // begin a stream
+//   backend->Add(upload);             // ingest uploads (or Submit(vector))
+//   VerifyReport<G> r = backend->Finish();
+//
+// and produces the same structured VerifyReport (src/verify/report.h), with
+// bit-identical accepted sets, rejection reasons, and commitment products.
+// Callers (PublicVerifier, RunProtocol, AuditTranscript) never dispatch on
+// ProtocolConfig flags themselves; MakeVerifyBackend (src/verify/factory.h)
+// owns that policy.
+#ifndef SRC_VERIFY_BACKEND_H_
+#define SRC_VERIFY_BACKEND_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/messages.h"
+#include "src/verify/report.h"
+
+namespace vdp {
+
+// Per-stream knobs, fixed at Start().
+struct VerifyOptions {
+  // Compute the per-prover/per-bin products of accepted commitments (the
+  // client half of Eq. 10). Skip when only decisions are needed.
+  bool compute_products = true;
+  // Thread pool for in-process parallelism; nullptr runs serially. Backends
+  // with their own execution resources (worker processes) may ignore it.
+  ThreadPool* pool = nullptr;
+};
+
+template <PrimeOrderGroup G>
+class VerifyBackend {
+ public:
+  virtual ~VerifyBackend() = default;
+
+  // Stable identifier ("per-proof", "batched", "sharded", "multiprocess");
+  // stamped into every report this backend produces.
+  virtual std::string_view name() const = 0;
+
+  // Begins a fresh verification stream, discarding any prior state. Must be
+  // called before Add/Submit; a backend is reusable via a new Start after
+  // Finish.
+  virtual void Start(const VerifyOptions& options) = 0;
+
+  // Ingests the next upload of the broadcast stream; global indices are
+  // assigned in arrival order. Backends may verify eagerly (bounded-memory
+  // streaming) or buffer until Finish.
+  virtual void Add(ClientUploadMsg<G> upload) = 0;
+
+  // Verifies everything ingested since Start and returns the combined
+  // report. Resets the stream state.
+  virtual VerifyReport<G> Finish() = 0;
+
+  // Bulk ingestion; equivalent to Add for each element.
+  void Submit(const std::vector<ClientUploadMsg<G>>& uploads) {
+    for (const ClientUploadMsg<G>& upload : uploads) {
+      Add(upload);
+    }
+  }
+
+  // One-shot convenience: Start + Submit + Finish. Backends with a zero-copy
+  // bulk path override this; it must behave exactly like the streaming
+  // lifecycle, including discarding any previously buffered stream (the
+  // conformance suite asserts result identity).
+  virtual VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
+                                    const VerifyOptions& options = {}) {
+    Start(options);
+    Submit(uploads);
+    return Finish();
+  }
+};
+
+// Shared lifecycle for backends that buffer the whole stream and verify at
+// Finish (per-proof, batched, multiprocess -- and any future backend whose
+// unit of work is the full stream, like a remote fleet). Derived classes
+// implement one hook, Run(uploads), and get a consistent Start/Add/Finish
+// plus a zero-copy VerifyAll for free: the one-shot path verifies the
+// caller's vector directly, with Start clearing any stale buffered stream so
+// one-shot and streaming can never interleave into a phantom report.
+template <PrimeOrderGroup G>
+class BufferedVerifyBackend : public VerifyBackend<G> {
+ public:
+  void Start(const VerifyOptions& options) override {
+    options_ = options;
+    buffer_.clear();
+  }
+
+  void Add(ClientUploadMsg<G> upload) override { buffer_.push_back(std::move(upload)); }
+
+  VerifyReport<G> Finish() override {
+    VerifyReport<G> report = Run(buffer_);
+    buffer_.clear();
+    return report;
+  }
+
+  VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
+                            const VerifyOptions& options = {}) override {
+    Start(options);
+    return Run(uploads);  // zero-copy: the caller's vector is the stream
+  }
+
+ protected:
+  // Verifies one whole stream under options(). Must not touch the buffer.
+  virtual VerifyReport<G> Run(const std::vector<ClientUploadMsg<G>>& uploads) = 0;
+
+  const VerifyOptions& options() const { return options_; }
+
+ private:
+  VerifyOptions options_;
+  std::vector<ClientUploadMsg<G>> buffer_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_VERIFY_BACKEND_H_

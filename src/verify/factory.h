@@ -1,0 +1,120 @@
+// The backend factory/registry: the ONLY place that maps ProtocolConfig
+// flags to a verification execution strategy.
+//
+// Before this seam existed, `batch_verify`, `num_verify_shards`, and
+// `verify_workers` were re-interpreted by scattered checks inside
+// PublicVerifier, RunProtocol, and AuditTranscript. Now the flags are
+// config-surface only: SelectVerifyBackend is the whole selection policy,
+// and a fifth strategy (the ROADMAP's socket-transport RemoteBackend) is a
+// new case here rather than a fourth copy of the dispatch logic.
+//
+// Selection policy (first match wins):
+//
+//   verify_workers   > 1  ->  MultiprocessBackend (worker subprocess fleet)
+//   num_verify_shards > 1 ->  ShardedBackend      (in-process shard pipeline)
+//   batch_verify          ->  BatchedBackend      (one whole-stream RLC batch)
+//   otherwise             ->  PerProofBackend     (the per-proof oracle)
+#ifndef SRC_VERIFY_FACTORY_H_
+#define SRC_VERIFY_FACTORY_H_
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/verify/batched_backend.h"
+#include "src/verify/multiprocess_backend.h"
+#include "src/verify/per_proof_backend.h"
+#include "src/verify/sharded_backend.h"
+
+namespace vdp {
+
+enum class VerifyBackendKind {
+  kPerProof,
+  kBatched,
+  kSharded,
+  kMultiprocess,
+};
+
+inline const char* VerifyBackendKindName(VerifyBackendKind kind) {
+  switch (kind) {
+    case VerifyBackendKind::kPerProof:
+      return "per-proof";
+    case VerifyBackendKind::kBatched:
+      return "batched";
+    case VerifyBackendKind::kSharded:
+      return "sharded";
+    case VerifyBackendKind::kMultiprocess:
+      return "multiprocess";
+  }
+  return "unknown";
+}
+
+// Every registered backend, in oracle-first order. The conformance suite
+// iterates this list; a new backend (e.g. RemoteBackend) joins the registry
+// by being added here and in MakeVerifyBackend's switch.
+inline std::vector<VerifyBackendKind> AllVerifyBackendKinds() {
+  return {VerifyBackendKind::kPerProof, VerifyBackendKind::kBatched,
+          VerifyBackendKind::kSharded, VerifyBackendKind::kMultiprocess};
+}
+
+inline std::optional<VerifyBackendKind> VerifyBackendKindFromName(std::string_view name) {
+  for (VerifyBackendKind kind : AllVerifyBackendKinds()) {
+    if (name == VerifyBackendKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+// The whole mode-selection policy, in one function.
+inline VerifyBackendKind SelectVerifyBackend(const ProtocolConfig& config) {
+  if (config.verify_workers > 1) {
+    return VerifyBackendKind::kMultiprocess;
+  }
+  if (config.num_verify_shards > 1) {
+    return VerifyBackendKind::kSharded;
+  }
+  if (config.batch_verify) {
+    return VerifyBackendKind::kBatched;
+  }
+  return VerifyBackendKind::kPerProof;
+}
+
+// Constructs a specific backend. Validates the config first: a nonsensical
+// ProtocolConfig never reaches a backend.
+template <PrimeOrderGroup G>
+std::unique_ptr<VerifyBackend<G>> MakeVerifyBackend(VerifyBackendKind kind,
+                                                    const ProtocolConfig& config,
+                                                    Pedersen<G> ped) {
+  if (auto error = config.Validate(); error.has_value()) {
+    throw std::invalid_argument(error->Render());
+  }
+  switch (kind) {
+    case VerifyBackendKind::kPerProof:
+      return std::make_unique<PerProofBackend<G>>(config, std::move(ped));
+    case VerifyBackendKind::kBatched:
+      return std::make_unique<BatchedBackend<G>>(config, std::move(ped));
+    case VerifyBackendKind::kSharded:
+      return std::make_unique<ShardedBackend<G>>(config, std::move(ped));
+    case VerifyBackendKind::kMultiprocess:
+      return std::make_unique<MultiprocessBackend<G>>(config, std::move(ped));
+  }
+  throw std::invalid_argument("unknown VerifyBackendKind");
+}
+
+// Constructs the backend the config's flags select. This is the factory
+// PublicVerifier, RunProtocol, and AuditTranscript go through; old
+// flag-driven ProtocolConfig construction keeps working because the flags
+// feed SelectVerifyBackend instead of scattered call-site checks.
+template <PrimeOrderGroup G>
+std::unique_ptr<VerifyBackend<G>> MakeVerifyBackend(const ProtocolConfig& config,
+                                                    Pedersen<G> ped) {
+  return MakeVerifyBackend<G>(SelectVerifyBackend(config), config, std::move(ped));
+}
+
+}  // namespace vdp
+
+#endif  // SRC_VERIFY_FACTORY_H_

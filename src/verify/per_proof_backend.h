@@ -1,0 +1,74 @@
+// PerProofBackend: the oracle execution of Line 3 -- every Sigma-OR proof of
+// every upload verified individually (src/core/client.h's
+// ValidateClientUpload), independent uploads fanned across the thread pool.
+//
+// This is the slowest backend and the ground truth: the RLC-batched, sharded,
+// and multi-process backends all fall back to this per-proof check to
+// attribute blame, which is why their decisions cannot diverge from it.
+#ifndef SRC_VERIFY_PER_PROOF_BACKEND_H_
+#define SRC_VERIFY_PER_PROOF_BACKEND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/core/client.h"
+#include "src/shard/sharded_verifier.h"
+#include "src/verify/backend.h"
+
+namespace vdp {
+
+template <PrimeOrderGroup G>
+class PerProofBackend final : public BufferedVerifyBackend<G> {
+ public:
+  using Element = typename G::Element;
+
+  PerProofBackend(const ProtocolConfig& config, Pedersen<G> ped)
+      : config_(config), ped_(std::move(ped)) {}
+
+  std::string_view name() const override { return "per-proof"; }
+
+ protected:
+  // Per-proof verdicts reduce to one whole-stream ShardResult and go through
+  // the same CombineShardResults as every other backend, so report assembly
+  // (typed rejections, product fold) has a single implementation.
+  VerifyReport<G> Run(const std::vector<ClientUploadMsg<G>>& uploads) override {
+    const VerifyOptions& options = this->options();
+    const size_t n = uploads.size();
+    Stopwatch timer;
+    std::vector<uint8_t> ok(n, 0);
+    std::vector<std::string> why(n);
+    auto work = [&](size_t i) {
+      ok[i] = ValidateClientUpload(uploads[i], i, config_, ped_, &why[i]) ? 1 : 0;
+    };
+    if (options.pool != nullptr) {
+      options.pool->ParallelFor(n, work);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        work(i);
+      }
+    }
+
+    ShardResult<G> result =
+        BuildShardResult(config_, uploads.data(), n, /*base=*/0, /*shard_index=*/0, ok, why,
+                         options.compute_products);
+    const double verify_ms = timer.ElapsedMillis();
+
+    std::vector<ShardResult<G>> results;
+    results.push_back(std::move(result));
+    VerifyReport<G> report =
+        CombineShardResults(config_, std::move(results), options.compute_products);
+    report.backend = name();
+    report.timings.verify_ms = verify_ms;
+    return report;
+  }
+
+ private:
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_VERIFY_PER_PROOF_BACKEND_H_

@@ -1,0 +1,137 @@
+// The structured result of client-upload verification: one report type,
+// produced identically by every VerifyBackend (src/verify/backend.h).
+//
+// The paper's public verifier is a single logical object -- anyone can rerun
+// Line 3 of Figure 2 from the broadcast transcript -- so no matter which
+// execution strategy performed the checks (per-proof, RLC-batched, sharded,
+// multi-process, or a future remote fleet), the *outcome* must be expressible
+// in one shape: which uploads were accepted, why each rejected upload was
+// rejected (typed, not a formatted string), and the per-prover/per-bin
+// products of accepted commitments that feed the Eq. 10 final check.
+#ifndef SRC_VERIFY_REPORT_H_
+#define SRC_VERIFY_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/group/group.h"
+
+namespace vdp {
+
+// Why one client upload was rejected during Line-3 validation. These mirror
+// the failure points of ClientUploadStructure / OrVerify (src/core/client.h);
+// every backend classifies identically because they all reject through the
+// same two functions.
+enum class RejectCode : uint8_t {
+  kMalformedUpload,  // wrong shape: commitment matrix or proof vector sizes
+  kNotOneHot,        // bin commitments do not open to exactly one (M > 1)
+  kProofInvalid,     // a bin's Sigma-OR proof failed verification
+  kUnspecified,      // reject reason did not match a known detail string
+};
+
+inline const char* RejectCodeName(RejectCode code) {
+  switch (code) {
+    case RejectCode::kMalformedUpload:
+      return "malformed-upload";
+    case RejectCode::kNotOneHot:
+      return "not-one-hot";
+    case RejectCode::kProofInvalid:
+      return "proof-invalid";
+    case RejectCode::kUnspecified:
+      return "unspecified";
+  }
+  return "unknown";
+}
+
+// The canonical detail strings of the validation layer. Producers
+// (src/core/client.h, the per-proof fallback in src/shard/) and the
+// classifier below share these constants, so a reworded rejection cannot
+// silently decouple the typed code from the string.
+inline constexpr const char* kDetailMalformedUpload = "malformed upload shape";
+inline constexpr const char* kDetailNotOneHot = "bins do not sum to one";
+inline constexpr const char* kDetailProofInvalid = "bin OR proof invalid";
+
+// Maps the canonical detail strings of the validation layer to typed codes.
+// Centralized so a detail string produced by any backend -- including one
+// decoded from a worker's wire ShardResult -- classifies the same way.
+inline RejectCode ClassifyRejectDetail(std::string_view detail) {
+  if (detail == kDetailMalformedUpload) {
+    return RejectCode::kMalformedUpload;
+  }
+  if (detail == kDetailNotOneHot) {
+    return RejectCode::kNotOneHot;
+  }
+  if (detail == kDetailProofInvalid) {
+    return RejectCode::kProofInvalid;
+  }
+  return RejectCode::kUnspecified;
+}
+
+// One rejected upload: global index, typed code, human-readable detail.
+struct RejectionReason {
+  size_t index = 0;
+  RejectCode code = RejectCode::kUnspecified;
+  std::string detail;
+
+  // The canonical rendering, identical from every backend (and identical to
+  // the strings the pre-VerifyBackend monolithic path produced).
+  std::string Render() const {
+    return "client " + std::to_string(index) + ": " + detail;
+  }
+
+  friend bool operator==(const RejectionReason& a, const RejectionReason& b) {
+    return a.index == b.index && a.code == b.code && a.detail == b.detail;
+  }
+};
+
+// Wall-clock cost of the two phases every backend has: verifying uploads
+// (structural checks + proof checks, however parallelized) and combining
+// per-shard results into the global report. Informational only -- never
+// compared by the conformance suite.
+struct VerifyTimings {
+  double verify_ms = 0;
+  double combine_ms = 0;
+};
+
+// The structured verdict of one verification stream.
+template <PrimeOrderGroup G>
+struct VerifyReport {
+  // Which backend produced this report (VerifyBackendKindName value).
+  std::string backend;
+
+  // Ascending global indices of accepted uploads.
+  std::vector<size_t> accepted;
+
+  // Typed rejections, ascending by index.
+  std::vector<RejectionReason> rejections;
+
+  // commitment_products[k][m] = product over accepted uploads of
+  // commitments[k][m] -- the client half of the Eq. 10 left-hand side,
+  // consumable by PublicVerifier::CheckFinalWithProducts. Empty when the
+  // stream ran with VerifyOptions::compute_products == false.
+  std::vector<std::vector<typename G::Element>> commitment_products;
+
+  size_t total_uploads = 0;
+  size_t num_shards = 0;
+  size_t shards_with_fallback = 0;  // shards that paid the per-proof fallback
+
+  VerifyTimings timings;
+
+  bool has_products() const { return !commitment_products.empty(); }
+
+  // The legacy "client <i>: <why>" strings, in rejection order.
+  std::vector<std::string> RenderedReasons() const {
+    std::vector<std::string> out;
+    out.reserve(rejections.size());
+    for (const RejectionReason& r : rejections) {
+      out.push_back(r.Render());
+    }
+    return out;
+  }
+};
+
+}  // namespace vdp
+
+#endif  // SRC_VERIFY_REPORT_H_

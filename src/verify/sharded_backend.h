@@ -1,0 +1,79 @@
+// ShardedBackend: the upload stream partitioned into contiguous shards, each
+// batch-verified independently (RLC + MSM, fanned across the ThreadPool) and
+// merged by the deterministic combiner (PR 2's src/shard/sharded_verifier.h).
+//
+// Streaming Add keeps memory bounded (full shards are reduced to compact
+// ShardResults as soon as enough have buffered); the bulk path partitions the
+// caller's vector in place with no copies.
+#ifndef SRC_VERIFY_SHARDED_BACKEND_H_
+#define SRC_VERIFY_SHARDED_BACKEND_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/shard/sharded_verifier.h"
+#include "src/verify/backend.h"
+
+namespace vdp {
+
+template <PrimeOrderGroup G>
+class ShardedBackend final : public VerifyBackend<G> {
+ public:
+  ShardedBackend(const ProtocolConfig& config, Pedersen<G> ped)
+      : config_(config), ped_(std::move(ped)) {}
+
+  std::string_view name() const override { return "sharded"; }
+
+  void Start(const VerifyOptions& options) override {
+    options_ = options;
+    stream_.emplace(config_, ped_, options_.pool, /*shard_capacity=*/0,
+                    /*max_pending_shards=*/0, options_.compute_products);
+  }
+
+  void Add(ClientUploadMsg<G> upload) override {
+    EnsureStream();  // tolerate Add-before-Start like the buffered backends
+    stream_->Add(std::move(upload));
+  }
+
+  VerifyReport<G> Finish() override {
+    EnsureStream();  // Finish-without-Start yields an empty report
+    VerifyReport<G> report = stream_->Finish();
+    report.backend = name();
+    stream_.reset();
+    return report;
+  }
+
+  VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
+                            const VerifyOptions& options = {}) override {
+    // Like Start: a one-shot call discards any buffered stream and fixes the
+    // options a later lazily-opened stream will reuse.
+    options_ = options;
+    stream_.reset();
+    // Zero-copy bulk path: contiguous shards over the caller's vector.
+    VerifyReport<G> report = ShardedVerifier<G>::VerifyAll(config_, ped_, uploads,
+                                                           options.pool,
+                                                           options.compute_products);
+    report.backend = name();
+    return report;
+  }
+
+ private:
+  // Lazily (re)opens the stream with the most recent options, mirroring how
+  // BufferedVerifyBackend retains options_ across Finish.
+  void EnsureStream() {
+    if (!stream_.has_value()) {
+      Start(options_);
+    }
+  }
+
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+  VerifyOptions options_;
+  std::optional<ShardedVerifier<G>> stream_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_VERIFY_SHARDED_BACKEND_H_

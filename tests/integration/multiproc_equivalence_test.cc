@@ -98,10 +98,12 @@ TEST(MultiprocEquivalence, ValidationDecisionsAndProductsAreBitIdentical) {
   EXPECT_EQ(mono_reasons, sharded_reasons);
   EXPECT_EQ(mono_reasons, multiproc_reasons);
 
-  // Products: the multi-process verdict's Eq. 10 client products must equal
+  // Products: the multi-process report's Eq. 10 client products must equal
   // both the in-process sharded ones and the direct per-upload product.
-  auto sharded_verdict = sharded.ValidateClientsSharded(uploads);
-  auto multiproc_verdict = multiproc.ValidateClientsSharded(uploads);
+  auto sharded_verdict = sharded.ValidateClientsReport(uploads);
+  auto multiproc_verdict = multiproc.ValidateClientsReport(uploads);
+  EXPECT_EQ(sharded_verdict.backend, "sharded");
+  EXPECT_EQ(multiproc_verdict.backend, "multiprocess");
   auto direct = DirectProducts(BaseConfig(), uploads, mono_accepted);
   ASSERT_EQ(multiproc_verdict.commitment_products.size(), direct.size());
   for (size_t k = 0; k < direct.size(); ++k) {
@@ -112,7 +114,8 @@ TEST(MultiprocEquivalence, ValidationDecisionsAndProductsAreBitIdentical) {
     }
   }
   EXPECT_EQ(multiproc_verdict.accepted, sharded_verdict.accepted);
-  EXPECT_EQ(multiproc_verdict.reasons, sharded_verdict.reasons);
+  EXPECT_EQ(multiproc_verdict.rejections, sharded_verdict.rejections);
+  EXPECT_EQ(multiproc_verdict.RenderedReasons(), mono_reasons);
 }
 
 TEST(MultiprocEquivalence, EndToEndRunAndAuditAgreeAcrossAllThreeModes) {

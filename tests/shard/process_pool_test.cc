@@ -55,9 +55,9 @@ std::vector<ClientUploadMsg<G>> MakeUploads(const ProtocolConfig& config,
   return uploads;
 }
 
-void ExpectSameVerdict(const ShardedVerdict<G>& expected, const ShardedVerdict<G>& actual) {
+void ExpectSameVerdict(const VerifyReport<G>& expected, const VerifyReport<G>& actual) {
   EXPECT_EQ(expected.accepted, actual.accepted);
-  EXPECT_EQ(expected.reasons, actual.reasons);
+  EXPECT_EQ(expected.rejections, actual.rejections);
   EXPECT_EQ(expected.total_uploads, actual.total_uploads);
   ASSERT_EQ(expected.commitment_products.size(), actual.commitment_products.size());
   for (size_t k = 0; k < expected.commitment_products.size(); ++k) {
@@ -77,7 +77,7 @@ class ProcessPoolTest : public ::testing::Test {
     expected_ = ShardedVerifier<G>::VerifyAll(config_, ped_, uploads_, nullptr);
   }
 
-  ShardedVerdict<G> RunPool(ProcessPoolOptions options, ProcessPoolReport* report) {
+  VerifyReport<G> RunPool(ProcessPoolOptions options, ProcessPoolReport* report) {
     MultiprocessVerifier<G> verifier(config_, ped_, std::move(options));
     return verifier.VerifyAll(uploads_, /*compute_products=*/true, report);
   }
@@ -85,7 +85,7 @@ class ProcessPoolTest : public ::testing::Test {
   ProtocolConfig config_;
   Pedersen<G> ped_;
   std::vector<ClientUploadMsg<G>> uploads_;
-  ShardedVerdict<G> expected_;
+  VerifyReport<G> expected_;
 };
 
 TEST_F(ProcessPoolTest, HealthyFleetMatchesInProcess) {
@@ -184,13 +184,9 @@ TEST_F(ProcessPoolTest, ProductsSkippedWhenNotRequested) {
   auto verdict = verifier.VerifyAll(uploads_, /*compute_products=*/false, &report);
   EXPECT_TRUE(report.failures.empty());
   EXPECT_EQ(verdict.accepted, expected_.accepted);
-  EXPECT_EQ(verdict.reasons, expected_.reasons);
-  // No products were computed: the combiner leaves identity products.
-  for (const auto& row : verdict.commitment_products) {
-    for (const auto& element : row) {
-      EXPECT_TRUE(element == G::Identity());
-    }
-  }
+  EXPECT_EQ(verdict.rejections, expected_.rejections);
+  // No products were computed: the report carries none at all.
+  EXPECT_FALSE(verdict.has_products());
 }
 
 // --- Direct worker protocol checks (no pool) ---------------------------

@@ -83,7 +83,8 @@ TEST(ShardedVerifierTest, FourThousandUploadsMatchMonolithic) {
 
   std::vector<std::string> sharded_reasons;
   std::vector<std::string> monolithic_reasons;
-  auto verdict = sharded_verifier.ValidateClientsSharded(uploads, &pool);
+  auto verdict = sharded_verifier.ValidateClientsReport(uploads, &pool);
+  EXPECT_EQ(verdict.backend, "sharded");
   auto sharded_accepted =
       sharded_verifier.ValidateClients(uploads, &sharded_reasons, &pool);
   auto monolithic_accepted =
@@ -168,7 +169,8 @@ TEST(ShardedVerifierTest, StreamingMatchesOneShot) {
   auto oneshot_verdict = ShardedVerifier<G>::VerifyAll(config, ped, uploads, &pool);
 
   EXPECT_EQ(stream_verdict.accepted, oneshot_verdict.accepted);
-  EXPECT_EQ(stream_verdict.reasons, oneshot_verdict.reasons);
+  EXPECT_EQ(stream_verdict.rejections, oneshot_verdict.rejections);
+  EXPECT_EQ(stream_verdict.RenderedReasons(), oneshot_verdict.RenderedReasons());
   EXPECT_EQ(stream_verdict.total_uploads, 53u);
   EXPECT_EQ(stream_verdict.num_shards, 7u);  // ceil(53 / 8)
   for (size_t k = 0; k < config.num_provers; ++k) {

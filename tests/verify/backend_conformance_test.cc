@@ -1,0 +1,311 @@
+// Backend conformance: every registered VerifyBackend is one execution
+// strategy for the same abstract public verifier, so on the same adversarial
+// upload set all of them must produce bit-identical accept sets, commitment
+// products, and rejection reasons -- streaming or one-shot, against the
+// per-proof oracle as ground truth.
+//
+// The multiprocess backend's worker count honors VDP_VERIFY_WORKERS (the CI
+// backend-matrix job exports 3) so the fleet shape under test varies across
+// workflow configurations without changing any decision.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/core/verifier.h"
+#include "src/verify/factory.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+using S = G::Scalar;
+using Element = G::Element;
+
+size_t WorkersFromEnv() {
+  if (const char* env = std::getenv("VDP_VERIFY_WORKERS")) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return 2;
+}
+
+// One shared protocol surface: identical session id (and thus identical
+// Fiat-Shamir contexts) for every backend, with only the execution-selection
+// flags varying.
+ProtocolConfig ConfigFor(VerifyBackendKind kind) {
+  ProtocolConfig config;
+  config.epsilon = 50.0;  // nb = 31: keeps upload construction fast
+  config.num_provers = 2;
+  config.num_bins = 3;
+  config.session_id = "backend-conformance";
+  switch (kind) {
+    case VerifyBackendKind::kPerProof:
+      break;
+    case VerifyBackendKind::kBatched:
+      config.batch_verify = true;
+      break;
+    case VerifyBackendKind::kSharded:
+      config.num_verify_shards = 5;
+      break;
+    case VerifyBackendKind::kMultiprocess:
+      config.num_verify_shards = 5;
+      config.verify_workers = WorkersFromEnv();
+      break;
+  }
+  return config;
+}
+
+// The shared adversarial corpus: honest uploads with every rejection class
+// represented, spread across shard boundaries -- a tampered proof response,
+// a malformed shape, a tampered sub-challenge, and a broken one-hot opening.
+std::vector<ClientUploadMsg<G>> Corpus(const Pedersen<G>& ped) {
+  const ProtocolConfig config = ConfigFor(VerifyBackendKind::kPerProof);
+  SecureRng rng("backend-conformance-corpus");
+  std::vector<ClientUploadMsg<G>> uploads;
+  for (size_t i = 0; i < 22; ++i) {
+    uploads.push_back(
+        MakeClientBundle<G>(static_cast<uint32_t>(i % config.num_bins), i, config, ped, rng)
+            .upload);
+  }
+  uploads[3].bin_proofs[0].z0 += S::One();        // invalid OR proof
+  uploads[9].commitments.clear();                 // malformed shape
+  uploads[14].bin_proofs[1].e1 += S::One();       // tampered sub-challenge
+  uploads[19].sum_randomness += S::One();         // breaks the one-hot opening
+  return uploads;
+}
+
+std::vector<std::vector<Element>> DirectProducts(const ProtocolConfig& config,
+                                                 const std::vector<ClientUploadMsg<G>>& uploads,
+                                                 const std::vector<size_t>& accepted) {
+  std::vector<std::vector<Element>> products(
+      config.num_provers, std::vector<Element>(config.num_bins, G::Identity()));
+  for (size_t idx : accepted) {
+    for (size_t k = 0; k < config.num_provers; ++k) {
+      for (size_t m = 0; m < config.num_bins; ++m) {
+        products[k][m] = G::Mul(products[k][m], uploads[idx].commitments[k][m]);
+      }
+    }
+  }
+  return products;
+}
+
+void ExpectSameDecisions(const VerifyReport<G>& expected, const VerifyReport<G>& actual) {
+  EXPECT_EQ(expected.accepted, actual.accepted);
+  EXPECT_EQ(expected.rejections, actual.rejections);
+  EXPECT_EQ(expected.RenderedReasons(), actual.RenderedReasons());
+  EXPECT_EQ(expected.total_uploads, actual.total_uploads);
+  ASSERT_EQ(expected.has_products(), actual.has_products());
+  ASSERT_EQ(expected.commitment_products.size(), actual.commitment_products.size());
+  for (size_t k = 0; k < expected.commitment_products.size(); ++k) {
+    ASSERT_EQ(expected.commitment_products[k].size(), actual.commitment_products[k].size());
+    for (size_t m = 0; m < expected.commitment_products[k].size(); ++m) {
+      EXPECT_TRUE(expected.commitment_products[k][m] == actual.commitment_products[k][m])
+          << "product mismatch at prover " << k << " bin " << m;
+    }
+  }
+}
+
+class BackendConformanceTest : public ::testing::TestWithParam<VerifyBackendKind> {
+ protected:
+  // The per-proof oracle's report on the same scenario: ground truth.
+  VerifyReport<G> Oracle(const std::vector<ClientUploadMsg<G>>& uploads,
+                         bool compute_products = true) {
+    auto oracle = MakeVerifyBackend<G>(VerifyBackendKind::kPerProof,
+                                       ConfigFor(VerifyBackendKind::kPerProof), ped_);
+    VerifyOptions options;
+    options.compute_products = compute_products;
+    return oracle->VerifyAll(uploads, options);
+  }
+
+  std::unique_ptr<VerifyBackend<G>> Backend() {
+    return MakeVerifyBackend<G>(GetParam(), ConfigFor(GetParam()), ped_);
+  }
+
+  Pedersen<G> ped_;
+};
+
+// The headline conformance check: full adversarial corpus, one-shot.
+TEST_P(BackendConformanceTest, AdversarialCorpusMatchesOracle) {
+  auto uploads = Corpus(ped_);
+  auto expected = Oracle(uploads);
+  auto report = Backend()->VerifyAll(uploads);
+  EXPECT_EQ(report.backend, VerifyBackendKindName(GetParam()));
+  ExpectSameDecisions(expected, report);
+
+  // And against the direct per-upload product, independently of any backend.
+  auto direct = DirectProducts(ConfigFor(GetParam()), uploads, expected.accepted);
+  for (size_t k = 0; k < direct.size(); ++k) {
+    for (size_t m = 0; m < direct[k].size(); ++m) {
+      EXPECT_TRUE(report.commitment_products[k][m] == direct[k][m]);
+    }
+  }
+}
+
+// Streaming lifecycle (Start / Add / Finish) agrees with the one-shot path,
+// and a finished backend is reusable for a second stream.
+TEST_P(BackendConformanceTest, StreamingMatchesOneShot) {
+  auto uploads = Corpus(ped_);
+  auto backend = Backend();
+  auto oneshot = backend->VerifyAll(uploads);
+
+  backend->Start(VerifyOptions{});
+  for (const auto& upload : uploads) {
+    backend->Add(upload);
+  }
+  auto streamed = backend->Finish();
+  EXPECT_EQ(streamed.accepted, oneshot.accepted);
+  EXPECT_EQ(streamed.rejections, oneshot.rejections);
+  for (size_t k = 0; k < oneshot.commitment_products.size(); ++k) {
+    for (size_t m = 0; m < oneshot.commitment_products[k].size(); ++m) {
+      EXPECT_TRUE(streamed.commitment_products[k][m] == oneshot.commitment_products[k][m]);
+    }
+  }
+
+  // Reuse after Finish: a fresh stream starts from global index 0.
+  backend->Start(VerifyOptions{});
+  backend->Add(uploads[0]);
+  auto second = backend->Finish();
+  EXPECT_EQ(second.accepted, (std::vector<size_t>{0}));
+  EXPECT_EQ(second.total_uploads, 1u);
+}
+
+// A one-shot VerifyAll behaves exactly like Start: anything buffered from an
+// interrupted stream is discarded, never folded into a phantom report.
+TEST_P(BackendConformanceTest, VerifyAllDiscardsBufferedStream) {
+  auto uploads = Corpus(ped_);
+  auto backend = Backend();
+  backend->Start(VerifyOptions{});
+  backend->Add(uploads[1]);  // abandoned mid-stream
+  auto oneshot = backend->VerifyAll(uploads);
+  EXPECT_EQ(oneshot.total_uploads, uploads.size());
+  auto after = backend->Finish();  // fresh empty stream, not the stale upload
+  EXPECT_TRUE(after.accepted.empty());
+  EXPECT_EQ(after.total_uploads, 0u);
+}
+
+TEST_P(BackendConformanceTest, EmptyUploadSet) {
+  std::vector<ClientUploadMsg<G>> empty;
+  auto report = Backend()->VerifyAll(empty);
+  EXPECT_TRUE(report.accepted.empty());
+  EXPECT_TRUE(report.rejections.empty());
+  EXPECT_EQ(report.total_uploads, 0u);
+}
+
+TEST_P(BackendConformanceTest, SingleValidClient) {
+  auto uploads = Corpus(ped_);
+  std::vector<ClientUploadMsg<G>> one = {uploads[0]};
+  auto expected = Oracle(one);
+  auto report = Backend()->VerifyAll(one);
+  ExpectSameDecisions(expected, report);
+  EXPECT_EQ(report.accepted, (std::vector<size_t>{0}));
+}
+
+TEST_P(BackendConformanceTest, SingleTamperedClient) {
+  auto uploads = Corpus(ped_);
+  std::vector<ClientUploadMsg<G>> one = {uploads[3]};  // invalid OR proof
+  auto expected = Oracle(one);
+  auto report = Backend()->VerifyAll(one);
+  ExpectSameDecisions(expected, report);
+  ASSERT_EQ(report.rejections.size(), 1u);
+  EXPECT_EQ(report.rejections[0].code, RejectCode::kProofInvalid);
+}
+
+TEST_P(BackendConformanceTest, ProductsSkippedOnRequest) {
+  auto uploads = Corpus(ped_);
+  VerifyOptions options;
+  options.compute_products = false;
+  auto report = Backend()->VerifyAll(uploads, options);
+  EXPECT_FALSE(report.has_products());
+  EXPECT_EQ(report.accepted, Oracle(uploads, /*compute_products=*/false).accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformanceTest,
+                         ::testing::ValuesIn(AllVerifyBackendKinds()),
+                         [](const ::testing::TestParamInfo<VerifyBackendKind>& info) {
+                           std::string name = VerifyBackendKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// The rejection-reason regression test (cross-backend, not parameterized):
+// the typed RejectionReasons -- code, detail, AND rendered legacy string --
+// must be identical from all four backends, pinned against literal
+// expectations so a drift in any one path fails loudly.
+TEST(BackendRejectionRegressionTest, AllBackendsRenderIdenticalReasons) {
+  Pedersen<G> ped;
+  auto uploads = Corpus(ped);
+
+  std::vector<VerifyReport<G>> reports;
+  for (VerifyBackendKind kind : AllVerifyBackendKinds()) {
+    reports.push_back(MakeVerifyBackend<G>(kind, ConfigFor(kind), ped)->VerifyAll(uploads));
+  }
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[0].rejections, reports[i].rejections)
+        << "backend " << reports[i].backend << " diverged from " << reports[0].backend;
+    EXPECT_EQ(reports[0].RenderedReasons(), reports[i].RenderedReasons());
+  }
+
+  // Pin the canonical renderings (the legacy "client <i>: <why>" format).
+  ASSERT_EQ(reports[0].rejections.size(), 4u);
+  const auto rendered = reports[0].RenderedReasons();
+  EXPECT_EQ(rendered[0], "client 3: bin OR proof invalid");
+  EXPECT_EQ(rendered[1], "client 9: malformed upload shape");
+  EXPECT_EQ(rendered[2], "client 14: bin OR proof invalid");
+  EXPECT_EQ(rendered[3], "client 19: bins do not sum to one");
+  EXPECT_EQ(reports[0].rejections[0].code, RejectCode::kProofInvalid);
+  EXPECT_EQ(reports[0].rejections[1].code, RejectCode::kMalformedUpload);
+  EXPECT_EQ(reports[0].rejections[2].code, RejectCode::kProofInvalid);
+  EXPECT_EQ(reports[0].rejections[3].code, RejectCode::kNotOneHot);
+
+  // PublicVerifier's legacy reasons output is the same rendering.
+  PublicVerifier<G> verifier(ConfigFor(VerifyBackendKind::kPerProof), ped);
+  std::vector<std::string> legacy;
+  verifier.ValidateClients(uploads, &legacy);
+  EXPECT_EQ(legacy, rendered);
+}
+
+// Factory policy: the flag combinations of PRs 1-3 keep selecting the same
+// execution strategies, now through one function.
+TEST(BackendFactoryTest, SelectionPolicyMatchesLegacyFlags) {
+  ProtocolConfig config;
+  EXPECT_EQ(SelectVerifyBackend(config), VerifyBackendKind::kPerProof);
+  config.batch_verify = true;
+  EXPECT_EQ(SelectVerifyBackend(config), VerifyBackendKind::kBatched);
+  config.num_verify_shards = 4;
+  EXPECT_EQ(SelectVerifyBackend(config), VerifyBackendKind::kSharded);
+  config.verify_workers = 3;
+  EXPECT_EQ(SelectVerifyBackend(config), VerifyBackendKind::kMultiprocess);
+
+  // Sharding wins over batch_verify alone; workers win over both.
+  ProtocolConfig sharded_only;
+  sharded_only.num_verify_shards = 2;
+  EXPECT_EQ(SelectVerifyBackend(sharded_only), VerifyBackendKind::kSharded);
+  ProtocolConfig workers_only;
+  workers_only.verify_workers = 2;
+  EXPECT_EQ(SelectVerifyBackend(workers_only), VerifyBackendKind::kMultiprocess);
+}
+
+TEST(BackendFactoryTest, NamesRoundTripThroughRegistry) {
+  for (VerifyBackendKind kind : AllVerifyBackendKinds()) {
+    auto parsed = VerifyBackendKindFromName(VerifyBackendKindName(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(VerifyBackendKindFromName("remote").has_value());
+}
+
+TEST(BackendFactoryTest, RejectsInvalidConfig) {
+  Pedersen<G> ped;
+  ProtocolConfig config;
+  config.verify_workers = 1;  // ambiguous: Validate() rejects it
+  EXPECT_THROW(MakeVerifyBackend<G>(config, ped), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vdp

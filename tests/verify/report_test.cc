@@ -1,0 +1,64 @@
+// VerifyReport building blocks: typed rejection classification, canonical
+// rendering, and the report helpers every backend relies on.
+#include <gtest/gtest.h>
+
+#include "src/group/modp_group.h"
+#include "src/verify/report.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+
+TEST(RejectCodeTest, ClassifiesCanonicalDetailStrings) {
+  EXPECT_EQ(ClassifyRejectDetail("malformed upload shape"), RejectCode::kMalformedUpload);
+  EXPECT_EQ(ClassifyRejectDetail("bins do not sum to one"), RejectCode::kNotOneHot);
+  EXPECT_EQ(ClassifyRejectDetail("bin OR proof invalid"), RejectCode::kProofInvalid);
+  EXPECT_EQ(ClassifyRejectDetail("anything else"), RejectCode::kUnspecified);
+  EXPECT_EQ(ClassifyRejectDetail(""), RejectCode::kUnspecified);
+}
+
+TEST(RejectCodeTest, NamesAreStable) {
+  EXPECT_STREQ(RejectCodeName(RejectCode::kMalformedUpload), "malformed-upload");
+  EXPECT_STREQ(RejectCodeName(RejectCode::kNotOneHot), "not-one-hot");
+  EXPECT_STREQ(RejectCodeName(RejectCode::kProofInvalid), "proof-invalid");
+  EXPECT_STREQ(RejectCodeName(RejectCode::kUnspecified), "unspecified");
+}
+
+TEST(RejectionReasonTest, RendersLegacyFormat) {
+  RejectionReason reason{42, RejectCode::kProofInvalid, "bin OR proof invalid"};
+  EXPECT_EQ(reason.Render(), "client 42: bin OR proof invalid");
+}
+
+TEST(RejectionReasonTest, EqualityComparesAllFields) {
+  RejectionReason a{1, RejectCode::kProofInvalid, "bin OR proof invalid"};
+  RejectionReason b = a;
+  EXPECT_TRUE(a == b);
+  b.index = 2;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.code = RejectCode::kNotOneHot;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.detail = "other";
+  EXPECT_FALSE(a == b);
+}
+
+TEST(VerifyReportTest, RenderedReasonsFollowRejectionOrder) {
+  VerifyReport<G> report;
+  report.rejections.push_back({3, RejectCode::kProofInvalid, "bin OR proof invalid"});
+  report.rejections.push_back({9, RejectCode::kMalformedUpload, "malformed upload shape"});
+  EXPECT_EQ(report.RenderedReasons(),
+            (std::vector<std::string>{"client 3: bin OR proof invalid",
+                                      "client 9: malformed upload shape"}));
+}
+
+TEST(VerifyReportTest, HasProductsTracksComputation) {
+  VerifyReport<G> report;
+  EXPECT_FALSE(report.has_products());
+  report.commitment_products.assign(1, std::vector<G::Element>(1, G::Identity()));
+  EXPECT_TRUE(report.has_products());
+}
+
+}  // namespace
+}  // namespace vdp
