@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/timer.h"
+#include "src/net/server_process.h"
 #include "src/verify/factory.h"
 
 namespace {
@@ -50,6 +51,12 @@ vdp::ProtocolConfig ConfigFor(vdp::VerifyBackendKind kind) {
     case vdp::VerifyBackendKind::kMultiprocess:
       config.num_verify_shards = 8;
       config.verify_workers = 4;
+      break;
+    case vdp::VerifyBackendKind::kRemote:
+      // A real loopback verify_server fleet (shared; spawned on first use):
+      // the multiprocess row plus socket transport + per-frame HMAC.
+      config.num_verify_shards = 8;
+      vdp::net::SharedLoopbackFleet(4).ApplyTo(&config);
       break;
   }
   return config;

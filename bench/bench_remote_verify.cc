@@ -1,0 +1,180 @@
+// Remote (socket) vs multi-process (pipe) vs in-process shard verification.
+//
+// Measures what the network hop and the per-frame HMAC add on top of PR 3's
+// process boundary: the same 4096-upload stream is validated by the
+// in-process sharded pipeline, by a verify_worker subprocess fleet over
+// pipes, and by a spawned loopback verify_server fleet over authenticated
+// TCP sockets (src/net/). Two regimes -- a clean stream and one with a
+// single tampered proof (per-proof fallback confined to one shard) -- and
+// every configuration's accept set is cross-checked against the in-process
+// result, so a speedup can never come from a wrong verdict.
+//
+// Emits BENCH_remote_verify.json. The interesting numbers:
+//   - remote_ms vs multiproc_ms at equal fleet size: socket + HMAC
+//     overhead on loopback (the lower bound for a real network).
+//   - clean vs one-tampered: the blame fallback's cost does not change
+//     shape when verification is remote.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/net/remote_fleet.h"
+#include "src/net/server_process.h"
+#include "src/shard/process_pool.h"
+
+namespace {
+
+using G = vdp::ModP256;
+using S = G::Scalar;
+
+struct Point {
+  std::string scenario;
+  std::string mode;  // in-process | multi-process | remote
+  size_t fleet = 0;  // workers or servers (0 = in-process)
+  double elapsed_ms = 0;
+  size_t accepted = 0;
+  size_t recovered_in_process = 0;
+  size_t failures = 0;
+};
+
+void WriteJson(size_t n_uploads, size_t shards, const std::vector<Point>& points) {
+  FILE* f = std::fopen("BENCH_remote_verify.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write BENCH_remote_verify.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"remote_verify\",\n");
+  std::fprintf(f, "  \"group\": \"%s\",\n", G::Name().c_str());
+  std::fprintf(f, "  \"pipeline\": \"wire ShardTask -> verify_server fleet over "
+               "authenticated loopback sockets -> wire ShardResult -> combine\",\n");
+  std::fprintf(f, "  \"n_uploads\": %zu,\n", n_uploads);
+  std::fprintf(f, "  \"num_shards\": %zu,\n", shards);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"fleet\": %zu, "
+                 "\"elapsed_ms\": %.3f, \"accepted\": %zu, "
+                 "\"recovered_in_process\": %zu, \"failures\": %zu}%s\n",
+                 p.scenario.c_str(), p.mode.c_str(), p.fleet, p.elapsed_ms, p.accepted,
+                 p.recovered_in_process, p.failures, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_remote_verify.json\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kUploads = 4096;
+  constexpr size_t kShards = 8;
+
+  vdp::ProtocolConfig config;
+  config.epsilon = 50.0;
+  config.num_provers = 1;
+  config.num_bins = 1;
+  config.session_id = "bench-remote-verify";
+  config.batch_verify = true;
+  config.num_verify_shards = kShards;
+
+  vdp::Pedersen<G> ped;
+  vdp::SecureRng rng("bench-remote");
+  std::printf("building %zu uploads (%s)...\n", kUploads, G::Name().c_str());
+  std::vector<vdp::ClientUploadMsg<G>> uploads;
+  uploads.reserve(kUploads);
+  for (size_t i = 0; i < kUploads; ++i) {
+    uploads.push_back(vdp::MakeClientBundle<G>(i % 2, i, config, ped, rng).upload);
+  }
+
+  std::printf("spawning loopback verify_server fleet...\n");
+  vdp::net::LoopbackFleet fleet(4);
+  if (fleet.servers().size() != 4) {
+    std::fprintf(stderr, "FATAL: could not spawn the loopback fleet "
+                 "(is verify_server next to this binary?)\n");
+    return 1;
+  }
+
+  vdp::ThreadPool& pool = vdp::GlobalPool();
+  vdp::Stopwatch timer;
+  std::vector<Point> points;
+
+  for (const char* scenario : {"clean", "one-tampered"}) {
+    if (std::string(scenario) == "one-tampered") {
+      uploads[kUploads / 3].bin_proofs[0].z0 += S::One();
+    }
+    std::printf("-- scenario: %s --\n", scenario);
+
+    // In-process baseline (PR 2 pipeline on the global thread pool).
+    timer.Reset();
+    auto inproc = vdp::ShardedVerifier<G>::VerifyAll(config, ped, uploads, &pool);
+    Point baseline;
+    baseline.scenario = scenario;
+    baseline.mode = "in-process";
+    baseline.elapsed_ms = timer.ElapsedMillis();
+    baseline.accepted = inproc.accepted.size();
+    points.push_back(baseline);
+    std::printf("in-process            : %8.1f ms (%zu accepted)\n",
+                baseline.elapsed_ms, baseline.accepted);
+
+    for (size_t workers : {2, 4}) {
+      vdp::ProcessPoolOptions options;
+      options.num_workers = workers;
+      vdp::MultiprocessVerifier<G> verifier(config, ped, options);
+      vdp::ProcessPoolReport report;
+      timer.Reset();
+      auto verdict = verifier.VerifyAll(uploads, /*compute_products=*/true, &report);
+      Point p;
+      p.scenario = scenario;
+      p.mode = "multi-process";
+      p.fleet = workers;
+      p.elapsed_ms = timer.ElapsedMillis();
+      p.accepted = verdict.accepted.size();
+      p.recovered_in_process = report.shards_recovered_in_process;
+      p.failures = report.failures.size();
+      points.push_back(p);
+      std::printf("multi-process %zu pipes : %8.1f ms (%zu accepted)\n", workers,
+                  p.elapsed_ms, p.accepted);
+      if (verdict.accepted != inproc.accepted) {
+        std::fprintf(stderr, "FATAL: multi-process verdict diverged\n");
+        return 1;
+      }
+    }
+
+    const std::vector<std::string> endpoints = fleet.Endpoints();
+    for (size_t servers : {2, 4}) {
+      vdp::ProtocolConfig remote_config = config;
+      remote_config.remote_verifiers.assign(endpoints.begin(),
+                                            endpoints.begin() + servers);
+      remote_config.remote_auth_key_hex = fleet.key_hex();
+      vdp::RemoteVerifierFleet<G> verifier(remote_config, ped);
+      vdp::RemoteFleetReport report;
+      timer.Reset();
+      auto verdict = verifier.VerifyAll(uploads, /*compute_products=*/true, &report);
+      Point p;
+      p.scenario = scenario;
+      p.mode = "remote";
+      p.fleet = servers;
+      p.elapsed_ms = timer.ElapsedMillis();
+      p.accepted = verdict.accepted.size();
+      p.recovered_in_process = report.shards_recovered_in_process;
+      p.failures = report.failures.size();
+      points.push_back(p);
+      std::printf("remote %zu sockets     : %8.1f ms (%zu accepted, %zu failures)\n",
+                  servers, p.elapsed_ms, p.accepted, p.failures);
+      if (verdict.accepted != inproc.accepted) {
+        std::fprintf(stderr, "FATAL: remote verdict diverged from in-process\n");
+        return 1;
+      }
+    }
+  }
+
+  WriteJson(kUploads, kShards, points);
+  return 0;
+}

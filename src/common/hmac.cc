@@ -1,0 +1,52 @@
+#include "src/common/hmac.h"
+
+#include <cstring>
+
+namespace vdp {
+
+namespace {
+
+constexpr size_t kBlockSize = 64;
+
+}  // namespace
+
+HmacSha256::HmacSha256(BytesView key) {
+  std::array<uint8_t, kBlockSize> block{};
+  if (key.size() > kBlockSize) {
+    Sha256::Digest hashed = Sha256::Hash(key);
+    std::memcpy(block.data(), hashed.data(), hashed.size());
+  } else if (!key.empty()) {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+  std::array<uint8_t, kBlockSize> ipad_key;
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad_key[i] = static_cast<uint8_t>(block[i] ^ 0x36);
+    opad_key_[i] = static_cast<uint8_t>(block[i] ^ 0x5c);
+  }
+  inner_.Update(BytesView(ipad_key.data(), ipad_key.size()));
+}
+
+HmacSha256& HmacSha256::Update(BytesView data) {
+  inner_.Update(data);
+  return *this;
+}
+
+HmacSha256::Tag HmacSha256::Finalize() {
+  Sha256::Digest inner_digest = inner_.Finalize();
+  Sha256 outer;
+  outer.Update(BytesView(opad_key_.data(), opad_key_.size()));
+  outer.Update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+HmacSha256::Tag HmacSha256::Mac(BytesView key, BytesView data) {
+  HmacSha256 mac(key);
+  mac.Update(data);
+  return mac.Finalize();
+}
+
+bool HmacSha256::Verify(const Tag& expected, BytesView actual) {
+  return ConstantTimeEqual(BytesView(expected.data(), expected.size()), actual);
+}
+
+}  // namespace vdp

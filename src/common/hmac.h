@@ -1,0 +1,39 @@
+// RFC 2104 HMAC over SHA-256. Used by the socket transport (src/net/) to
+// derive per-connection session keys from the fleet's pre-shared secret and
+// to authenticate every frame exchanged with a remote verifier. Streaming
+// interface so multi-megabyte shard frames are MACed without concatenating
+// header fields and payload into one buffer.
+#ifndef SRC_COMMON_HMAC_H_
+#define SRC_COMMON_HMAC_H_
+
+#include <array>
+
+#include "src/common/sha256.h"
+
+namespace vdp {
+
+class HmacSha256 {
+ public:
+  static constexpr size_t kTagSize = Sha256::kDigestSize;
+  using Tag = Sha256::Digest;
+
+  // Keys longer than the SHA-256 block (64 bytes) are hashed down first, per
+  // RFC 2104; any key length is accepted.
+  explicit HmacSha256(BytesView key);
+
+  HmacSha256& Update(BytesView data);
+  Tag Finalize();  // The object must not be reused after Finalize().
+
+  static Tag Mac(BytesView key, BytesView data);
+
+  // Constant-time tag comparison (lengths are public).
+  static bool Verify(const Tag& expected, BytesView actual);
+
+ private:
+  Sha256 inner_;
+  std::array<uint8_t, 64> opad_key_{};
+};
+
+}  // namespace vdp
+
+#endif  // SRC_COMMON_HMAC_H_

@@ -6,8 +6,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "src/common/hex.h"
 #include "src/dp/binomial.h"
+#include "src/net/endpoint.h"
 
 namespace vdp {
 
@@ -72,6 +75,24 @@ struct ProtocolConfig {
   // shards per worker.
   size_t verify_workers = 0;
 
+  // Farm shard verification out to remote verify_server daemons over
+  // authenticated sockets (src/net/): endpoints in the textual form
+  // "tcp:host:port" or "unix:/path". Non-empty selects the remote backend
+  // (it wins over every other execution flag -- a provisioned fleet is the
+  // most explicit statement of intent). Shards are serialized over the same
+  // versioned wire format as the subprocess pool, MAC-authenticated per
+  // frame, and the decoded results feed the same deterministic combiner,
+  // bit-identically to the in-process path. Lost or misbehaving verifiers
+  // are blamed, reconnected, and -- as a last resort -- their shards are
+  // recovered in process, so the verdict never depends on fleet health.
+  std::vector<std::string> remote_verifiers;
+
+  // Hex-encoded pre-shared fleet secret (>= 16 bytes decoded) used to derive
+  // the per-connection transport MAC keys (src/net/auth.h). Required when
+  // remote_verifiers is non-empty. Deployment-local: it is never serialized
+  // into WireSetup and never crosses the wire.
+  std::string remote_auth_key_hex;
+
   // Domain separation for all Fiat-Shamir transcripts of this run.
   std::string session_id = "vdp-session";
 
@@ -100,6 +121,23 @@ struct ProtocolConfig {
       return ConfigError{"verify_workers",
                          "1 is ambiguous (a single worker has in-process semantics); "
                          "use 0 for in-process verification or >= 2 workers"};
+    }
+    for (const std::string& spec : remote_verifiers) {
+      if (!net::ParseEndpoint(spec).has_value()) {
+        return ConfigError{"remote_verifiers",
+                           "endpoint '" + spec + "' is not tcp:<host>:<port> or unix:<path>"};
+      }
+    }
+    if (!remote_verifiers.empty()) {
+      auto key = HexDecode(remote_auth_key_hex);
+      if (!key.has_value()) {
+        return ConfigError{"remote_auth_key_hex",
+                           "remote verifiers require a hex-encoded pre-shared auth key"};
+      }
+      if (key->size() < 16) {
+        return ConfigError{"remote_auth_key_hex",
+                           "auth key must decode to at least 16 bytes"};
+      }
     }
     return std::nullopt;
   }

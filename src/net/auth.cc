@@ -1,0 +1,101 @@
+#include "src/net/auth.h"
+
+#include "src/common/serialize.h"
+
+namespace vdp {
+namespace net {
+
+namespace {
+
+// Domain-separation prefixes. Fixed-length fields follow the prefix, with
+// the only variable-length field (the payload) last, so the MAC input is
+// unambiguous without length framing.
+constexpr char kSessionKeyDomain[] = "vdp/net/session-key";
+constexpr char kFrameDomain[] = "vdp/net/frame";
+
+void UpdateU64(HmacSha256* mac, uint64_t v) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  mac->Update(BytesView(buf, sizeof(buf)));
+}
+
+}  // namespace
+
+SessionKey DeriveSessionKey(BytesView shared_secret, BytesView server_nonce,
+                            BytesView client_nonce) {
+  HmacSha256 mac(shared_secret);
+  mac.Update(StrView(kSessionKeyDomain));
+  mac.Update(server_nonce);
+  mac.Update(client_nonce);
+  return mac.Finalize();
+}
+
+HmacSha256::Tag FrameTag(const SessionKey& key, uint8_t direction, uint64_t seq,
+                         wire::FrameType type, BytesView payload) {
+  HmacSha256 mac(BytesView(key.data(), key.size()));
+  mac.Update(StrView(kFrameDomain));
+  mac.Update(BytesView(&direction, 1));
+  UpdateU64(&mac, seq);
+  const uint8_t type_byte = static_cast<uint8_t>(type);
+  mac.Update(BytesView(&type_byte, 1));
+  mac.Update(payload);
+  return mac.Finalize();
+}
+
+Bytes SealPayload(const SessionKey& key, uint8_t direction, uint64_t seq,
+                  wire::FrameType type, BytesView payload) {
+  HmacSha256::Tag tag = FrameTag(key, direction, seq, type, payload);
+  Bytes sealed;
+  sealed.reserve(payload.size() + tag.size());
+  sealed.insert(sealed.end(), payload.begin(), payload.end());
+  sealed.insert(sealed.end(), tag.begin(), tag.end());
+  return sealed;
+}
+
+std::optional<Bytes> OpenPayload(const SessionKey& key, uint8_t direction, uint64_t seq,
+                                 wire::FrameType type, BytesView sealed) {
+  if (sealed.size() < kMacTagSize) {
+    return std::nullopt;
+  }
+  const BytesView payload = sealed.subspan(0, sealed.size() - kMacTagSize);
+  const BytesView tag = sealed.subspan(sealed.size() - kMacTagSize);
+  HmacSha256::Tag expected = FrameTag(key, direction, seq, type, payload);
+  if (!HmacSha256::Verify(expected, tag)) {
+    return std::nullopt;
+  }
+  return Bytes(payload.begin(), payload.end());
+}
+
+wire::WriteStatus AuthChannel::Write(wire::FrameType type, BytesView payload,
+                                     int timeout_ms) {
+  if (payload.size() + kMacTagSize > wire::kMaxFramePayload) {
+    return wire::WriteStatus::kError;
+  }
+  Bytes sealed = SealPayload(key_, send_dir_, send_seq_, type, payload);
+  wire::WriteStatus status = wire::WriteFrame(fd_, type, sealed, timeout_ms);
+  if (status == wire::WriteStatus::kOk) {
+    ++send_seq_;
+  }
+  return status;
+}
+
+wire::ReadStatus AuthChannel::Read(wire::Frame* out, int timeout_ms) {
+  wire::Frame frame;
+  wire::ReadStatus status = wire::ReadFrame(fd_, &frame, timeout_ms);
+  if (status != wire::ReadStatus::kOk) {
+    return status;
+  }
+  auto payload = OpenPayload(key_, recv_dir_, recv_seq_, frame.type, frame.payload);
+  if (!payload.has_value()) {
+    return wire::ReadStatus::kAuthFailed;
+  }
+  ++recv_seq_;
+  out->type = frame.type;
+  out->payload = std::move(*payload);
+  return wire::ReadStatus::kOk;
+}
+
+}  // namespace net
+}  // namespace vdp

@@ -1,0 +1,58 @@
+// Driver-side connection bootstrap to one remote verifier:
+//
+//   connect -> read kServerHello (version + server nonce)
+//           -> write kClientHello (client nonce)
+//           -> derive session key (src/net/auth.h)
+//           -> write kSetup on the AuthChannel (first authenticated frame;
+//              proves the driver holds the fleet secret)
+//           -> read kSetupAck and check MAC + echoed digest (proves the
+//              server holds the secret AND installed exactly these
+//              parameters -- a stale digest or a bad MAC is blamed, never
+//              worked around)
+//
+// On success the returned connection's AuthChannel is positioned for the
+// task/result exchange. Non-templated: the setup travels as serialized
+// bytes, so this layer never depends on a group backend.
+#ifndef SRC_NET_REMOTE_CONN_H_
+#define SRC_NET_REMOTE_CONN_H_
+
+#include <string>
+
+#include "src/net/auth.h"
+#include "src/net/endpoint.h"
+
+namespace vdp {
+namespace net {
+
+struct HandshakeOptions {
+  int connect_timeout_ms = 10'000;
+  // Per handshake frame (server hello, setup write, setup ack).
+  int handshake_timeout_ms = 15'000;
+};
+
+struct RemoteConn {
+  int fd = -1;
+  AuthChannel channel;
+  uint64_t server_pid = 0;
+  uint64_t server_id = 0;
+
+  bool ok() const { return fd >= 0; }
+};
+
+// The driver-side check a SetupAck must pass: it echoes this session's
+// setup digest byte-for-byte. Exposed for the wire golden/rejection tests.
+bool AckMatchesSetup(const wire::WireSetupAck& ack, const Sha256::Digest& setup_digest);
+
+// Runs the bootstrap above. On failure returns a non-ok() RemoteConn with
+// the reason in *blame (connect vs version skew vs auth vs stale digest).
+RemoteConn ConnectAndHandshake(const Endpoint& endpoint, BytesView shared_secret,
+                               BytesView setup_payload, const Sha256::Digest& setup_digest,
+                               const HandshakeOptions& options, std::string* blame);
+
+// Closes the connection fd.
+void CloseRemoteConn(RemoteConn* conn);
+
+}  // namespace net
+}  // namespace vdp
+
+#endif  // SRC_NET_REMOTE_CONN_H_

@@ -1,0 +1,338 @@
+// Multi-machine shard verification: a work-queue driver that farms shards of
+// the upload stream out to verify_server daemons over authenticated sockets
+// (src/net/auth.h over src/wire/frame_io.h), and feeds the decoded
+// ShardResults into the same deterministic combiner as every other path.
+//
+// Topology: one driver thread per configured endpoint, each owning one
+// persistent connection to its verifier. Shards are claimed from a shared
+// counter, so a slow or distant verifier never stalls the queue. Failure
+// handling is strictly per-shard, like the process pool's, plus a
+// reconnect policy the pipe transport never needed:
+//
+//   - A connection that fails mid-shard (dropped, timed out, bad MAC, result
+//     mismatch) is closed with blame recorded (which endpoint, which shard,
+//     how it ended) and the shard retried over a fresh connection.
+//   - Connecting itself retries (connect_attempts, backoff) so a verifier
+//     that is restarting -- killed and brought back by its supervisor -- is
+//     re-adopted instead of written off on the first ECONNREFUSED.
+//   - A shard whose remote attempts are exhausted is verified *in process*,
+//     so a dead fleet degrades to the PR-2 sharded path instead of losing
+//     shards.
+//
+// Either way every shard yields exactly one ShardResult and the combined
+// verdict is bit-identical to the in-process path; fleet trouble only shows
+// up in the RemoteFleetReport.
+#ifndef SRC_NET_REMOTE_FLEET_H_
+#define SRC_NET_REMOTE_FLEET_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/hex.h"
+#include "src/common/timer.h"
+#include "src/net/remote_conn.h"
+#include "src/shard/sharded_verifier.h"
+#include "src/shard/worker_process.h"
+#include "src/wire/wire_convert.h"
+
+namespace vdp {
+
+// One failed attempt at farming a shard out to a remote verifier. The shard
+// itself still completes (on a reconnect or in process).
+struct RemoteFailure {
+  size_t shard_index = 0;
+  std::string endpoint;
+  std::string reason;
+};
+
+struct RemoteFleetReport {
+  std::vector<RemoteFailure> failures;
+  size_t shards_total = 0;
+  size_t shards_from_remote = 0;
+  size_t shards_recovered_in_process = 0;  // retries exhausted, verified locally
+  size_t connections_established = 0;
+  size_t reconnects = 0;  // successful connections beyond each endpoint's first
+};
+
+struct RemoteFleetOptions {
+  int connect_timeout_ms = 10'000;
+  int handshake_timeout_ms = 15'000;
+  // Deadline for one shard round-trip (send task, receive result).
+  int shard_timeout_ms = 120'000;
+  // Remote attempts per shard before the in-process fallback.
+  size_t max_attempts_per_shard = 2;
+  // Connect+handshake tries per (re)connection, with backoff between.
+  size_t connect_attempts = 2;
+  int reconnect_backoff_ms = 50;
+};
+
+// Farms shards to the fleet named by config.remote_verifiers, authenticated
+// with config.remote_auth_key_hex. The config must have passed Validate().
+template <PrimeOrderGroup G>
+class RemoteVerifierFleet {
+ public:
+  RemoteVerifierFleet(const ProtocolConfig& config, Pedersen<G> ped,
+                      RemoteFleetOptions options = {})
+      : config_(config), ped_(std::move(ped)), options_(std::move(options)) {
+    for (const std::string& spec : config_.remote_verifiers) {
+      auto endpoint = net::ParseEndpoint(spec);
+      if (endpoint.has_value()) {  // Validate() guarantees this; belt and braces
+        endpoints_.push_back(*endpoint);
+      }
+    }
+    if (auto key = HexDecode(config_.remote_auth_key_hex); key.has_value()) {
+      auth_key_ = std::move(*key);
+    }
+    wire::WireSetup setup = wire::MakeWireSetup(config_, ped_);
+    setup_payload_ = setup.Serialize();
+    params_digest_ = setup.Digest();
+  }
+
+  // Verifies all uploads across the remote fleet and combines. The shard
+  // partition honors config.num_verify_shards when set (> 1); otherwise it
+  // defaults to two shards per endpoint so a straggler can be overlapped.
+  VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
+                            bool compute_products = true,
+                            RemoteFleetReport* report = nullptr) {
+    Stopwatch timer;
+    const size_t n = uploads.size();
+    size_t shards = config_.num_verify_shards > 1 ? config_.num_verify_shards
+                                                  : 2 * std::max<size_t>(1, endpoints_.size());
+    shards = std::min(std::max<size_t>(1, shards), std::max<size_t>(1, n));
+
+    std::vector<ShardResult<G>> results(shards);
+    RemoteFleetReport local_report;
+    local_report.shards_total = shards;
+
+    std::atomic<size_t> next_shard{0};
+    std::mutex report_mutex;
+
+    // No endpoints parsed (unreachable after Validate, but never lose the
+    // stream): the whole partition goes through the in-process fallback.
+    if (endpoints_.empty()) {
+      for (size_t s = 0; s < shards; ++s) {
+        const size_t from = n * s / shards;
+        const size_t to = n * (s + 1) / shards;
+        results[s] = VerifyShard(config_, ped_, uploads.data() + from, to - from, from, s,
+                                 nullptr, compute_products);
+        ++local_report.shards_recovered_in_process;
+      }
+      if (report != nullptr) {
+        *report = std::move(local_report);
+      }
+      const double verify_ms = timer.ElapsedMillis();
+      VerifyReport<G> combined =
+          CombineShardResults(config_, std::move(results), compute_products);
+      combined.timings.verify_ms = verify_ms;
+      return combined;
+    }
+
+    auto drive = [&](size_t endpoint_index) {
+      net::RemoteConn conn;
+      bool connected_before = false;
+      // Circuit breaker: once a full connect-retry ladder fails, the
+      // endpoint is written off for the rest of this stream. The thread
+      // keeps claiming shards -- it still contributes CPU through the
+      // in-process fallback -- but never pays the futile connect timeouts
+      // again (a blackholed endpoint would otherwise serialize
+      // connect_attempts * connect_timeout_ms into EVERY shard it claims).
+      bool endpoint_dead = false;
+      const net::Endpoint& endpoint = endpoints_[endpoint_index];
+      const std::string endpoint_name = net::FormatEndpoint(endpoint);
+      while (true) {
+        const size_t s = next_shard.fetch_add(1);
+        if (s >= shards) {
+          break;
+        }
+        const size_t from = n * s / shards;
+        const size_t to = n * (s + 1) / shards;
+        wire::WireShardTask task = wire::MakeShardTask<G>(
+            params_digest_, s, from, compute_products, uploads.data() + from, to - from);
+        const Bytes task_payload = task.Serialize();
+        // Retries resend task_payload; only the task's scalar metadata is
+        // needed from here on (mirrors the process pool's memory trim).
+        task.uploads.clear();
+        task.uploads.shrink_to_fit();
+
+        bool done = false;
+        // A task the authenticated frame layer would refuse (payload + MAC
+        // over kMaxFramePayload) can never succeed on any verifier.
+        const bool oversized =
+            task_payload.size() + net::kMacTagSize > wire::kMaxFramePayload;
+        if (oversized) {
+          RecordFailure(&local_report, &report_mutex, s, endpoint_name,
+                        "task frame exceeds wire payload limit (" +
+                            std::to_string(task_payload.size()) +
+                            " bytes); shard too large -- raise num_verify_shards");
+        }
+        for (size_t attempt = 0;
+             attempt < options_.max_attempts_per_shard && !done && !oversized &&
+             !endpoint_dead;
+             ++attempt) {
+          if (!conn.ok() &&
+              !Reconnect(endpoint, endpoint_name, &conn, &connected_before, s,
+                         &local_report, &report_mutex)) {
+            // A whole connect ladder failed: trip the breaker. Failures
+            // were already blamed shard-by-shard inside Reconnect.
+            endpoint_dead = true;
+            break;
+          }
+          std::string blame;
+          if (AttemptShard(&conn, task_payload, task, to - from, &results[s], &blame)) {
+            std::lock_guard<std::mutex> lock(report_mutex);
+            ++local_report.shards_from_remote;
+            done = true;
+          } else {
+            RecordFailure(&local_report, &report_mutex, s, endpoint_name, blame);
+            net::CloseRemoteConn(&conn);
+          }
+        }
+        if (!done) {
+          // Retries exhausted: verify locally so the shard -- and the
+          // combined verdict -- is never lost to a dead fleet.
+          results[s] = VerifyShard(config_, ped_, uploads.data() + from, to - from, from, s,
+                                   nullptr, compute_products);
+          std::lock_guard<std::mutex> lock(report_mutex);
+          ++local_report.shards_recovered_in_process;
+        }
+      }
+      net::CloseRemoteConn(&conn);
+    };
+
+    IgnoreSigpipe();  // a write into a dead verifier must fail with EPIPE
+    const size_t threads = std::min(endpoints_.size(), shards);
+    std::vector<std::thread> drivers;
+    drivers.reserve(threads);
+    for (size_t t = 1; t < threads; ++t) {
+      drivers.emplace_back(drive, t);
+    }
+    drive(0);  // the calling thread drives an endpoint too
+    for (std::thread& t : drivers) {
+      t.join();
+    }
+
+    if (report != nullptr) {
+      *report = std::move(local_report);
+    }
+    const double verify_ms = timer.ElapsedMillis();
+    VerifyReport<G> combined =
+        CombineShardResults(config_, std::move(results), compute_products);
+    combined.timings.verify_ms = verify_ms;
+    return combined;
+  }
+
+ private:
+  // Establishes (or re-establishes) the thread's connection, with bounded
+  // retries and backoff. Every failed try is blamed against `shard`.
+  bool Reconnect(const net::Endpoint& endpoint, const std::string& endpoint_name,
+                 net::RemoteConn* conn, bool* connected_before, size_t shard,
+                 RemoteFleetReport* report, std::mutex* mutex) {
+    net::HandshakeOptions handshake;
+    handshake.connect_timeout_ms = options_.connect_timeout_ms;
+    handshake.handshake_timeout_ms = options_.handshake_timeout_ms;
+    for (size_t attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+      if (attempt > 0 && options_.reconnect_backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.reconnect_backoff_ms));
+      }
+      std::string blame;
+      *conn = net::ConnectAndHandshake(endpoint, auth_key_, setup_payload_,
+                                       params_digest_, handshake, &blame);
+      if (conn->ok()) {
+        std::lock_guard<std::mutex> lock(*mutex);
+        ++report->connections_established;
+        if (*connected_before) {
+          ++report->reconnects;
+        }
+        *connected_before = true;
+        return true;
+      }
+      RecordFailure(report, mutex, shard, endpoint_name, blame);
+    }
+    return false;
+  }
+
+  // One task round-trip on a live connection, under ONE shard_timeout_ms
+  // deadline covering both the task write and the result read. The checks
+  // mirror the process pool's: digest, shard identity, range, and product
+  // presence must all match the task, and every element must decode onto
+  // the group -- a remote verifier is trusted with work, not with verdict
+  // integrity.
+  bool AttemptShard(net::RemoteConn* conn, BytesView task_payload,
+                    const wire::WireShardTask& task, size_t expected_count,
+                    ShardResult<G>* out, std::string* blame) {
+    const auto start = std::chrono::steady_clock::now();
+    wire::WriteStatus wstatus = conn->channel.Write(wire::FrameType::kTask, task_payload,
+                                                    options_.shard_timeout_ms);
+    if (wstatus != wire::WriteStatus::kOk) {
+      *blame = wstatus == wire::WriteStatus::kTimeout ? "task write timed out"
+                                                      : "task write failed";
+      return false;
+    }
+    const auto write_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    const int remaining_ms = static_cast<int>(
+        std::max<long long>(0, options_.shard_timeout_ms - write_ms));
+    wire::Frame frame;
+    wire::ReadStatus status = conn->channel.Read(&frame, remaining_ms);
+    if (status != wire::ReadStatus::kOk) {
+      *blame = std::string("no result (") + wire::ReadStatusName(status) + ")";
+      return false;
+    }
+    if (frame.type == wire::FrameType::kError) {
+      auto error = wire::WireError::Deserialize(frame.payload);
+      *blame = "server error: " + (error.has_value() ? error->message : "<malformed>");
+      return false;
+    }
+    if (frame.type != wire::FrameType::kResult) {
+      *blame = "unexpected frame type in response";
+      return false;
+    }
+    auto wire_result = wire::WireShardResult::Deserialize(frame.payload);
+    if (!wire_result.has_value()) {
+      *blame = "malformed result frame";
+      return false;
+    }
+    if (!std::equal(wire_result->params_digest.begin(), wire_result->params_digest.end(),
+                    params_digest_.begin()) ||
+        wire_result->shard_index != task.shard_index || wire_result->base != task.base ||
+        wire_result->count != expected_count ||
+        wire_result->partial_products.empty() == (task.compute_products == 1)) {
+      *blame = "result does not match task";
+      return false;
+    }
+    auto result = wire::ResultFromWire<G>(config_, *wire_result);
+    if (!result.has_value()) {
+      *blame = "result elements fail group decoding";
+      return false;
+    }
+    *out = std::move(*result);
+    return true;
+  }
+
+  static void RecordFailure(RemoteFleetReport* report, std::mutex* mutex, size_t shard,
+                            const std::string& endpoint, std::string reason) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    report->failures.push_back(RemoteFailure{shard, endpoint, std::move(reason)});
+  }
+
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+  RemoteFleetOptions options_;
+  std::vector<net::Endpoint> endpoints_;
+  Bytes auth_key_;
+  Bytes setup_payload_;
+  Sha256::Digest params_digest_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_NET_REMOTE_FLEET_H_

@@ -106,29 +106,26 @@ std::optional<WorkerProcess> SpawnWorker(const std::string& path, size_t worker_
   return worker;
 }
 
-std::string DestroyWorker(WorkerProcess* worker) {
-  CloseIfOpen(&worker->task_fd);  // EOF: a healthy worker exits on its own
-  CloseIfOpen(&worker->result_fd);
-  if (worker->pid < 0) {
-    return "never started";
-  }
-
-  // Grace period: a healthy worker exits as soon as it sees EOF on stdin;
-  // only a hung or wedged one needs SIGKILL.
+std::string ReapChild(pid_t pid) {
+  // Grace period: a healthy child exits as soon as it sees EOF on its
+  // liveness pipe; only a hung or wedged one needs SIGKILL.
   int status = 0;
   pid_t reaped = 0;
   for (int waited_ms = 0; waited_ms < 500; waited_ms += 10) {
-    reaped = waitpid(worker->pid, &status, WNOHANG);
+    reaped = waitpid(pid, &status, WNOHANG);
     if (reaped != 0) {
       break;
     }
     usleep(10 * 1000);
   }
   if (reaped == 0) {
-    kill(worker->pid, SIGKILL);
-    reaped = waitpid(worker->pid, &status, 0);
+    kill(pid, SIGKILL);
+    // Retry EINTR: an interrupting timer must not turn a clean SIGKILL reap
+    // into a "wait failed" blame (and a leaked zombie).
+    do {
+      reaped = waitpid(pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
   }
-  worker->pid = -1;
   if (reaped < 0) {
     return "wait failed";
   }
@@ -139,6 +136,17 @@ std::string DestroyWorker(WorkerProcess* worker) {
     return "killed by signal " + std::to_string(WTERMSIG(status));
   }
   return "ended";
+}
+
+std::string DestroyWorker(WorkerProcess* worker) {
+  CloseIfOpen(&worker->task_fd);  // EOF: a healthy worker exits on its own
+  CloseIfOpen(&worker->result_fd);
+  if (worker->pid < 0) {
+    return "never started";
+  }
+  std::string ended = ReapChild(worker->pid);
+  worker->pid = -1;
+  return ended;
 }
 
 void IgnoreSigpipe() {

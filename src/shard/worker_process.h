@@ -34,6 +34,12 @@ std::optional<WorkerProcess> SpawnWorker(const std::string& path, size_t worker_
 // "killed by signal 9", ...) for blame reports.
 std::string DestroyWorker(WorkerProcess* worker);
 
+// The reap ladder shared by every child spawner (verify_worker pipes,
+// verify_server daemons): up to ~500ms of WNOHANG polling for a graceful
+// exit, then SIGKILL, then an EINTR-retried blocking reap. Returns the
+// blame-report description of how the child ended.
+std::string ReapChild(pid_t pid);
+
 // Process-wide, idempotent: a write into a dead worker must fail with EPIPE
 // instead of killing the driver.
 void IgnoreSigpipe();

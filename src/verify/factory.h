@@ -10,6 +10,7 @@
 //
 // Selection policy (first match wins):
 //
+//   remote_verifiers set  ->  RemoteBackend       (verify_server socket fleet)
 //   verify_workers   > 1  ->  MultiprocessBackend (worker subprocess fleet)
 //   num_verify_shards > 1 ->  ShardedBackend      (in-process shard pipeline)
 //   batch_verify          ->  BatchedBackend      (one whole-stream RLC batch)
@@ -27,6 +28,7 @@
 #include "src/verify/batched_backend.h"
 #include "src/verify/multiprocess_backend.h"
 #include "src/verify/per_proof_backend.h"
+#include "src/verify/remote_backend.h"
 #include "src/verify/sharded_backend.h"
 
 namespace vdp {
@@ -36,6 +38,7 @@ enum class VerifyBackendKind {
   kBatched,
   kSharded,
   kMultiprocess,
+  kRemote,
 };
 
 inline const char* VerifyBackendKindName(VerifyBackendKind kind) {
@@ -48,16 +51,19 @@ inline const char* VerifyBackendKindName(VerifyBackendKind kind) {
       return "sharded";
     case VerifyBackendKind::kMultiprocess:
       return "multiprocess";
+    case VerifyBackendKind::kRemote:
+      return "remote";
   }
   return "unknown";
 }
 
 // Every registered backend, in oracle-first order. The conformance suite
-// iterates this list; a new backend (e.g. RemoteBackend) joins the registry
-// by being added here and in MakeVerifyBackend's switch.
+// iterates this list; a new backend joins the registry by being added here
+// and in MakeVerifyBackend's switch.
 inline std::vector<VerifyBackendKind> AllVerifyBackendKinds() {
   return {VerifyBackendKind::kPerProof, VerifyBackendKind::kBatched,
-          VerifyBackendKind::kSharded, VerifyBackendKind::kMultiprocess};
+          VerifyBackendKind::kSharded, VerifyBackendKind::kMultiprocess,
+          VerifyBackendKind::kRemote};
 }
 
 inline std::optional<VerifyBackendKind> VerifyBackendKindFromName(std::string_view name) {
@@ -71,6 +77,9 @@ inline std::optional<VerifyBackendKind> VerifyBackendKindFromName(std::string_vi
 
 // The whole mode-selection policy, in one function.
 inline VerifyBackendKind SelectVerifyBackend(const ProtocolConfig& config) {
+  if (!config.remote_verifiers.empty()) {
+    return VerifyBackendKind::kRemote;
+  }
   if (config.verify_workers > 1) {
     return VerifyBackendKind::kMultiprocess;
   }
@@ -101,6 +110,8 @@ std::unique_ptr<VerifyBackend<G>> MakeVerifyBackend(VerifyBackendKind kind,
       return std::make_unique<ShardedBackend<G>>(config, std::move(ped));
     case VerifyBackendKind::kMultiprocess:
       return std::make_unique<MultiprocessBackend<G>>(config, std::move(ped));
+    case VerifyBackendKind::kRemote:
+      return std::make_unique<RemoteBackend<G>>(config, std::move(ped));
   }
   throw std::invalid_argument("unknown VerifyBackendKind");
 }

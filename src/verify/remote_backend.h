@@ -1,0 +1,55 @@
+// RemoteBackend: shards farmed out to verify_server daemons over
+// authenticated sockets (src/net/remote_fleet.h), with blamed retries,
+// reconnects, and in-process recovery, so the verdict never depends on
+// fleet health -- the fifth registered execution strategy, and the first
+// whose verifiers live on other machines.
+//
+// The fleet comes from ProtocolConfig::remote_verifiers (validated
+// endpoints; a config that selected this backend through the factory always
+// has them) and authenticates with ProtocolConfig::remote_auth_key_hex.
+// Streaming Add buffers until Finish: shards only leave the process as
+// whole authenticated wire frames, exactly like the subprocess pool.
+#ifndef SRC_VERIFY_REMOTE_BACKEND_H_
+#define SRC_VERIFY_REMOTE_BACKEND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/remote_fleet.h"
+#include "src/verify/backend.h"
+
+namespace vdp {
+
+template <PrimeOrderGroup G>
+class RemoteBackend final : public BufferedVerifyBackend<G> {
+ public:
+  RemoteBackend(const ProtocolConfig& config, Pedersen<G> ped,
+                RemoteFleetOptions options = {})
+      : config_(config), ped_(std::move(ped)), fleet_options_(std::move(options)) {}
+
+  std::string_view name() const override { return "remote"; }
+
+  // Fleet health of the most recent stream: blamed failures, shards served
+  // remotely vs recovered in process, connections and reconnects.
+  const RemoteFleetReport& last_fleet_report() const { return last_fleet_report_; }
+
+ protected:
+  VerifyReport<G> Run(const std::vector<ClientUploadMsg<G>>& uploads) override {
+    RemoteVerifierFleet<G> fleet(config_, ped_, fleet_options_);
+    VerifyReport<G> report = fleet.VerifyAll(uploads, this->options().compute_products,
+                                             &last_fleet_report_);
+    report.backend = name();
+    return report;
+  }
+
+ private:
+  ProtocolConfig config_;
+  Pedersen<G> ped_;
+  RemoteFleetOptions fleet_options_;
+  RemoteFleetReport last_fleet_report_;
+};
+
+}  // namespace vdp
+
+#endif  // SRC_VERIFY_REMOTE_BACKEND_H_

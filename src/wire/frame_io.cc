@@ -49,7 +49,10 @@ ReadStatus ReadExact(int fd, uint8_t* buf, size_t len, bool has_deadline,
     }
     ssize_t n = read(fd, buf + *got, len - *got);
     if (n < 0) {
-      if (errno == EINTR) {
+      // EINTR: a signal is not a peer failure -- retry under the deadline.
+      // EAGAIN: poll can wake spuriously on a nonblocking socket (the
+      // driver side of the src/net/ transport); loop back to poll.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         continue;
       }
       return ReadStatus::kError;
@@ -78,6 +81,8 @@ const char* ReadStatusName(ReadStatus status) {
       return "malformed";
     case ReadStatus::kError:
       return "io-error";
+    case ReadStatus::kAuthFailed:
+      return "authentication failed";
   }
   return "unknown";
 }

@@ -1,7 +1,12 @@
-// Blocking frame transport over POSIX file descriptors (pipes today,
-// sockets tomorrow): writes whole frames, reads whole frames under a
-// deadline, and classifies every failure so the process pool can blame the
-// right party (worker died vs. emitted garbage vs. timed out).
+// Blocking frame transport over POSIX file descriptors (worker pipes and
+// the src/net/ socket transport): writes whole frames, reads whole frames
+// under a deadline, and classifies every failure so the pool/fleet drivers
+// can blame the right party (peer died vs. emitted garbage vs. timed out).
+//
+// Signal-safety contract: poll(2)/read(2)/write(2) interrupted by a signal
+// (EINTR) are retried under the same deadline -- a signal landing on the
+// driver (sanitizer timers, profilers, SIGCHLD) must never be classified as
+// a peer failure. Pinned by tests/wire/frame_io_eintr_test.cc.
 #ifndef SRC_WIRE_FRAME_IO_H_
 #define SRC_WIRE_FRAME_IO_H_
 
@@ -19,6 +24,7 @@ enum class ReadStatus {
   kVersionSkew,   // valid magic, but the peer speaks a different wire version
   kMalformed,     // bytes arrived but are not a valid frame
   kError,         // read(2)/poll(2) failed
+  kAuthFailed,    // frame arrived but its MAC did not verify (net::AuthChannel)
 };
 
 const char* ReadStatusName(ReadStatus status);

@@ -10,7 +10,7 @@ namespace {
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kError);
+         t <= static_cast<uint8_t>(FrameType::kSetupAck);
 }
 
 // Strings ride as blobs; decoding rejects embedded NULs so reasons and
@@ -365,6 +365,88 @@ std::optional<WireShardResult> WireShardResult::Deserialize(BytesView data) {
   out.count = *count;
   out.fallback_used = *fallback;
   return out;
+}
+
+// --- Socket-transport handshake -----------------------------------------
+
+namespace {
+
+std::optional<std::array<uint8_t, kHandshakeNonceSize>> GetNonce(Reader* r) {
+  auto raw = r->Raw(kHandshakeNonceSize);
+  if (!raw.has_value()) {
+    return std::nullopt;
+  }
+  std::array<uint8_t, kHandshakeNonceSize> nonce;
+  std::memcpy(nonce.data(), raw->data(), kHandshakeNonceSize);
+  return nonce;
+}
+
+}  // namespace
+
+Bytes WireServerHello::Serialize() const {
+  Writer w;
+  w.U8(version);
+  w.U64(pid);
+  w.U64(server_id);
+  w.Raw(BytesView(nonce.data(), nonce.size()));
+  return w.Take();
+}
+
+std::optional<WireServerHello> WireServerHello::Deserialize(BytesView data) {
+  Reader r(data);
+  auto version = r.U8();
+  auto pid = r.U64();
+  auto server_id = r.U64();
+  auto nonce = GetNonce(&r);
+  if (!version || !pid || !server_id || !nonce || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  WireServerHello hello;
+  hello.version = *version;
+  hello.pid = *pid;
+  hello.server_id = *server_id;
+  hello.nonce = *nonce;
+  return hello;
+}
+
+Bytes WireClientHello::Serialize() const {
+  Writer w;
+  w.U8(version);
+  w.Raw(BytesView(nonce.data(), nonce.size()));
+  return w.Take();
+}
+
+std::optional<WireClientHello> WireClientHello::Deserialize(BytesView data) {
+  Reader r(data);
+  auto version = r.U8();
+  auto nonce = GetNonce(&r);
+  if (!version || !nonce || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  WireClientHello hello;
+  hello.version = *version;
+  hello.nonce = *nonce;
+  return hello;
+}
+
+Bytes WireSetupAck::Serialize() const {
+  Writer w;
+  w.Raw(BytesView(params_digest.data(), params_digest.size()));
+  w.U64(server_id);
+  return w.Take();
+}
+
+std::optional<WireSetupAck> WireSetupAck::Deserialize(BytesView data) {
+  Reader r(data);
+  auto digest = GetDigest(&r);
+  auto server_id = r.U64();
+  if (!digest || !server_id || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  WireSetupAck ack;
+  ack.params_digest = *digest;
+  ack.server_id = *server_id;
+  return ack;
 }
 
 // --- WireError ----------------------------------------------------------

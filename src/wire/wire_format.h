@@ -60,6 +60,14 @@ enum class FrameType : uint8_t {
   kTask = 3,    // driver -> worker, one shard to verify
   kResult = 4,  // worker -> driver, the shard's verdict
   kError = 5,   // worker -> driver, diagnostic before giving up on a task
+  // Socket-transport bootstrap (src/net/): the hello pair carries the nonces
+  // the session MAC key is derived from, the ack binds the setup digest under
+  // that key. These types never appear on the pipe transport; a v1 pipe peer
+  // rejects them at the header, which is the correct failure for a
+  // misconnected fleet.
+  kServerHello = 6,  // server -> driver, first frame after accept
+  kClientHello = 7,  // driver -> server, answers the server hello
+  kSetupAck = 8,     // server -> driver, authenticated echo of the setup digest
 };
 
 struct FrameHeader {
@@ -175,6 +183,57 @@ struct WireShardResult {
   static std::optional<WireShardResult> Deserialize(BytesView data);
 
   bool operator==(const WireShardResult&) const = default;
+};
+
+// --- Socket-transport handshake (src/net/) ------------------------------
+//
+// Connection bootstrap for remote verifiers. The server speaks first (like
+// the pipe worker's hello), the driver answers, and both sides derive a
+// session MAC key from the fleet's pre-shared secret and the two nonces
+// (net::DeriveSessionKey). Every frame after the hello pair -- setup, ack,
+// tasks, results -- travels MAC-bound on that key (net::AuthChannel), which
+// is what the setup digest alone cannot provide: the digest binds
+// *parameters*, the session MAC binds *identity*.
+
+inline constexpr size_t kHandshakeNonceSize = 32;
+
+// Server -> driver on accept: wire version, pid and server id (blame
+// reports), and the server's half of the session-key nonce material.
+struct WireServerHello {
+  uint8_t version = kWireVersion;
+  uint64_t pid = 0;
+  uint64_t server_id = 0;
+  std::array<uint8_t, kHandshakeNonceSize> nonce{};
+
+  Bytes Serialize() const;
+  static std::optional<WireServerHello> Deserialize(BytesView data);
+
+  bool operator==(const WireServerHello&) const = default;
+};
+
+// Driver -> server: the driver's wire version and nonce half.
+struct WireClientHello {
+  uint8_t version = kWireVersion;
+  std::array<uint8_t, kHandshakeNonceSize> nonce{};
+
+  Bytes Serialize() const;
+  static std::optional<WireClientHello> Deserialize(BytesView data);
+
+  bool operator==(const WireClientHello&) const = default;
+};
+
+// Server -> driver, first authenticated server frame: echoes the digest of
+// the setup it just installed. A driver that verifies the MAC and the digest
+// knows the server holds the shared secret AND the exact parameters; a stale
+// digest (server still on an old session's setup) is rejected with blame.
+struct WireSetupAck {
+  std::array<uint8_t, Sha256::kDigestSize> params_digest{};
+  uint64_t server_id = 0;
+
+  Bytes Serialize() const;
+  static std::optional<WireSetupAck> Deserialize(BytesView data);
+
+  bool operator==(const WireSetupAck&) const = default;
 };
 
 // Worker-side diagnostic accompanying a refusal (bad digest, undecodable

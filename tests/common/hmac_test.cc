@@ -1,0 +1,107 @@
+// HMAC-SHA256 against the RFC 4231 test vectors (cases 1-4, 6, 7: short
+// key, "Jefe", long data, streaming split points, oversized key hashed
+// down, oversized key + long data), plus the constant-time verifier.
+#include <gtest/gtest.h>
+
+#include "src/common/hex.h"
+#include "src/common/hmac.h"
+
+namespace vdp {
+namespace {
+
+std::string MacHex(const std::string& key_hex, const std::string& data_hex) {
+  auto key = HexDecode(key_hex);
+  auto data = HexDecode(data_hex);
+  EXPECT_TRUE(key.has_value() && data.has_value());
+  auto tag = HmacSha256::Mac(*key, *data);
+  return HexEncode(BytesView(tag.data(), tag.size()));
+}
+
+// RFC 4231 section 4.2: 20-byte 0x0b key, "Hi There".
+TEST(HmacSha256Test, Rfc4231Case1) {
+  EXPECT_EQ(MacHex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b", "4869205468657265"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// 4.3: key "Jefe", data "what do ya want for nothing?".
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(MacHex("4a656665",
+                   "7768617420646f2079612077616e7420666f72206e6f7468696e673f"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// 4.4: 20-byte 0xaa key, 50 bytes of 0xdd.
+TEST(HmacSha256Test, Rfc4231Case3) {
+  EXPECT_EQ(MacHex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+                   std::string(100, 'd')),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// 4.5: 25-byte incrementing key, 50 bytes of 0xcd.
+TEST(HmacSha256Test, Rfc4231Case4) {
+  auto key = HexDecode("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  ASSERT_TRUE(key.has_value());
+  Bytes data(50, 0xcd);
+  auto tag = HmacSha256::Mac(*key, data);
+  EXPECT_EQ(HexEncode(BytesView(tag.data(), tag.size())),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+// 4.7: 131-byte 0xaa key (hashed down per RFC 2104), long test header.
+TEST(HmacSha256Test, Rfc4231Case6OversizedKey) {
+  Bytes key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  auto tag = HmacSha256::Mac(key, ToBytes(msg));
+  EXPECT_EQ(HexEncode(BytesView(tag.data(), tag.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// 4.8: oversized key AND multi-block data.
+TEST(HmacSha256Test, Rfc4231Case7OversizedKeyLongData) {
+  Bytes key(131, 0xaa);
+  const std::string msg =
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.";
+  auto tag = HmacSha256::Mac(key, ToBytes(msg));
+  EXPECT_EQ(HexEncode(BytesView(tag.data(), tag.size())),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// Streaming Update across arbitrary split points equals the one-shot MAC.
+TEST(HmacSha256Test, StreamingMatchesOneShot) {
+  Bytes key(32, 0x42);
+  Bytes data;
+  for (size_t i = 0; i < 300; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 7));
+  }
+  auto oneshot = HmacSha256::Mac(key, data);
+  for (size_t split : {size_t{0}, size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                       size_t{150}, size_t{299}, size_t{300}}) {
+    HmacSha256 mac(key);
+    mac.Update(BytesView(data.data(), split));
+    mac.Update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(mac.Finalize(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(HmacSha256Test, EmptyKeyAndData) {
+  // HMAC with empty key and empty data (standard reference value).
+  auto tag = HmacSha256::Mac(BytesView(), BytesView());
+  EXPECT_EQ(HexEncode(BytesView(tag.data(), tag.size())),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+TEST(HmacSha256Test, VerifyIsExact) {
+  Bytes key(16, 0x01);
+  Bytes data = ToBytes("payload");
+  auto tag = HmacSha256::Mac(key, data);
+  EXPECT_TRUE(HmacSha256::Verify(tag, BytesView(tag.data(), tag.size())));
+  auto wrong = tag;
+  wrong[31] ^= 0x01;
+  EXPECT_FALSE(HmacSha256::Verify(tag, BytesView(wrong.data(), wrong.size())));
+  EXPECT_FALSE(HmacSha256::Verify(tag, BytesView(tag.data(), tag.size() - 1)));
+}
+
+}  // namespace
+}  // namespace vdp

@@ -12,6 +12,7 @@
 #include "src/core/adversary.h"
 #include "src/core/histogram.h"
 #include "src/core/protocol.h"
+#include "src/net/server_process.h"
 
 namespace vdp {
 namespace {
@@ -39,6 +40,18 @@ ProtocolConfig E2eConfig(size_t k, size_t m, const std::string& sid) {
   // format, src/shard/process_pool.h), which is equally decision-identical.
   if (const char* env = std::getenv("VDP_VERIFY_WORKERS")) {
     config.verify_workers = static_cast<size_t>(std::max(0L, std::strtol(env, nullptr, 10)));
+  }
+  // Third CI hook: VDP_REMOTE_VERIFIERS ("spawn:N" stands up a shared
+  // loopback verify_server fleet; or an endpoint list with
+  // VDP_REMOTE_AUTH_KEY) pushes the same suite through the remote socket
+  // backend (src/net/), which is equally decision-identical. When the env
+  // var is set the hook MUST apply -- silently degrading to the in-process
+  // path would let the remote-loopback CI job go green while testing
+  // nothing remote.
+  if (!net::ApplyRemoteEnvHook(&config) &&
+      std::getenv("VDP_REMOTE_VERIFIERS") != nullptr) {
+    ADD_FAILURE() << "VDP_REMOTE_VERIFIERS is set but no remote fleet could be "
+                     "applied (is verify_server next to the test binary?)";
   }
   return config;
 }

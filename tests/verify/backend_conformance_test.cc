@@ -8,10 +8,12 @@
 // backend-matrix job exports 3) so the fleet shape under test varies across
 // workflow configurations without changing any decision.
 #include <gtest/gtest.h>
+#include <signal.h>
 
 #include <cstdlib>
 
 #include "src/core/verifier.h"
+#include "src/net/server_process.h"
 #include "src/verify/factory.h"
 
 namespace vdp {
@@ -52,6 +54,12 @@ ProtocolConfig ConfigFor(VerifyBackendKind kind) {
     case VerifyBackendKind::kMultiprocess:
       config.num_verify_shards = 5;
       config.verify_workers = WorkersFromEnv();
+      break;
+    case VerifyBackendKind::kRemote:
+      // A real loopback socket fleet, shared across the suite (spawned on
+      // first use, down with the process).
+      config.num_verify_shards = 5;
+      net::SharedLoopbackFleet(2).ApplyTo(&config);
       break;
   }
   return config;
@@ -282,13 +290,17 @@ TEST(BackendFactoryTest, SelectionPolicyMatchesLegacyFlags) {
   config.verify_workers = 3;
   EXPECT_EQ(SelectVerifyBackend(config), VerifyBackendKind::kMultiprocess);
 
-  // Sharding wins over batch_verify alone; workers win over both.
+  // Sharding wins over batch_verify alone; workers win over both; a
+  // provisioned remote fleet wins over everything.
   ProtocolConfig sharded_only;
   sharded_only.num_verify_shards = 2;
   EXPECT_EQ(SelectVerifyBackend(sharded_only), VerifyBackendKind::kSharded);
   ProtocolConfig workers_only;
   workers_only.verify_workers = 2;
   EXPECT_EQ(SelectVerifyBackend(workers_only), VerifyBackendKind::kMultiprocess);
+  config.remote_verifiers = {"tcp:127.0.0.1:7000"};
+  config.remote_auth_key_hex = std::string(32, 'a');
+  EXPECT_EQ(SelectVerifyBackend(config), VerifyBackendKind::kRemote);
 }
 
 TEST(BackendFactoryTest, NamesRoundTripThroughRegistry) {
@@ -297,7 +309,7 @@ TEST(BackendFactoryTest, NamesRoundTripThroughRegistry) {
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);
   }
-  EXPECT_FALSE(VerifyBackendKindFromName("remote").has_value());
+  EXPECT_FALSE(VerifyBackendKindFromName("carrier-pigeon").has_value());
 }
 
 TEST(BackendFactoryTest, RejectsInvalidConfig) {
@@ -305,6 +317,97 @@ TEST(BackendFactoryTest, RejectsInvalidConfig) {
   ProtocolConfig config;
   config.verify_workers = 1;  // ambiguous: Validate() rejects it
   EXPECT_THROW(MakeVerifyBackend<G>(config, ped), std::invalid_argument);
+
+  ProtocolConfig keyless;
+  keyless.remote_verifiers = {"tcp:127.0.0.1:7000"};  // fleet without a secret
+  EXPECT_THROW(MakeVerifyBackend<G>(keyless, ped), std::invalid_argument);
+}
+
+// --- Remote-specific fleet-failure conformance ---------------------------
+//
+// The remote backend's extra failure surface -- the network -- must never
+// reach the verdict. Each case runs the full adversarial corpus against a
+// dedicated misbehaving loopback fleet and asserts bit-identity with the
+// per-proof oracle; trouble may only show up in the fleet report.
+
+class RemoteFailureConformanceTest : public ::testing::Test {
+ protected:
+  // Low timeouts so the hung-server case converges quickly.
+  static RemoteFleetOptions FastOptions() {
+    RemoteFleetOptions options;
+    options.connect_timeout_ms = 2'000;
+    options.handshake_timeout_ms = 2'000;
+    options.shard_timeout_ms = 5'000;
+    options.reconnect_backoff_ms = 10;
+    return options;
+  }
+
+  void ExpectCorpusMatchesOracle(const net::LoopbackFleet& fleet,
+                                 RemoteFleetOptions options = FastOptions()) {
+    ASSERT_FALSE(fleet.servers().empty());
+    ProtocolConfig config = ConfigFor(VerifyBackendKind::kPerProof);
+    config.num_verify_shards = 5;
+    fleet.ApplyTo(&config);
+    auto uploads = Corpus(ped_);
+
+    auto oracle = MakeVerifyBackend<G>(VerifyBackendKind::kPerProof,
+                                       ConfigFor(VerifyBackendKind::kPerProof), ped_);
+    VerifyReport<G> expected = oracle->VerifyAll(uploads);
+
+    RemoteBackend<G> backend(config, ped_, options);
+    VerifyReport<G> report = backend.VerifyAll(uploads);
+    ExpectSameDecisions(expected, report);
+    last_report_ = backend.last_fleet_report();
+    EXPECT_EQ(last_report_.shards_from_remote + last_report_.shards_recovered_in_process,
+              last_report_.shards_total);
+  }
+
+  Pedersen<G> ped_;
+  RemoteFleetReport last_report_;
+};
+
+// Connection dropped mid-shard: server 0 hangs up on every task, server 1
+// is healthy.
+TEST_F(RemoteFailureConformanceTest, ConnectionDroppedMidShard) {
+  net::LoopbackFleet fleet(2, /*fault=*/"close:0");
+  ExpectCorpusMatchesOracle(fleet);
+  EXPECT_FALSE(last_report_.failures.empty());
+}
+
+// Hung server: never answers a task; the per-shard deadline must fire and
+// the shard recover elsewhere.
+TEST_F(RemoteFailureConformanceTest, HungServer) {
+  net::LoopbackFleet fleet(2, /*fault=*/"hang:0");
+  RemoteFleetOptions options = FastOptions();
+  options.shard_timeout_ms = 300;
+  options.max_attempts_per_shard = 1;
+  ExpectCorpusMatchesOracle(fleet, options);
+  EXPECT_FALSE(last_report_.failures.empty());
+}
+
+// A server answering with a result for the wrong shard range: rejected by
+// the result-matches-task check, shard recovered.
+TEST_F(RemoteFailureConformanceTest, ResultForWrongShardRange) {
+  net::LoopbackFleet fleet(2, /*fault=*/"wrongshard:0");
+  ExpectCorpusMatchesOracle(fleet);
+  bool saw_mismatch = false;
+  for (const RemoteFailure& f : last_report_.failures) {
+    if (f.reason.find("does not match task") != std::string::npos) {
+      saw_mismatch = true;
+    }
+  }
+  EXPECT_TRUE(saw_mismatch);
+}
+
+// Recovery after a killed server: SIGKILL half the fleet, decisions hold.
+TEST_F(RemoteFailureConformanceTest, RecoveryAfterKilledServer) {
+  net::LoopbackFleet fleet(2);
+  ASSERT_EQ(fleet.servers().size(), 2u);
+  kill((*fleet.mutable_servers())[0].pid, SIGKILL);
+  RemoteFleetOptions options = FastOptions();
+  options.connect_timeout_ms = 1'000;
+  ExpectCorpusMatchesOracle(fleet, options);
+  EXPECT_GE(last_report_.shards_from_remote, 1u);  // the survivor worked
 }
 
 }  // namespace

@@ -405,7 +405,7 @@ TEST(WireInvariants, FrameHeaderRejectsWrongMagicVersionTypeAndHugePayload) {
   bad = header;
   bad[5] = 0;  // frame type below range
   EXPECT_FALSE(DecodeFrameHeader(bad).has_value());
-  bad[5] = 6;  // frame type above range
+  bad[5] = 9;  // frame type above range (8 = kSetupAck is the last valid)
   EXPECT_FALSE(DecodeFrameHeader(bad).has_value());
 
   bad = header;

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "src/common/hex.h"
+#include "src/net/auth.h"
+#include "src/net/remote_conn.h"
 #include "src/wire/wire_convert.h"
 #include "src/wire/wire_format.h"
 
@@ -144,6 +146,171 @@ TEST(WireGolden, FixturesDecode) {
   auto setup = WireSetup::Deserialize(*setup_payload);
   ASSERT_TRUE(setup.has_value());
   EXPECT_EQ(*setup, GoldenSetup());
+}
+
+// --- Socket-transport handshake/auth fixtures ---------------------------
+//
+// The remote-verifier bootstrap frames (PR 5): server hello, client hello,
+// setup ack, the session key both sides derive, and one fully sealed
+// (MAC-trailered) authenticated frame. Any drift in the handshake layout,
+// the key derivation, or the MAC transform fails here before it can strand
+// a mixed-version fleet mid-handshake.
+
+// EncodeFrame(kServerHello, ...): version 1, pid 4242, server id 7,
+// nonce 00..1f.
+constexpr char kGoldenServerHelloFrameHex[] =
+    "564450570106310000000192100000000000000700000000000000000102030405060708"
+    "090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f";
+
+// EncodeFrame(kClientHello, ...): version 1, nonce a0..bf.
+constexpr char kGoldenClientHelloFrameHex[] =
+    "5644505701072100000001a0a1a2a3a4a5a6a7a8a9aaabacadaeafb0b1b2b3b4b5b6b7b8"
+    "b9babbbcbdbebf";
+
+// WireSetupAck payload: digest 40..5f, server id 7.
+constexpr char kGoldenSetupAckPayloadHex[] =
+    "404142434445464748494a4b4c4d4e4f505152535455565758595a5b5c5d5e5f07000000"
+    "00000000";
+
+// DeriveSessionKey(psk 00..0f, server nonce 00..1f, client nonce a0..bf).
+constexpr char kGoldenSessionKeyHex[] =
+    "17ecf98faeaaa7a2806a008f3dace158b6a910e380b741331d1a36a008d759f5";
+
+// EncodeFrame(kSetupAck, SealPayload(session key, server->client, seq 0,
+// kSetupAck, ack payload)): the ack payload followed by its 32-byte HMAC
+// trailer. Pins the whole authenticated-frame transform end to end.
+constexpr char kGoldenSealedAckFrameHex[] =
+    "56445057010848000000404142434445464748494a4b4c4d4e4f50515253545556575859"
+    "5a5b5c5d5e5f070000000000000099b135ad9fab56b93cf4f17f66e3b4ad46cca427a373"
+    "5917a45a4eb3326884f9";
+
+WireServerHello GoldenServerHello() {
+  WireServerHello hello;
+  hello.version = 1;
+  hello.pid = 4242;
+  hello.server_id = 7;
+  for (size_t i = 0; i < hello.nonce.size(); ++i) {
+    hello.nonce[i] = static_cast<uint8_t>(i);
+  }
+  return hello;
+}
+
+WireClientHello GoldenClientHello() {
+  WireClientHello hello;
+  hello.version = 1;
+  for (size_t i = 0; i < hello.nonce.size(); ++i) {
+    hello.nonce[i] = static_cast<uint8_t>(0xA0 + i);
+  }
+  return hello;
+}
+
+WireSetupAck GoldenSetupAck() {
+  WireSetupAck ack;
+  for (size_t i = 0; i < ack.params_digest.size(); ++i) {
+    ack.params_digest[i] = static_cast<uint8_t>(0x40 + i);
+  }
+  ack.server_id = 7;
+  return ack;
+}
+
+net::SessionKey GoldenSessionKey() {
+  auto psk = HexDecode("000102030405060708090a0b0c0d0e0f");
+  WireServerHello sh = GoldenServerHello();
+  WireClientHello ch = GoldenClientHello();
+  return net::DeriveSessionKey(*psk, BytesView(sh.nonce.data(), sh.nonce.size()),
+                               BytesView(ch.nonce.data(), ch.nonce.size()));
+}
+
+TEST(WireGolden, HandshakeFrameBytesArePinned) {
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kServerHello, GoldenServerHello().Serialize())),
+            kGoldenServerHelloFrameHex);
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kClientHello, GoldenClientHello().Serialize())),
+            kGoldenClientHelloFrameHex);
+  EXPECT_EQ(HexEncode(GoldenSetupAck().Serialize()), kGoldenSetupAckPayloadHex);
+}
+
+TEST(WireGolden, SessionKeyDerivationIsPinned) {
+  net::SessionKey key = GoldenSessionKey();
+  EXPECT_EQ(HexEncode(BytesView(key.data(), key.size())), kGoldenSessionKeyHex);
+}
+
+TEST(WireGolden, SealedAuthFrameBytesArePinned) {
+  Bytes sealed = net::SealPayload(GoldenSessionKey(), net::kServerToClient, 0,
+                                  FrameType::kSetupAck, GoldenSetupAck().Serialize());
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kSetupAck, sealed)), kGoldenSealedAckFrameHex);
+}
+
+TEST(WireGolden, HandshakeFixturesDecode) {
+  auto server_frame = HexDecode(kGoldenServerHelloFrameHex);
+  ASSERT_TRUE(server_frame.has_value());
+  auto frame = DecodeFrame(*server_frame);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kServerHello);
+  auto server_hello = WireServerHello::Deserialize(frame->payload);
+  ASSERT_TRUE(server_hello.has_value());
+  EXPECT_EQ(*server_hello, GoldenServerHello());
+
+  auto client_frame = HexDecode(kGoldenClientHelloFrameHex);
+  ASSERT_TRUE(client_frame.has_value());
+  frame = DecodeFrame(*client_frame);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kClientHello);
+  auto client_hello = WireClientHello::Deserialize(frame->payload);
+  ASSERT_TRUE(client_hello.has_value());
+  EXPECT_EQ(*client_hello, GoldenClientHello());
+
+  // The sealed ack fixture opens under the pinned session key and decodes
+  // back to the golden ack.
+  auto sealed_frame = HexDecode(kGoldenSealedAckFrameHex);
+  ASSERT_TRUE(sealed_frame.has_value());
+  frame = DecodeFrame(*sealed_frame);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kSetupAck);
+  auto opened = net::OpenPayload(GoldenSessionKey(), net::kServerToClient, 0,
+                                 FrameType::kSetupAck, frame->payload);
+  ASSERT_TRUE(opened.has_value());
+  auto ack = WireSetupAck::Deserialize(*opened);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(*ack, GoldenSetupAck());
+}
+
+// A bad MAC must be rejected: any flipped bit in the sealed frame --
+// payload or trailer -- fails OpenPayload, as does the right frame at the
+// wrong sequence number (a replay).
+TEST(WireGolden, SealedFrameWithBadMacIsRejected) {
+  auto sealed_frame = HexDecode(kGoldenSealedAckFrameHex);
+  ASSERT_TRUE(sealed_frame.has_value());
+  auto frame = DecodeFrame(*sealed_frame);
+  ASSERT_TRUE(frame.has_value());
+
+  for (size_t i : {size_t{0}, frame->payload.size() / 2, frame->payload.size() - 1}) {
+    Bytes tampered = frame->payload;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(net::OpenPayload(GoldenSessionKey(), net::kServerToClient, 0,
+                                  FrameType::kSetupAck, tampered)
+                     .has_value())
+        << "flipped sealed byte " << i;
+  }
+  // Replay: authentic bytes at the wrong sequence number.
+  EXPECT_FALSE(net::OpenPayload(GoldenSessionKey(), net::kServerToClient, 1,
+                                FrameType::kSetupAck, frame->payload)
+                   .has_value());
+}
+
+// A stale setup digest must be rejected: the ack's digest is checked
+// byte-for-byte against the driver's own setup digest.
+TEST(WireGolden, StaleSetupDigestIsRejected) {
+  WireSetupAck ack = GoldenSetupAck();
+  Sha256::Digest current = ack.params_digest;
+  EXPECT_TRUE(net::AckMatchesSetup(ack, current));
+
+  Sha256::Digest stale = current;
+  stale[0] ^= 0x01;  // the digest of some other session's parameters
+  EXPECT_FALSE(net::AckMatchesSetup(ack, stale));
+
+  WireSetupAck stale_ack = ack;
+  stale_ack.params_digest[31] ^= 0x80;
+  EXPECT_FALSE(net::AckMatchesSetup(stale_ack, current));
 }
 
 // An unknown (future) wire version must be rejected at the frame header,

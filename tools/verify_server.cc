@@ -1,0 +1,405 @@
+// verify_server: one remote shard-verification daemon of the multi-machine
+// pipeline (src/net/remote_fleet.h) -- the socket twin of
+// tools/verify_worker.
+//
+// Per connection (all frames per src/wire/wire_format.h over the socket):
+//   1. server -> driver: kServerHello (wire version, pid, --id, nonce)
+//   2. driver -> server: kClientHello (nonce)
+//      -- both sides derive the session MAC key (src/net/auth.h); every
+//         frame from here on is MAC-authenticated and sequence-bound --
+//   3. driver -> server: kSetup (group name, protocol config, Pedersen bases)
+//   4. server -> driver: kSetupAck (echo of the setup digest: key
+//      confirmation + parameter binding)
+//   5. repeat: driver sends kTask, server answers kResult (or kError with a
+//      diagnostic when it refuses the task); EOF ends the connection.
+//
+// Connections are served one thread each and are independent sessions; the
+// server is stateless across connections. Verification itself is the same
+// VerifyShard (src/shard/sharded_verifier.h) every other backend runs, so
+// results are bit-identical by construction.
+//
+// Usage:
+//   verify_server --listen tcp:0.0.0.0:7000 --auth-key-file /etc/vdp/fleet.key
+//                 [--id N] [--once] [--watch-stdin] [--fault <mode>:<id|all>]
+//
+// --listen       tcp:<host>:<port> (port 0 = ephemeral) or unix:<path>. The
+//                bound endpoint is announced as "LISTENING <endpoint>" on
+//                stdout, so supervisors and tests can discover an ephemeral
+//                port.
+// --auth-key-file  file holding the fleet's pre-shared secret as hex
+//                (whitespace ignored; >= 16 bytes decoded). Falls back to
+//                $VDP_REMOTE_AUTH_KEY when the flag is absent.
+// --id           server id stamped into hellos/acks for blame reports.
+// --once         serve a single connection, then exit (tests).
+// --watch-stdin  exit when stdin reaches EOF: a test or supervisor that
+//                holds a pipe to our stdin takes the fleet down with it,
+//                even if it crashes without cleanup.
+// --fault        test hook, same spirit as verify_worker's VDP_WORKER_FAULT
+//                (env VDP_SERVER_FAULT is honored too): mode one of
+//                crash | garbage | hang (on task, like the worker), plus the
+//                remote-only modes close (drop the connection mid-shard),
+//                wrongshard (answer with a well-formed result for the wrong
+//                shard identity), staledigest (ack the setup with a wrong
+//                digest). Applies when <id|all> matches --id.
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/common/hex.h"
+#include "src/common/rng.h"
+#include "src/net/auth.h"
+#include "src/net/socket.h"
+#include "src/shard/sharded_verifier.h"
+#include "src/shard/worker_process.h"
+#include "src/wire/group_dispatch.h"
+#include "src/wire/wire_convert.h"
+
+namespace vdp {
+namespace {
+
+enum class FaultMode { kNone, kCrash, kGarbage, kHang, kClose, kWrongShard, kStaleDigest };
+
+FaultMode ParseFault(const std::string& spec, size_t server_id) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return FaultMode::kNone;
+  }
+  std::string target = spec.substr(colon + 1);
+  if (target != "all" && target != std::to_string(server_id)) {
+    return FaultMode::kNone;
+  }
+  std::string mode = spec.substr(0, colon);
+  if (mode == "crash") {
+    return FaultMode::kCrash;
+  }
+  if (mode == "garbage") {
+    return FaultMode::kGarbage;
+  }
+  if (mode == "hang") {
+    return FaultMode::kHang;
+  }
+  if (mode == "close") {
+    return FaultMode::kClose;
+  }
+  if (mode == "wrongshard") {
+    return FaultMode::kWrongShard;
+  }
+  if (mode == "staledigest") {
+    return FaultMode::kStaleDigest;
+  }
+  return FaultMode::kNone;
+}
+
+void SendError(net::AuthChannel* channel, const std::string& message) {
+  wire::WireError error;
+  error.message = message;
+  channel->Write(wire::FrameType::kError, error.Serialize());
+}
+
+// The task loop of one authenticated session.
+template <PrimeOrderGroup G>
+void ServeTasks(net::AuthChannel* channel, const wire::WireSetup& setup,
+                FaultMode fault) {
+  auto session = wire::SessionFromWire<G>(setup);
+  if (!session.has_value()) {
+    SendError(channel, "setup rejected: generators do not decode for " + setup.group_name);
+    return;
+  }
+  const ProtocolConfig config = session->first;
+  const Pedersen<G> ped = std::move(session->second);
+  const Sha256::Digest digest = setup.Digest();
+
+  // A driver holds its connection only for the duration of one stream and
+  // sends tasks continuously within it, so a long silence means the driver
+  // is gone (vanished without a FIN: powered off, partitioned). The idle
+  // timeout bounds how long a dead session can pin this thread and fd;
+  // SO_KEEPALIVE (src/net/socket.cc) backstops it at the TCP layer.
+  constexpr int kIdleTimeoutMs = 10 * 60 * 1000;
+
+  for (;;) {
+    wire::Frame frame;
+    wire::ReadStatus status = channel->Read(&frame, kIdleTimeoutMs);
+    if (status != wire::ReadStatus::kOk) {
+      return;  // EOF (driver done), idle/dead driver, tampered stream, or broken socket
+    }
+    if (frame.type != wire::FrameType::kTask) {
+      SendError(channel, "unexpected frame type");
+      return;
+    }
+    auto task = wire::WireShardTask::Deserialize(frame.payload);
+    if (!task.has_value()) {
+      SendError(channel, "malformed task payload");
+      return;
+    }
+    if (!std::equal(task->params_digest.begin(), task->params_digest.end(),
+                    digest.begin())) {
+      SendError(channel, "task params digest does not match session setup");
+      continue;  // refuse this task; the session itself is still good
+    }
+    switch (fault) {
+      case FaultMode::kCrash:
+        _exit(134);
+      case FaultMode::kGarbage: {
+        // Not a valid MAC: the driver must classify this as an auth
+        // failure, never feed it to the combiner.
+        uint8_t junk[64];
+        memset(junk, 0xAB, sizeof(junk));
+        wire::WriteFrame(channel->fd(), wire::FrameType::kResult,
+                         BytesView(junk, sizeof(junk)));
+        return;
+      }
+      case FaultMode::kHang:
+        for (;;) {
+          sleep(1);
+        }
+      case FaultMode::kClose:
+        return;  // connection dropped mid-shard
+      default:
+        break;
+    }
+
+    std::vector<ClientUploadMsg<G>> uploads = wire::UploadsFromWire<G>(*task);
+    ShardResult<G> result =
+        VerifyShard(config, ped, uploads.data(), uploads.size(), task->base,
+                    task->shard_index, /*pool=*/nullptr, task->compute_products == 1);
+    if (fault == FaultMode::kWrongShard) {
+      // Well-formed, authentically MACed -- but for the wrong shard
+      // identity. The driver's result-matches-task check must catch it.
+      result.shard_index += 1;
+    }
+    wire::WireShardResult wire_result = wire::ResultToWire<G>(digest, result);
+    if (channel->Write(wire::FrameType::kResult, wire_result.Serialize()) !=
+        wire::WriteStatus::kOk) {
+      return;  // driver hung up mid-result
+    }
+  }
+}
+
+void ServeConnection(int fd, Bytes auth_key, size_t server_id, FaultMode fault) {
+  constexpr int kHandshakeTimeoutMs = 15'000;
+
+  wire::WireServerHello server_hello;
+  server_hello.pid = static_cast<uint64_t>(getpid());
+  server_hello.server_id = server_id;
+  SecureRng::FromEntropy().FillBytes(server_hello.nonce.data(), server_hello.nonce.size());
+  if (wire::WriteFrame(fd, wire::FrameType::kServerHello, server_hello.Serialize(),
+                       kHandshakeTimeoutMs) != wire::WriteStatus::kOk) {
+    net::CloseFd(&fd);
+    return;
+  }
+
+  wire::Frame frame;
+  if (wire::ReadFrame(fd, &frame, kHandshakeTimeoutMs) != wire::ReadStatus::kOk ||
+      frame.type != wire::FrameType::kClientHello) {
+    net::CloseFd(&fd);
+    return;
+  }
+  auto client_hello = wire::WireClientHello::Deserialize(frame.payload);
+  if (!client_hello.has_value() || client_hello->version != wire::kWireVersion) {
+    net::CloseFd(&fd);
+    return;
+  }
+
+  net::SessionKey key = net::DeriveSessionKey(
+      auth_key, BytesView(server_hello.nonce.data(), server_hello.nonce.size()),
+      BytesView(client_hello->nonce.data(), client_hello->nonce.size()));
+  net::AuthChannel channel(fd, key, /*is_client=*/false);
+
+  // First authenticated frame: the setup. A bad MAC here is a driver with
+  // the wrong fleet secret -- drop the connection without serving it.
+  if (channel.Read(&frame, kHandshakeTimeoutMs) != wire::ReadStatus::kOk ||
+      frame.type != wire::FrameType::kSetup) {
+    net::CloseFd(&fd);
+    return;
+  }
+  auto setup = wire::WireSetup::Deserialize(frame.payload);
+  if (!setup.has_value()) {
+    SendError(&channel, "malformed setup frame");
+    net::CloseFd(&fd);
+    return;
+  }
+
+  wire::WireSetupAck ack;
+  ack.params_digest = setup->Digest();
+  ack.server_id = server_id;
+  if (fault == FaultMode::kStaleDigest) {
+    ack.params_digest[0] ^= 0xFF;  // a server stuck on another session's setup
+  }
+  if (channel.Write(wire::FrameType::kSetupAck, ack.Serialize(), kHandshakeTimeoutMs) !=
+      wire::WriteStatus::kOk) {
+    net::CloseFd(&fd);
+    return;
+  }
+
+  bool known_group = wire::DispatchGroup(setup->group_name, [&](auto tag) {
+    using G = typename decltype(tag)::Group;
+    ServeTasks<G>(&channel, *setup, fault);
+  });
+  if (!known_group) {
+    SendError(&channel, "unknown group backend: " + setup->group_name);
+  }
+  net::CloseFd(&fd);
+}
+
+// --watch-stdin: block on stdin until EOF, then take the whole process
+// down. The spawning side holds the write end of a pipe; process death --
+// clean or not -- closes it.
+void WatchStdin() {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = STDIN_FILENO;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (poll(&pfd, 1, -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      _exit(0);
+    }
+    uint8_t buf[256];
+    ssize_t n = read(STDIN_FILENO, buf, sizeof(buf));
+    if (n == 0) {
+      _exit(0);  // supervisor is gone
+    }
+    if (n < 0 && errno != EINTR && errno != EAGAIN) {
+      _exit(0);
+    }
+  }
+}
+
+int ServerMain(int argc, char** argv) {
+  IgnoreSigpipe();
+  std::string listen_spec = "tcp:127.0.0.1:0";
+  std::string key_file;
+  std::string fault_spec;
+  size_t server_id = 0;
+  bool once = false;
+  bool watch_stdin = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "verify_server: --listen needs an endpoint\n");
+        return 2;
+      }
+      listen_spec = v;
+    } else if (arg == "--auth-key-file") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "verify_server: --auth-key-file needs a path\n");
+        return 2;
+      }
+      key_file = v;
+    } else if (arg == "--id") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "verify_server: --id needs a number\n");
+        return 2;
+      }
+      server_id = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--fault") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "verify_server: --fault needs <mode>:<id|all>\n");
+        return 2;
+      }
+      fault_spec = v;
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--watch-stdin") {
+      watch_stdin = true;
+    } else {
+      std::fprintf(stderr, "verify_server: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::string key_hex;
+  if (!key_file.empty()) {
+    FILE* f = std::fopen(key_file.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "verify_server: cannot read auth key file %s\n",
+                   key_file.c_str());
+      return 2;
+    }
+    char c;
+    while (std::fread(&c, 1, 1, f) == 1) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        key_hex.push_back(c);
+      }
+    }
+    std::fclose(f);
+  } else if (const char* env = std::getenv("VDP_REMOTE_AUTH_KEY")) {
+    key_hex = env;
+  }
+  auto auth_key = HexDecode(key_hex);
+  if (!auth_key.has_value() || auth_key->size() < net::kMinAuthKeyBytes) {
+    std::fprintf(stderr,
+                 "verify_server: no usable auth key (--auth-key-file or "
+                 "$VDP_REMOTE_AUTH_KEY, hex, >= %zu bytes)\n",
+                 net::kMinAuthKeyBytes);
+    return 2;
+  }
+
+  auto endpoint = net::ParseEndpoint(listen_spec);
+  if (!endpoint.has_value()) {
+    std::fprintf(stderr, "verify_server: bad --listen endpoint '%s'\n",
+                 listen_spec.c_str());
+    return 2;
+  }
+  auto listener = net::Listener::Open(*endpoint);
+  if (!listener.has_value()) {
+    std::fprintf(stderr, "verify_server: cannot listen on %s\n", listen_spec.c_str());
+    return 1;
+  }
+
+  // Announce the bound endpoint (ephemeral tcp port resolved) for
+  // supervisors and the test spawn helper.
+  std::printf("LISTENING %s\n", net::FormatEndpoint(listener->bound()).c_str());
+  std::fflush(stdout);
+
+  FaultMode fault = ParseFault(fault_spec, server_id);
+  if (fault == FaultMode::kNone) {
+    if (const char* env = std::getenv("VDP_SERVER_FAULT")) {
+      fault = ParseFault(env, server_id);
+    }
+  }
+
+  if (watch_stdin) {
+    std::thread(WatchStdin).detach();
+  }
+
+  for (;;) {
+    int fd = listener->Accept(/*timeout_ms=*/-1);
+    if (fd < 0) {
+      // Transient accept failures (fd exhaustion under a connection spike,
+      // EMFILE while sessions drain) must not take the whole verifier down
+      // -- in-flight authenticated sessions keep running; back off and
+      // keep accepting.
+      std::fprintf(stderr, "verify_server: accept failed (retrying)\n");
+      usleep(100 * 1000);
+      continue;
+    }
+    if (once) {
+      ServeConnection(fd, *auth_key, server_id, fault);
+      return 0;
+    }
+    std::thread(ServeConnection, fd, *auth_key, server_id, fault).detach();
+  }
+}
+
+}  // namespace
+}  // namespace vdp
+
+int main(int argc, char** argv) {
+  return vdp::ServerMain(argc, argv);
+}
