@@ -3,13 +3,21 @@
 // verdict.
 //
 // This is the perf contract of the VerifyBackend API (src/verify/): the
-// factory's four execution strategies are interchangeable in outcome, so the
-// only thing this bench is allowed to show differing is wall clock. Emits
-// BENCH_backend_matrix.json. Expected shape on real hardware: batched beats
-// per-proof by the PR-1 RLC/MSM factor, sharded adds thread-level fan-out,
-// multiprocess pays wire + process overhead it can only win back with
-// physical cores.
+// factory's five execution strategies are interchangeable in outcome, so the
+// only thing this bench is allowed to show differing is wall clock. Expected
+// shape on real hardware: batched beats per-proof by the PR-1 RLC/MSM
+// factor, sharded adds thread-level fan-out, multiprocess pays wire +
+// process overhead it can only win back with physical cores.
+//
+// Emits a vdp.runlog/v1 run-log (BENCH_backend_matrix.jsonl, or
+// $VDP_METRICS_OUT) for tools/metrics_report: a header with the honest
+// concurrency story, one stages line per (scenario, pool size, backend),
+// and the process's metric counters. The thread-pool sweep (1, 2, all
+// cores) makes the scaling story explicit instead of leaving it to whatever
+// machine CI happened to land on -- the unsuffixed scenario rows are the
+// all-cores runs, which is what BENCH_backend_matrix.json baselines.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -17,21 +25,12 @@
 
 #include "src/common/timer.h"
 #include "src/net/server_process.h"
+#include "src/obs/runlog.h"
 #include "src/verify/factory.h"
 
 namespace {
 
 using G = vdp::ModP256;
-
-struct Row {
-  std::string scenario;
-  std::string backend;
-  double elapsed_ms = 0;
-  double verify_ms = 0;
-  double combine_ms = 0;
-  size_t accepted = 0;
-  size_t num_shards = 0;
-};
 
 vdp::ProtocolConfig ConfigFor(vdp::VerifyBackendKind kind) {
   vdp::ProtocolConfig config;
@@ -62,34 +61,6 @@ vdp::ProtocolConfig ConfigFor(vdp::VerifyBackendKind kind) {
   return config;
 }
 
-void WriteJson(size_t n_uploads, const std::vector<Row>& rows) {
-  FILE* f = std::fopen("BENCH_backend_matrix.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "WARNING: cannot write BENCH_backend_matrix.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"backend_matrix\",\n");
-  std::fprintf(f, "  \"group\": \"%s\",\n", G::Name().c_str());
-  std::fprintf(f, "  \"n_uploads\": %zu,\n", n_uploads);
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"results\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"scenario\": \"%s\", \"backend\": \"%s\", \"elapsed_ms\": %.3f, "
-                 "\"verify_ms\": %.3f, \"combine_ms\": %.3f, \"accepted\": %zu, "
-                 "\"num_shards\": %zu}%s\n",
-                 r.scenario.c_str(), r.backend.c_str(), r.elapsed_ms, r.verify_ms,
-                 r.combine_ms, r.accepted, r.num_shards, i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_backend_matrix.json\n");
-}
-
 }  // namespace
 
 int main() {
@@ -107,14 +78,47 @@ int main() {
     uploads.push_back(vdp::MakeClientBundle<G>(i % 2, i, base, ped, rng).upload);
   }
 
-  vdp::ThreadPool& pool = vdp::GlobalPool();
-  vdp::VerifyOptions options;
-  options.pool = &pool;
+  // The concurrency sweep: 1 core, 2 cores, the whole machine. Deduplicated
+  // so a 1- or 2-core CI runner does not time the same shape twice.
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<size_t> pool_sizes{1};
+  if (hw >= 2) {
+    pool_sizes.push_back(2);
+  }
+  if (hw > 2) {
+    pool_sizes.push_back(hw);
+  }
+
+  // The worker/server subprocesses the multiprocess and remote backends
+  // spawn write into the same file through $VDP_METRICS_OUT, so EVERY writer
+  // -- this process included -- must hold an O_APPEND descriptor (append
+  // mode); a plain "w" stream would interleave its private offset with the
+  // subprocess appends and corrupt lines.
+  const char* out_env = std::getenv("VDP_METRICS_OUT");
+  const std::string log_path = out_env != nullptr && out_env[0] != '\0'
+                                   ? out_env
+                                   : "BENCH_backend_matrix.jsonl";
+  if (out_env == nullptr || out_env[0] == '\0') {
+    std::remove(log_path.c_str());  // fresh default file for this run
+    setenv("VDP_METRICS_OUT", log_path.c_str(), 1);
+  }
+  auto log = vdp::obs::RunLogWriter::Open(log_path, /*append=*/true);
+  if (log != nullptr) {
+    vdp::obs::RunHeader header;
+    header.tool = "bench_backend_matrix";
+    header.group = G::Name();
+    header.n_uploads = kUploads;
+    header.num_shards = 8;
+    header.pool_threads = hw;
+    header.verify_workers = 4;
+    header.remote_endpoints = 4;
+    header.notes = "pool sweep: 1/2/all cores; unsuffixed rows = all cores";
+    log->Header(header);
+  }
 
   // Two regimes: an all-valid stream (the RLC batch accepts in one check)
   // and a stream with one tampered proof (the whole-stream batch pays a full
   // per-proof fallback; sharding confines that cost to one shard of 512).
-  std::vector<Row> rows;
   for (const char* scenario : {"clean", "one-tampered"}) {
     if (std::string(scenario) == "one-tampered") {
       uploads[kUploads / 3].bin_proofs[0].z0 += G::Scalar::One();
@@ -122,33 +126,45 @@ int main() {
     std::printf("-- scenario: %s --\n", scenario);
     std::vector<size_t> reference_accepted;
     bool have_reference = false;
-    vdp::Stopwatch timer;
-    for (vdp::VerifyBackendKind kind : vdp::AllVerifyBackendKinds()) {
-      auto backend = vdp::MakeVerifyBackend<G>(kind, ConfigFor(kind), ped);
-      timer.Reset();
-      auto report = backend->VerifyAll(uploads, options);
-      Row row;
-      row.scenario = scenario;
-      row.backend = report.backend;
-      row.elapsed_ms = timer.ElapsedMillis();
-      row.verify_ms = report.timings.verify_ms;
-      row.combine_ms = report.timings.combine_ms;
-      row.accepted = report.accepted.size();
-      row.num_shards = report.num_shards;
-      rows.push_back(row);
-      std::printf("%-12s %9.1f ms (%zu accepted, %zu shards)\n", row.backend.c_str(),
-                  row.elapsed_ms, row.accepted, row.num_shards);
-      if (!have_reference) {
-        reference_accepted = report.accepted;
-        have_reference = true;
-      } else if (report.accepted != reference_accepted) {
-        std::fprintf(stderr, "FATAL: backend %s diverged from the per-proof oracle\n",
-                     row.backend.c_str());
-        return 1;
+    for (size_t pool_size : pool_sizes) {
+      vdp::ThreadPool pool(pool_size);
+      vdp::VerifyOptions options;
+      options.pool = &pool;
+      // The all-cores rows keep the bare scenario name so metrics_report
+      // --compare lines them up against the committed baseline.
+      const std::string row_scenario =
+          pool_size == hw ? scenario
+                          : std::string(scenario) + "@pool" + std::to_string(pool_size);
+      vdp::Stopwatch timer;
+      for (vdp::VerifyBackendKind kind : vdp::AllVerifyBackendKinds()) {
+        auto backend = vdp::MakeVerifyBackend<G>(kind, ConfigFor(kind), ped);
+        timer.Reset();
+        auto report = backend->VerifyAll(uploads, options);
+        const double elapsed_ms = timer.ElapsedMillis();
+        std::printf("%-12s pool=%-3zu %9.1f ms (%zu accepted, %zu shards)\n",
+                    report.backend.c_str(), pool_size, elapsed_ms,
+                    report.accepted.size(), report.num_shards);
+        if (log != nullptr) {
+          log->Stages(row_scenario, report.backend, report.timings.Stages(), elapsed_ms,
+                      {{"accepted", static_cast<double>(report.accepted.size())},
+                       {"num_shards", static_cast<double>(report.num_shards)},
+                       {"pool_threads", static_cast<double>(pool_size)}});
+        }
+        if (!have_reference) {
+          reference_accepted = report.accepted;
+          have_reference = true;
+        } else if (report.accepted != reference_accepted) {
+          std::fprintf(stderr, "FATAL: backend %s diverged from the per-proof oracle\n",
+                       report.backend.c_str());
+          return 1;
+        }
       }
     }
   }
 
-  WriteJson(kUploads, rows);
+  if (log != nullptr) {
+    log->Metrics(vdp::obs::MetricsRegistry::Global().Snapshot());
+    std::printf("\nwrote %s\n", log->path().c_str());
+  }
   return 0;
 }

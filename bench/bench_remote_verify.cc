@@ -9,66 +9,35 @@
 // every configuration's accept set is cross-checked against the in-process
 // result, so a speedup can never come from a wrong verdict.
 //
-// Emits BENCH_remote_verify.json. The interesting numbers:
-//   - remote_ms vs multiproc_ms at equal fleet size: socket + HMAC
-//     overhead on loopback (the lower bound for a real network).
+// Emits a vdp.runlog/v1 run-log (BENCH_remote_verify.jsonl, or
+// $VDP_METRICS_OUT) for tools/metrics_report. The final "traced-faulty"
+// scenario is the fleet observability demo: tracing on, a three-server
+// fleet with one misbehaving member, so the run-log ends up holding one
+// stitched span tree (driver dispatch spans + the healthy servers' own
+// shard/rlc spans, rebased onto the driver's timeline) plus nonzero
+// fleet.retries / fleet.blamed counters -- exactly what a real incident
+// looks like, produced on demand.
+//
+// The interesting numbers:
+//   - remote vs multi-process at equal fleet size: socket + HMAC overhead
+//     on loopback (the lower bound for a real network).
 //   - clean vs one-tampered: the blame fallback's cost does not change
 //     shape when verification is remote.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/common/timer.h"
 #include "src/net/remote_fleet.h"
 #include "src/net/server_process.h"
+#include "src/obs/runlog.h"
 #include "src/shard/process_pool.h"
 
 namespace {
 
 using G = vdp::ModP256;
 using S = G::Scalar;
-
-struct Point {
-  std::string scenario;
-  std::string mode;  // in-process | multi-process | remote
-  size_t fleet = 0;  // workers or servers (0 = in-process)
-  double elapsed_ms = 0;
-  size_t accepted = 0;
-  size_t recovered_in_process = 0;
-  size_t failures = 0;
-};
-
-void WriteJson(size_t n_uploads, size_t shards, const std::vector<Point>& points) {
-  FILE* f = std::fopen("BENCH_remote_verify.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "WARNING: cannot write BENCH_remote_verify.json\n");
-    return;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"remote_verify\",\n");
-  std::fprintf(f, "  \"group\": \"%s\",\n", G::Name().c_str());
-  std::fprintf(f, "  \"pipeline\": \"wire ShardTask -> verify_server fleet over "
-               "authenticated loopback sockets -> wire ShardResult -> combine\",\n");
-  std::fprintf(f, "  \"n_uploads\": %zu,\n", n_uploads);
-  std::fprintf(f, "  \"num_shards\": %zu,\n", shards);
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"results\": [\n");
-  for (size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    std::fprintf(f,
-                 "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"fleet\": %zu, "
-                 "\"elapsed_ms\": %.3f, \"accepted\": %zu, "
-                 "\"recovered_in_process\": %zu, \"failures\": %zu}%s\n",
-                 p.scenario.c_str(), p.mode.c_str(), p.fleet, p.elapsed_ms, p.accepted,
-                 p.recovered_in_process, p.failures, i + 1 < points.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_remote_verify.json\n");
-}
 
 }  // namespace
 
@@ -93,6 +62,31 @@ int main() {
     uploads.push_back(vdp::MakeClientBundle<G>(i % 2, i, config, ped, rng).upload);
   }
 
+  // One run-log for the whole fleet: this process truncates and re-opens in
+  // append mode, then exports the path via $VDP_METRICS_OUT *before*
+  // spawning servers, so every verify_server appends its own metric lines
+  // to the same file (append-mode line writes interleave safely).
+  const char* env_path = std::getenv("VDP_METRICS_OUT");
+  const std::string log_path =
+      env_path != nullptr && env_path[0] != '\0' ? env_path : "BENCH_remote_verify.jsonl";
+  if (env_path == nullptr || env_path[0] == '\0') {
+    std::remove(log_path.c_str());
+    setenv("VDP_METRICS_OUT", log_path.c_str(), 1);
+  }
+  auto log = vdp::obs::RunLogWriter::Open(log_path, /*append=*/true);
+  if (log != nullptr) {
+    vdp::obs::RunHeader header;
+    header.tool = "bench_remote_verify";
+    header.group = G::Name();
+    header.n_uploads = kUploads;
+    header.num_shards = kShards;
+    header.remote_endpoints = 4;
+    header.notes =
+        "wire ShardTask -> verify_server fleet over authenticated loopback "
+        "sockets -> wire ShardResult -> combine";
+    log->Header(header);
+  }
+
   std::printf("spawning loopback verify_server fleet...\n");
   vdp::net::LoopbackFleet fleet(4);
   if (fleet.servers().size() != 4) {
@@ -103,8 +97,19 @@ int main() {
 
   vdp::ThreadPool& pool = vdp::GlobalPool();
   vdp::Stopwatch timer;
-  std::vector<Point> points;
 
+  auto emit = [&](const std::string& scenario, const std::string& backend,
+                  const vdp::VerifyTimings& timings, double elapsed_ms, size_t accepted,
+                  size_t recovered, size_t failures) {
+    if (log != nullptr) {
+      log->Stages(scenario, backend, timings.Stages(), elapsed_ms,
+                  {{"accepted", static_cast<double>(accepted)},
+                   {"recovered_in_process", static_cast<double>(recovered)},
+                   {"failures", static_cast<double>(failures)}});
+    }
+  };
+
+  std::vector<size_t> inproc_accepted;
   for (const char* scenario : {"clean", "one-tampered"}) {
     if (std::string(scenario) == "one-tampered") {
       uploads[kUploads / 3].bin_proofs[0].z0 += S::One();
@@ -114,14 +119,13 @@ int main() {
     // In-process baseline (PR 2 pipeline on the global thread pool).
     timer.Reset();
     auto inproc = vdp::ShardedVerifier<G>::VerifyAll(config, ped, uploads, &pool);
-    Point baseline;
-    baseline.scenario = scenario;
-    baseline.mode = "in-process";
-    baseline.elapsed_ms = timer.ElapsedMillis();
-    baseline.accepted = inproc.accepted.size();
-    points.push_back(baseline);
-    std::printf("in-process            : %8.1f ms (%zu accepted)\n",
-                baseline.elapsed_ms, baseline.accepted);
+    const double inproc_ms = timer.ElapsedMillis();
+    inproc_accepted = inproc.accepted;
+    // "in-process:0" matches the legacy baseline's {mode, fleet} row key.
+    emit(scenario, "in-process:0", inproc.timings, inproc_ms, inproc.accepted.size(),
+         0, 0);
+    std::printf("in-process            : %8.1f ms (%zu accepted)\n", inproc_ms,
+                inproc.accepted.size());
 
     for (size_t workers : {2, 4}) {
       vdp::ProcessPoolOptions options;
@@ -130,17 +134,12 @@ int main() {
       vdp::ProcessPoolReport report;
       timer.Reset();
       auto verdict = verifier.VerifyAll(uploads, /*compute_products=*/true, &report);
-      Point p;
-      p.scenario = scenario;
-      p.mode = "multi-process";
-      p.fleet = workers;
-      p.elapsed_ms = timer.ElapsedMillis();
-      p.accepted = verdict.accepted.size();
-      p.recovered_in_process = report.shards_recovered_in_process;
-      p.failures = report.failures.size();
-      points.push_back(p);
+      const double elapsed_ms = timer.ElapsedMillis();
+      emit(scenario, "multi-process:" + std::to_string(workers), verdict.timings,
+           elapsed_ms, verdict.accepted.size(), report.shards_recovered_in_process,
+           report.failures.size());
       std::printf("multi-process %zu pipes : %8.1f ms (%zu accepted)\n", workers,
-                  p.elapsed_ms, p.accepted);
+                  elapsed_ms, verdict.accepted.size());
       if (verdict.accepted != inproc.accepted) {
         std::fprintf(stderr, "FATAL: multi-process verdict diverged\n");
         return 1;
@@ -157,17 +156,12 @@ int main() {
       vdp::RemoteFleetReport report;
       timer.Reset();
       auto verdict = verifier.VerifyAll(uploads, /*compute_products=*/true, &report);
-      Point p;
-      p.scenario = scenario;
-      p.mode = "remote";
-      p.fleet = servers;
-      p.elapsed_ms = timer.ElapsedMillis();
-      p.accepted = verdict.accepted.size();
-      p.recovered_in_process = report.shards_recovered_in_process;
-      p.failures = report.failures.size();
-      points.push_back(p);
+      const double elapsed_ms = timer.ElapsedMillis();
+      emit(scenario, "remote:" + std::to_string(servers), verdict.timings, elapsed_ms,
+           verdict.accepted.size(), report.shards_recovered_in_process,
+           report.failures.size());
       std::printf("remote %zu sockets     : %8.1f ms (%zu accepted, %zu failures)\n",
-                  servers, p.elapsed_ms, p.accepted, p.failures);
+                  servers, elapsed_ms, verdict.accepted.size(), report.failures.size());
       if (verdict.accepted != inproc.accepted) {
         std::fprintf(stderr, "FATAL: remote verdict diverged from in-process\n");
         return 1;
@@ -175,6 +169,53 @@ int main() {
     }
   }
 
-  WriteJson(kUploads, kShards, points);
+  // The observability acceptance run: tracing on, a fresh three-server fleet
+  // whose server 0 answers every task with the wrong shard index. The driver
+  // blames it, retries elsewhere, and the run-log ends with the stitched
+  // span tree plus the fleet counters a real incident would show.
+  {
+    std::printf("-- scenario: traced-faulty (3 servers, server 0 wrongshard) --\n");
+    vdp::net::LoopbackFleet faulty(3, /*fault=*/"wrongshard:0");
+    if (faulty.servers().size() != 3) {
+      std::fprintf(stderr, "FATAL: could not spawn the faulty fleet\n");
+      return 1;
+    }
+    vdp::ProtocolConfig remote_config = config;
+    faulty.ApplyTo(&remote_config);
+
+    vdp::obs::TraceCollector tracer;
+    vdp::RemoteFleetOptions fleet_options;
+    fleet_options.tracer = &tracer;
+    fleet_options.trace_parent = tracer.RootContext();
+
+    vdp::RemoteVerifierFleet<G> verifier(remote_config, ped, fleet_options);
+    vdp::RemoteFleetReport report;
+    timer.Reset();
+    auto verdict = verifier.VerifyAll(uploads, /*compute_products=*/true, &report);
+    const double elapsed_ms = timer.ElapsedMillis();
+    emit("traced-faulty", "remote:3", verdict.timings, elapsed_ms,
+         verdict.accepted.size(), report.shards_recovered_in_process,
+         report.failures.size());
+    if (log != nullptr) {
+      log->Spans(tracer.TakeSpans());
+    }
+    std::printf("remote 3 sockets      : %8.1f ms (%zu accepted, %zu failures, "
+                "%zu retries blamed)\n",
+                elapsed_ms, verdict.accepted.size(), report.failures.size(),
+                report.failures.size());
+    if (verdict.accepted != inproc_accepted) {
+      std::fprintf(stderr, "FATAL: traced remote verdict diverged\n");
+      return 1;
+    }
+    if (report.failures.empty()) {
+      std::fprintf(stderr, "FATAL: wrongshard fault produced no blame report\n");
+      return 1;
+    }
+  }
+
+  if (log != nullptr) {
+    log->Metrics(vdp::obs::MetricsRegistry::Global().Snapshot());
+    std::printf("\nwrote %s\n", log_path.c_str());
+  }
   return 0;
 }

@@ -21,6 +21,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/group/group.h"
+#include "src/obs/metrics.h"
 
 namespace vdp {
 
@@ -299,6 +300,8 @@ typename G::Element Msm(const std::vector<typename G::Element>& bases,
   if (n == 0) {
     return G::Identity();
   }
+  obs::GlobalCounter(obs::kMsmCalls)->Increment();
+  obs::GlobalCounter(obs::kMsmScalars)->Add(n);
   constexpr size_t kPippengerThreshold = 128;
   if (n < kPippengerThreshold) {
     return MsmWnaf<G>(bases, scalars);

@@ -4,6 +4,7 @@
 #define SRC_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace vdp {
 
@@ -19,6 +20,14 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  // Integer nanoseconds on the steady clock -- the full resolution the clock
+  // offers, for callers that must not lose sub-microsecond intervals to
+  // double rounding.
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

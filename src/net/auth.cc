@@ -1,6 +1,7 @@
 #include "src/net/auth.h"
 
 #include "src/common/serialize.h"
+#include "src/obs/metrics.h"
 
 namespace vdp {
 namespace net {
@@ -89,6 +90,7 @@ wire::ReadStatus AuthChannel::Read(wire::Frame* out, int timeout_ms) {
   }
   auto payload = OpenPayload(key_, recv_dir_, recv_seq_, frame.type, frame.payload);
   if (!payload.has_value()) {
+    obs::GlobalCounter(obs::kAuthFailures)->Increment();
     return wire::ReadStatus::kAuthFailed;
   }
   ++recv_seq_;

@@ -71,6 +71,11 @@ struct RemoteFleetOptions {
   // Connect+handshake tries per (re)connection, with backoff between.
   size_t connect_attempts = 2;
   int reconnect_backoff_ms = 50;
+  // When set, dispatches record "dispatch" spans here (parented under
+  // trace_parent), span context crosses the wire, and server-recorded spans
+  // are adopted back into this collector.
+  obs::TraceCollector* tracer = nullptr;
+  obs::TraceContext trace_parent{};
 };
 
 // Farms shards to the fleet named by config.remote_verifiers, authenticated
@@ -114,6 +119,11 @@ class RemoteVerifierFleet {
     std::atomic<size_t> next_shard{0};
     std::mutex report_mutex;
 
+    // The fleet drive IS the verify stage; per-shard dispatch spans (and the
+    // servers' own spans, shipped back over the wire) nest under it.
+    obs::TraceSpan verify_span(options_.tracer, kStageVerify, options_.trace_parent);
+    const obs::TraceContext verify_ctx = verify_span.context();
+
     // No endpoints parsed (unreachable after Validate, but never lose the
     // stream): the whole partition goes through the in-process fallback.
     if (endpoints_.empty()) {
@@ -127,9 +137,12 @@ class RemoteVerifierFleet {
       if (report != nullptr) {
         *report = std::move(local_report);
       }
+      verify_span.End();
       const double verify_ms = timer.ElapsedMillis();
+      obs::TraceSpan combine_span(options_.tracer, kStageCombine, options_.trace_parent);
       VerifyReport<G> combined =
           CombineShardResults(config_, std::move(results), compute_products);
+      combine_span.End();
       combined.timings.verify_ms = verify_ms;
       return combined;
     }
@@ -153,8 +166,14 @@ class RemoteVerifierFleet {
         }
         const size_t from = n * s / shards;
         const size_t to = n * (s + 1) / shards;
+        // One dispatch span covers every attempt at this shard; the server's
+        // own spans parent under it via the task's trace extension.
+        obs::TraceSpan dispatch_span(options_.tracer, "dispatch", verify_ctx);
+        dispatch_span.set_detail("shard=" + std::to_string(s) + " endpoint=" + endpoint_name);
         wire::WireShardTask task = wire::MakeShardTask<G>(
             params_digest_, s, from, compute_products, uploads.data() + from, to - from);
+        task.trace_id = dispatch_span.context().trace_id;
+        task.parent_span_id = dispatch_span.context().span_id;
         const Bytes task_payload = task.Serialize();
         // Retries resend task_payload; only the task's scalar metadata is
         // needed from here on (mirrors the process pool's memory trim).
@@ -176,6 +195,9 @@ class RemoteVerifierFleet {
              attempt < options_.max_attempts_per_shard && !done && !oversized &&
              !endpoint_dead;
              ++attempt) {
+          if (attempt > 0) {
+            obs::GlobalCounter(obs::kFleetRetries)->Increment();
+          }
           if (!conn.ok() &&
               !Reconnect(endpoint, endpoint_name, &conn, &connected_before, s,
                          &local_report, &report_mutex)) {
@@ -185,7 +207,9 @@ class RemoteVerifierFleet {
             break;
           }
           std::string blame;
-          if (AttemptShard(&conn, task_payload, task, to - from, &results[s], &blame)) {
+          if (AttemptShard(&conn, task_payload, task, to - from, &results[s],
+                           endpoint_name, &dispatch_span, &blame)) {
+            obs::GlobalCounter(obs::kFleetShardsRemote)->Increment();
             std::lock_guard<std::mutex> lock(report_mutex);
             ++local_report.shards_from_remote;
             done = true;
@@ -198,7 +222,9 @@ class RemoteVerifierFleet {
           // Retries exhausted: verify locally so the shard -- and the
           // combined verdict -- is never lost to a dead fleet.
           results[s] = VerifyShard(config_, ped_, uploads.data() + from, to - from, from, s,
-                                   nullptr, compute_products);
+                                   nullptr, compute_products, options_.tracer,
+                                   dispatch_span.context());
+          obs::GlobalCounter(obs::kFleetShardsRecovered)->Increment();
           std::lock_guard<std::mutex> lock(report_mutex);
           ++local_report.shards_recovered_in_process;
         }
@@ -221,9 +247,12 @@ class RemoteVerifierFleet {
     if (report != nullptr) {
       *report = std::move(local_report);
     }
+    verify_span.End();
     const double verify_ms = timer.ElapsedMillis();
+    obs::TraceSpan combine_span(options_.tracer, kStageCombine, options_.trace_parent);
     VerifyReport<G> combined =
         CombineShardResults(config_, std::move(results), compute_products);
+    combine_span.End();
     combined.timings.verify_ms = verify_ms;
     return combined;
   }
@@ -246,6 +275,10 @@ class RemoteVerifierFleet {
       *conn = net::ConnectAndHandshake(endpoint, auth_key_, setup_payload_,
                                        params_digest_, handshake, &blame);
       if (conn->ok()) {
+        obs::GlobalCounter(obs::kFleetConnections)->Increment();
+        if (*connected_before) {
+          obs::GlobalCounter(obs::kFleetReconnects)->Increment();
+        }
         std::lock_guard<std::mutex> lock(*mutex);
         ++report->connections_established;
         if (*connected_before) {
@@ -267,7 +300,8 @@ class RemoteVerifierFleet {
   // integrity.
   bool AttemptShard(net::RemoteConn* conn, BytesView task_payload,
                     const wire::WireShardTask& task, size_t expected_count,
-                    ShardResult<G>* out, std::string* blame) {
+                    ShardResult<G>* out, const std::string& endpoint_name,
+                    obs::TraceSpan* dispatch_span, std::string* blame) {
     const auto start = std::chrono::steady_clock::now();
     wire::WriteStatus wstatus = conn->channel.Write(wire::FrameType::kTask, task_payload,
                                                     options_.shard_timeout_ms);
@@ -314,12 +348,20 @@ class RemoteVerifierFleet {
       *blame = "result elements fail group decoding";
       return false;
     }
+    if (options_.tracer != nullptr && !wire_result->spans.empty()) {
+      // Server spans are relative to its task receipt; land them inside the
+      // dispatch span on the driver's timeline.
+      options_.tracer->AdoptRemote(
+          wire::SpansFromWire(wire_result->spans, "server:" + endpoint_name),
+          dispatch_span->start_us());
+    }
     *out = std::move(*result);
     return true;
   }
 
   static void RecordFailure(RemoteFleetReport* report, std::mutex* mutex, size_t shard,
                             const std::string& endpoint, std::string reason) {
+    obs::GlobalCounter(obs::kFleetBlamed)->Increment();
     std::lock_guard<std::mutex> lock(*mutex);
     report->failures.push_back(RemoteFailure{shard, endpoint, std::move(reason)});
   }

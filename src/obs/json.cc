@@ -1,0 +1,390 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vdp {
+namespace obs {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    SkipWs();
+    auto value = ParseValue(0);
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // trailing garbage
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        auto s = ParseString();
+        if (!s.has_value()) {
+          return std::nullopt;
+        }
+        return JsonValue::String(std::move(*s));
+      }
+      case 't':
+        return ConsumeLiteral("true") ? std::optional(JsonValue::Bool(true)) : std::nullopt;
+      case 'f':
+        return ConsumeLiteral("false") ? std::optional(JsonValue::Bool(false))
+                                       : std::nullopt;
+      case 'n':
+        return ConsumeLiteral("null") ? std::optional(JsonValue::Null()) : std::nullopt;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseObject(int depth) {
+    if (!Consume('{')) {
+      return std::nullopt;
+    }
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) {
+      return obj;
+    }
+    for (;;) {
+      SkipWs();
+      auto key = ParseString();
+      if (!key.has_value()) {
+        return std::nullopt;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return std::nullopt;
+      }
+      SkipWs();
+      auto value = ParseValue(depth + 1);
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      obj.Set(std::move(*key), std::move(*value));
+      SkipWs();
+      if (Consume('}')) {
+        return obj;
+      }
+      if (!Consume(',')) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> ParseArray(int depth) {
+    if (!Consume('[')) {
+      return std::nullopt;
+    }
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) {
+      return arr;
+    }
+    for (;;) {
+      SkipWs();
+      auto value = ParseValue(depth + 1);
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      arr.Append(std::move(*value));
+      SkipWs();
+      if (Consume(']')) {
+        return arr;
+      }
+      if (!Consume(',')) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) {
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return std::nullopt;  // raw control character
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return std::nullopt;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          // Validate 4 hex digits; keep the escape verbatim (consumers of
+          // the run-log never need decoded non-ASCII).
+          if (pos_ + 4 > text_.size()) {
+            return std::nullopt;
+          }
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return std::nullopt;
+            }
+          }
+          out.append("\\u").append(text_.substr(pos_, 4));
+          pos_ += 4;
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    size_t digits = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      return std::nullopt;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) {
+        return std::nullopt;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++exp;
+      }
+      if (exp == 0) {
+        return std::nullopt;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return std::nullopt;
+    }
+    return JsonValue::Number(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void WriteInto(const JsonValue& value, std::string* out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Type::kBool:
+      out->append(value.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Type::kNumber:
+      out->append(JsonNumber(value.as_number()));
+      break;
+    case JsonValue::Type::kString:
+      out->push_back('"');
+      out->append(JsonEscape(value.as_string()));
+      out->push_back('"');
+      break;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        WriteInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        out->push_back('"');
+        out->append(JsonEscape(key));
+        out->append("\":");
+        WriteInto(member, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteInto(value, &out);
+  return out;
+}
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::fabs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  // Trim trailing zeros but keep one fractional digit.
+  std::string s(buf);
+  size_t last = s.find_last_not_of('0');
+  if (last != std::string::npos && s[last] == '.') {
+    ++last;
+  }
+  s.erase(last + 1);
+  return s;
+}
+
+}  // namespace obs
+}  // namespace vdp

@@ -1,0 +1,139 @@
+// Minimal JSON for the observability layer: a total parser (nullopt on any
+// malformed input, never UB or a throw -- same contract as the wire
+// decoders) and an escaping writer, shared by the run-log emitter
+// (src/obs/runlog.h), tools/metrics_report, and the schema tests.
+//
+// Scope is deliberately small: UTF-8 pass-through (no surrogate decoding;
+// \uXXXX escapes are validated and kept verbatim), numbers as double,
+// objects preserve insertion order (baseline comparison wants stable
+// iteration). This is not a general-purpose JSON library and does not try
+// to be one.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vdp {
+namespace obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.type_ = Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  void Set(std::string key, JsonValue v) {
+    for (auto& [k, existing] : members_) {
+      if (k == key) {
+        existing = std::move(v);
+        return;
+      }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const {
+    if (type_ != Type::kObject) {
+      return nullptr;
+    }
+    for (const auto& [k, v] : members_) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+
+  // Typed lookups with defaults, for tolerant readers.
+  double NumberOr(std::string_view key, double fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : fallback;
+  }
+  std::string StringOr(std::string_view key, std::string fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->is_string() ? v->as_string() : std::move(fallback);
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses exactly one JSON document (leading/trailing whitespace allowed,
+// anything else after the document is malformed). Total: nullopt on any
+// malformed input. Depth-capped against stack exhaustion.
+std::optional<JsonValue> ParseJson(std::string_view text);
+
+// Serializes with escaped strings and shortest-roundtrip-ish numbers
+// (integral doubles print without a fraction). No insignificant whitespace.
+std::string WriteJson(const JsonValue& value);
+
+// Escapes one string for inclusion inside JSON quotes (the run-log writer
+// composes lines directly for the hot path).
+std::string JsonEscape(std::string_view raw);
+
+// Formats a double the way WriteJson does (integral values lose the
+// fraction; others keep enough digits to round-trip a millisecond).
+std::string JsonNumber(double value);
+
+}  // namespace obs
+}  // namespace vdp
+
+#endif  // SRC_OBS_JSON_H_

@@ -67,6 +67,11 @@ struct ProcessPoolOptions {
   int handshake_timeout_ms = 15'000;
   // Worker attempts per shard before the in-process fallback.
   size_t max_worker_attempts = 2;
+  // When set, dispatches record "dispatch" spans here (parented under
+  // trace_parent), span context crosses the wire, and worker-recorded spans
+  // are adopted back into this collector.
+  obs::TraceCollector* tracer = nullptr;
+  obs::TraceContext trace_parent{};
 };
 
 template <PrimeOrderGroup G>
@@ -106,6 +111,11 @@ class MultiprocessVerifier {
     std::atomic<size_t> next_worker_id{0};
     std::mutex report_mutex;
 
+    // The fleet drive IS the verify stage; per-shard dispatch spans (and the
+    // workers' own spans, shipped back over the wire) nest under it.
+    obs::TraceSpan verify_span(options_.tracer, kStageVerify, options_.trace_parent);
+    const obs::TraceContext verify_ctx = verify_span.context();
+
     auto drive = [&]() {
       std::optional<WorkerProcess> worker;
       while (true) {
@@ -115,8 +125,14 @@ class MultiprocessVerifier {
         }
         const size_t from = n * s / shards;
         const size_t to = n * (s + 1) / shards;
+        // One dispatch span covers every attempt at this shard; the worker's
+        // own spans parent under it via the task's trace extension.
+        obs::TraceSpan dispatch_span(options_.tracer, "dispatch", verify_ctx);
+        dispatch_span.set_detail("shard=" + std::to_string(s));
         wire::WireShardTask task = wire::MakeShardTask<G>(
             params_digest_, s, from, compute_products, uploads.data() + from, to - from);
+        task.trace_id = dispatch_span.context().trace_id;
+        task.parent_span_id = dispatch_span.context().span_id;
         const Bytes task_payload = task.Serialize();
         // Retries resend task_payload; only the task's scalar metadata is
         // needed from here on. Dropping the per-upload copies halves the
@@ -138,6 +154,9 @@ class MultiprocessVerifier {
         }
         for (size_t attempt = 0;
              attempt < options_.max_worker_attempts && !done && !oversized; ++attempt) {
+          if (attempt > 0) {
+            obs::GlobalCounter(obs::kPoolRetries)->Increment();
+          }
           if (!worker.has_value()) {
             worker = StartWorker(&next_worker_id, &local_report, &report_mutex, s);
             if (!worker.has_value()) {
@@ -145,7 +164,8 @@ class MultiprocessVerifier {
             }
           }
           std::string blame;
-          if (AttemptShard(*worker, task_payload, task, to - from, &results[s], &blame)) {
+          if (AttemptShard(*worker, task_payload, task, to - from, &results[s],
+                           &dispatch_span, &blame)) {
             std::lock_guard<std::mutex> lock(report_mutex);
             ++local_report.shards_from_workers;
             done = true;
@@ -159,7 +179,8 @@ class MultiprocessVerifier {
           // Retries exhausted: verify locally so the shard -- and the
           // combined verdict -- is never lost to a broken fleet.
           results[s] = VerifyShard(config_, ped_, uploads.data() + from, to - from, from, s,
-                                   nullptr, compute_products);
+                                   nullptr, compute_products, options_.tracer,
+                                   dispatch_span.context());
           std::lock_guard<std::mutex> lock(report_mutex);
           ++local_report.shards_recovered_in_process;
         }
@@ -183,9 +204,12 @@ class MultiprocessVerifier {
     if (report != nullptr) {
       *report = std::move(local_report);
     }
+    verify_span.End();
     const double verify_ms = timer.ElapsedMillis();
+    obs::TraceSpan combine_span(options_.tracer, kStageCombine, options_.trace_parent);
     VerifyReport<G> combined =
         CombineShardResults(config_, std::move(results), compute_products);
+    combine_span.End();
     combined.timings.verify_ms = verify_ms;
     return combined;
   }
@@ -206,6 +230,7 @@ class MultiprocessVerifier {
       std::lock_guard<std::mutex> lock(*mutex);
       ++report->workers_spawned;
     }
+    obs::GlobalCounter(obs::kPoolWorkersSpawned)->Increment();
     wire::Frame frame;
     wire::ReadStatus status =
         wire::ReadFrame(worker->result_fd, &frame, options_.handshake_timeout_ms);
@@ -238,7 +263,8 @@ class MultiprocessVerifier {
   // fills `blame` and returns false; the caller destroys the worker.
   bool AttemptShard(const WorkerProcess& worker, BytesView task_payload,
                     const wire::WireShardTask& task, size_t expected_count,
-                    ShardResult<G>* out, std::string* blame) {
+                    ShardResult<G>* out, obs::TraceSpan* dispatch_span,
+                    std::string* blame) {
     const auto start = std::chrono::steady_clock::now();
     wire::WriteStatus wstatus = wire::WriteFrame(worker.task_fd, wire::FrameType::kTask,
                                                  task_payload, options_.shard_timeout_ms);
@@ -285,12 +311,21 @@ class MultiprocessVerifier {
       *blame = "result elements fail group decoding";
       return false;
     }
+    if (options_.tracer != nullptr && !wire_result->spans.empty()) {
+      // Worker spans are relative to its task receipt; land them inside the
+      // dispatch span on the driver's timeline.
+      options_.tracer->AdoptRemote(
+          wire::SpansFromWire(wire_result->spans,
+                              "worker:" + std::to_string(worker.worker_id)),
+          dispatch_span->start_us());
+    }
     *out = std::move(*result);
     return true;
   }
 
   static void RecordFailure(ProcessPoolReport* report, std::mutex* mutex, size_t shard,
                             size_t worker_id, pid_t pid, std::string reason) {
+    obs::GlobalCounter(obs::kPoolBlamed)->Increment();
     std::lock_guard<std::mutex> lock(*mutex);
     report->failures.push_back(WorkerFailure{shard, worker_id, pid, std::move(reason)});
   }

@@ -34,6 +34,8 @@
 #include "src/batch/batch_or_proof.h"
 #include "src/common/timer.h"
 #include "src/core/client.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/verify/report.h"
 
 namespace vdp {
@@ -131,13 +133,20 @@ template <PrimeOrderGroup G>
 ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
                            const ClientUploadMsg<G>* uploads, size_t count, size_t base,
                            size_t shard_index, ThreadPool* pool = nullptr,
-                           bool compute_products = true) {
+                           bool compute_products = true,
+                           obs::TraceCollector* tracer = nullptr,
+                           obs::TraceContext trace_parent = {}) {
   using Element = typename G::Element;
+  Stopwatch shard_timer;
+  obs::TraceSpan shard_span(tracer, "shard", trace_parent);
+  shard_span.set_detail("shard=" + std::to_string(shard_index) +
+                        " n=" + std::to_string(count));
   std::vector<uint8_t> ok(count, 0);
   std::vector<std::string> why(count);
   std::vector<std::vector<Element>> aggregated(count);
 
   // Structural pass: shape, per-bin aggregated commitments, one-hot opening.
+  obs::TraceSpan structure_span(tracer, "structure", shard_span.context());
   auto structure = [&](size_t i) {
     auto agg = ClientUploadStructure(uploads[i], config, ped, &why[i]);
     if (agg.has_value()) {
@@ -152,6 +161,7 @@ ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
       structure(i);
     }
   }
+  structure_span.End();
 
   // One RLC check over every bin proof of every structurally valid upload in
   // this shard. Contexts carry the *global* client index, so the challenge
@@ -167,11 +177,15 @@ ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
     }
   }
   bool fallback_used = false;
-  if (!BatchOrVerify(ped, instances, pool)) {
+  obs::TraceSpan rlc_span(tracer, "rlc", shard_span.context());
+  const bool rlc_ok = BatchOrVerify(ped, instances, pool);
+  rlc_span.End();
+  if (!rlc_ok) {
     // Someone in *this shard* cheated; re-run the per-proof oracle on this
     // shard only. Decisions stay bit-identical to the monolithic path because
     // the per-upload verdict is independent of every other upload.
     fallback_used = true;
+    obs::TraceSpan fallback_span(tracer, "fallback", shard_span.context());
     auto recheck = [&](size_t i) {
       if (ok[i] == 0) {
         return;
@@ -194,6 +208,11 @@ ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
     }
   }
 
+  const double shard_us = shard_timer.ElapsedMicros();
+  obs::GlobalHistogram(obs::kVerifyShardMs)->Record(shard_us / 1000.0);
+  if (count > 0) {
+    obs::GlobalHistogram(obs::kVerifyUsPerProof)->Record(shard_us / static_cast<double>(count));
+  }
   return BuildShardResult(config, uploads, count, base, shard_index, ok, why,
                           compute_products, fallback_used);
 }
@@ -269,6 +288,17 @@ class ShardedVerifier {
 
   size_t shard_capacity() const { return shard_capacity_; }
 
+  // Verify time accumulated by flushes so far this stream (Finish resets
+  // it). ShardedBackend reads this before/after calls to split its wall time
+  // into the ingest and verify stages.
+  double flushed_verify_ms() const { return flushed_verify_ms_; }
+
+  // Span tree destination for subsequent flushes; null disables tracing.
+  void SetTracer(obs::TraceCollector* tracer, obs::TraceContext parent) {
+    tracer_ = tracer;
+    trace_parent_ = parent;
+  }
+
   // Ingest the next upload of the broadcast stream (global index assigned in
   // arrival order). May synchronously verify and release buffered shards.
   void Add(ClientUploadMsg<G> upload) {
@@ -286,8 +316,10 @@ class ShardedVerifier {
   VerifyReport<G> Finish() {
     CloseCurrentShard();
     FlushPending();
+    obs::TraceSpan combine_span(tracer_, kStageCombine, trace_parent_);
     VerifyReport<G> report =
         CombineShardResults(config_, std::move(results_), compute_products_);
+    combine_span.End();
     report.timings.verify_ms = flushed_verify_ms_;
     results_.clear();
     next_base_ = 0;
@@ -304,20 +336,26 @@ class ShardedVerifier {
   // reasons, skipping the per-(prover, bin) Muls.
   static VerifyReport<G> VerifyAll(const ProtocolConfig& config, const Pedersen<G>& ped,
                                    const std::vector<ClientUploadMsg<G>>& uploads,
-                                   ThreadPool* pool = nullptr, bool compute_products = true) {
+                                   ThreadPool* pool = nullptr, bool compute_products = true,
+                                   obs::TraceCollector* tracer = nullptr,
+                                   obs::TraceContext trace_parent = {}) {
     Stopwatch timer;
     const size_t n = uploads.size();
     size_t shards = std::max<size_t>(1, config.num_verify_shards);
     shards = std::min(shards, std::max<size_t>(1, n));
     std::vector<ShardResult<G>> results(shards);
+    obs::TraceSpan verify_span(tracer, kStageVerify, trace_parent);
     shard_internal::DispatchShards(shards, pool, [&](size_t s, ThreadPool* inner) {
       size_t from = n * s / shards;
       size_t to = n * (s + 1) / shards;
       results[s] = VerifyShard(config, ped, uploads.data() + from, to - from, from, s, inner,
-                               compute_products);
+                               compute_products, tracer, verify_span.context());
     });
+    verify_span.End();
     const double verify_ms = timer.ElapsedMillis();
+    obs::TraceSpan combine_span(tracer, kStageCombine, trace_parent);
     VerifyReport<G> report = CombineShardResults(config, std::move(results), compute_products);
+    combine_span.End();
     report.timings.verify_ms = verify_ms;
     return report;
   }
@@ -333,6 +371,8 @@ class ShardedVerifier {
     next_base_ += pending_.back().uploads.size();
     ++next_shard_index_;
     current_.clear();
+    // Backlog high-water mark: how many full shards were resident at once.
+    obs::GlobalGauge(obs::kShardQueueDepth)->Set(static_cast<int64_t>(pending_.size()));
   }
 
   void FlushPending() {
@@ -346,9 +386,10 @@ class ShardedVerifier {
       const PendingShard& shard = pending_[p];
       results_[first + p] = VerifyShard(config_, ped_, shard.uploads.data(),
                                         shard.uploads.size(), shard.base, shard.shard_index,
-                                        inner, compute_products_);
+                                        inner, compute_products_, tracer_, trace_parent_);
     });
     pending_.clear();  // releases the upload buffers
+    obs::GlobalGauge(obs::kShardQueueDepth)->Set(0);
     flushed_verify_ms_ += timer.ElapsedMillis();
   }
 
@@ -364,6 +405,8 @@ class ShardedVerifier {
   size_t shard_capacity_;
   size_t max_pending_;
   bool compute_products_;
+  obs::TraceCollector* tracer_ = nullptr;
+  obs::TraceContext trace_parent_{};
 
   std::vector<ClientUploadMsg<G>> current_;  // the shard being filled
   std::vector<PendingShard> pending_;        // full shards awaiting dispatch

@@ -19,10 +19,13 @@
 #define SRC_VERIFY_BACKEND_H_
 
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/common/timer.h"
 #include "src/core/messages.h"
+#include "src/obs/trace.h"
 #include "src/verify/report.h"
 
 namespace vdp {
@@ -35,6 +38,13 @@ struct VerifyOptions {
   // Thread pool for in-process parallelism; nullptr runs serially. Backends
   // with their own execution resources (worker processes) may ignore it.
   ThreadPool* pool = nullptr;
+  // When set, the stream records trace spans (ingest, verify, per-shard
+  // dispatch, combine) into this collector, parented under trace_parent --
+  // for the remote/multiprocess backends the span context also crosses the
+  // wire so worker/server spans stitch into the same tree. Null collector =
+  // tracing off, zero overhead.
+  obs::TraceCollector* tracer = nullptr;
+  obs::TraceContext trace_parent{};
 };
 
 template <PrimeOrderGroup G>
@@ -92,20 +102,41 @@ class BufferedVerifyBackend : public VerifyBackend<G> {
   void Start(const VerifyOptions& options) override {
     options_ = options;
     buffer_.clear();
+    ingest_ms_ = 0;
+    first_add_us_ = 0;
+    ingested_any_ = false;
   }
 
-  void Add(ClientUploadMsg<G> upload) override { buffer_.push_back(std::move(upload)); }
+  void Add(ClientUploadMsg<G> upload) override {
+    if (!ingested_any_ && options_.tracer != nullptr) {
+      first_add_us_ = options_.tracer->NowUs();
+    }
+    ingested_any_ = true;
+    Stopwatch timer;
+    buffer_.push_back(std::move(upload));
+    ingest_ms_ += timer.ElapsedMillis();
+  }
 
   VerifyReport<G> Finish() override {
+    RecordIngestSpan();
+    Stopwatch timer;
     VerifyReport<G> report = Run(buffer_);
     buffer_.clear();
+    report.timings.ingest_ms = ingest_ms_;
+    report.timings.total_ms = ingest_ms_ + timer.ElapsedMillis();
+    ingest_ms_ = 0;
+    ingested_any_ = false;
     return report;
   }
 
   VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
                             const VerifyOptions& options = {}) override {
     Start(options);
-    return Run(uploads);  // zero-copy: the caller's vector is the stream
+    Stopwatch timer;
+    // Zero-copy: the caller's vector is the stream (no ingest stage paid).
+    VerifyReport<G> report = Run(uploads);
+    report.timings.total_ms = timer.ElapsedMillis();
+    return report;
   }
 
  protected:
@@ -115,8 +146,29 @@ class BufferedVerifyBackend : public VerifyBackend<G> {
   const VerifyOptions& options() const { return options_; }
 
  private:
+  // The ingest stage as one span: anchored at the first Add, lasting the
+  // accumulated in-backend buffering time (caller time between Adds is the
+  // caller's, not this backend's).
+  void RecordIngestSpan() {
+    if (options_.tracer == nullptr || !ingested_any_) {
+      return;
+    }
+    obs::SpanRecord span;
+    span.name = kStageIngest;
+    span.trace_id = options_.trace_parent.trace_id != 0 ? options_.trace_parent.trace_id
+                                                        : options_.tracer->trace_id();
+    span.span_id = obs::NextSpanId();
+    span.parent_span_id = options_.trace_parent.span_id;
+    span.start_us = first_add_us_;
+    span.duration_us = static_cast<uint64_t>(ingest_ms_ * 1000.0);
+    options_.tracer->Record(std::move(span));
+  }
+
   VerifyOptions options_;
   std::vector<ClientUploadMsg<G>> buffer_;
+  double ingest_ms_ = 0;
+  uint64_t first_add_us_ = 0;
+  bool ingested_any_ = false;
 };
 
 }  // namespace vdp

@@ -30,14 +30,19 @@ class BatchedBackend final : public BufferedVerifyBackend<G> {
   VerifyReport<G> Run(const std::vector<ClientUploadMsg<G>>& uploads) override {
     const VerifyOptions& options = this->options();
     Stopwatch timer;
+    obs::TraceSpan verify_span(options.tracer, kStageVerify, options.trace_parent);
     ShardResult<G> result = VerifyShard(config_, ped_, uploads.data(), uploads.size(),
                                         /*base=*/0, /*shard_index=*/0, options.pool,
-                                        options.compute_products);
+                                        options.compute_products, options.tracer,
+                                        verify_span.context());
     const double verify_ms = timer.ElapsedMillis();
+    verify_span.End();
     std::vector<ShardResult<G>> results;
     results.push_back(std::move(result));
+    obs::TraceSpan combine_span(options.tracer, kStageCombine, options.trace_parent);
     VerifyReport<G> report =
         CombineShardResults(config_, std::move(results), options.compute_products);
+    combine_span.End();
     report.backend = name();
     report.timings.verify_ms = verify_ms;
     return report;

@@ -44,7 +44,10 @@ class MultiprocessBackend final : public BufferedVerifyBackend<G> {
 
  protected:
   VerifyReport<G> Run(const std::vector<ClientUploadMsg<G>>& uploads) override {
-    MultiprocessVerifier<G> verifier(config_, ped_, pool_options_);
+    ProcessPoolOptions options = pool_options_;
+    options.tracer = this->options().tracer;
+    options.trace_parent = this->options().trace_parent;
+    MultiprocessVerifier<G> verifier(config_, ped_, options);
     VerifyReport<G> report = verifier.VerifyAll(uploads, this->options().compute_products,
                                                 &last_pool_report_);
     report.backend = name();

@@ -37,6 +37,7 @@ class PerProofBackend final : public BufferedVerifyBackend<G> {
     const VerifyOptions& options = this->options();
     const size_t n = uploads.size();
     Stopwatch timer;
+    obs::TraceSpan verify_span(options.tracer, kStageVerify, options.trace_parent);
     std::vector<uint8_t> ok(n, 0);
     std::vector<std::string> why(n);
     auto work = [&](size_t i) {
@@ -54,11 +55,14 @@ class PerProofBackend final : public BufferedVerifyBackend<G> {
         BuildShardResult(config_, uploads.data(), n, /*base=*/0, /*shard_index=*/0, ok, why,
                          options.compute_products);
     const double verify_ms = timer.ElapsedMillis();
+    verify_span.End();
 
     std::vector<ShardResult<G>> results;
     results.push_back(std::move(result));
+    obs::TraceSpan combine_span(options.tracer, kStageCombine, options.trace_parent);
     VerifyReport<G> report =
         CombineShardResults(config_, std::move(results), options.compute_products);
+    combine_span.End();
     report.backend = name();
     report.timings.verify_ms = verify_ms;
     return report;

@@ -36,7 +36,10 @@ class RemoteBackend final : public BufferedVerifyBackend<G> {
 
  protected:
   VerifyReport<G> Run(const std::vector<ClientUploadMsg<G>>& uploads) override {
-    RemoteVerifierFleet<G> fleet(config_, ped_, fleet_options_);
+    RemoteFleetOptions options = fleet_options_;
+    options.tracer = this->options().tracer;
+    options.trace_parent = this->options().trace_parent;
+    RemoteVerifierFleet<G> fleet(config_, ped_, options);
     VerifyReport<G> report = fleet.VerifyAll(uploads, this->options().compute_products,
                                              &last_fleet_report_);
     report.backend = name();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/group/group.h"
@@ -86,13 +87,35 @@ struct RejectionReason {
   }
 };
 
-// Wall-clock cost of the two phases every backend has: verifying uploads
-// (structural checks + proof checks, however parallelized) and combining
-// per-shard results into the global report. Informational only -- never
-// compared by the conformance suite.
+// The canonical stage names every backend reports, in pipeline order. The
+// conformance suite asserts all five backends emit exactly these three, and
+// the run-log (src/obs/runlog.h) trends them per backend across PRs, so a
+// renamed stage is a schema change.
+inline constexpr const char* kStageIngest = "ingest";
+inline constexpr const char* kStageVerify = "verify";
+inline constexpr const char* kStageCombine = "combine";
+
+// Wall-clock cost of the pipeline stages every backend has: ingesting the
+// stream (Add/Submit buffering), verifying uploads (structural checks +
+// proof checks, however parallelized -- for the multiprocess/remote
+// backends this is the whole fleet drive, wire cost included), and
+// combining per-shard results into the global report. total_ms is the
+// backend-resident wall time (time spent inside Start/Add/Finish or
+// VerifyAll), so the named stages must sum to it within the small assembly
+// overhead -- the conformance suite pins that. Timing *values* are
+// informational and never compared across backends.
 struct VerifyTimings {
+  double ingest_ms = 0;
   double verify_ms = 0;
   double combine_ms = 0;
+  double total_ms = 0;
+
+  // The named stages, in pipeline order -- the one list the run-log emitter
+  // and the conformance suite both consume.
+  std::vector<std::pair<std::string, double>> Stages() const {
+    return {{kStageIngest, ingest_ms}, {kStageVerify, verify_ms},
+            {kStageCombine, combine_ms}};
+  }
 };
 
 // The structured verdict of one verification stream.

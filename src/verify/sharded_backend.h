@@ -8,11 +8,13 @@
 #ifndef SRC_VERIFY_SHARDED_BACKEND_H_
 #define SRC_VERIFY_SHARDED_BACKEND_H_
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/timer.h"
 #include "src/shard/sharded_verifier.h"
 #include "src/verify/backend.h"
 
@@ -30,17 +32,29 @@ class ShardedBackend final : public VerifyBackend<G> {
     options_ = options;
     stream_.emplace(config_, ped_, options_.pool, /*shard_capacity=*/0,
                     /*max_pending_shards=*/0, options_.compute_products);
+    stream_->SetTracer(options_.tracer, options_.trace_parent);
+    add_wall_ms_ = 0;
   }
 
   void Add(ClientUploadMsg<G> upload) override {
     EnsureStream();  // tolerate Add-before-Start like the buffered backends
+    Stopwatch timer;
     stream_->Add(std::move(upload));
+    add_wall_ms_ += timer.ElapsedMillis();
   }
 
   VerifyReport<G> Finish() override {
     EnsureStream();  // Finish-without-Start yields an empty report
+    // Time spent inside Add splits into ingest (buffering) and verify (the
+    // flushes Add triggered); the stream tracks the latter.
+    const double verify_during_add_ms = stream_->flushed_verify_ms();
+    Stopwatch timer;
     VerifyReport<G> report = stream_->Finish();
+    const double finish_wall_ms = timer.ElapsedMillis();
     report.backend = name();
+    report.timings.ingest_ms = std::max(0.0, add_wall_ms_ - verify_during_add_ms);
+    report.timings.total_ms = add_wall_ms_ + finish_wall_ms;
+    add_wall_ms_ = 0;
     stream_.reset();
     return report;
   }
@@ -51,11 +65,15 @@ class ShardedBackend final : public VerifyBackend<G> {
     // options a later lazily-opened stream will reuse.
     options_ = options;
     stream_.reset();
+    Stopwatch timer;
     // Zero-copy bulk path: contiguous shards over the caller's vector.
     VerifyReport<G> report = ShardedVerifier<G>::VerifyAll(config_, ped_, uploads,
                                                            options.pool,
-                                                           options.compute_products);
+                                                           options.compute_products,
+                                                           options.tracer,
+                                                           options.trace_parent);
     report.backend = name();
+    report.timings.total_ms = timer.ElapsedMillis();
     return report;
   }
 
@@ -72,6 +90,7 @@ class ShardedBackend final : public VerifyBackend<G> {
   Pedersen<G> ped_;
   VerifyOptions options_;
   std::optional<ShardedVerifier<G>> stream_;
+  double add_wall_ms_ = 0;
 };
 
 }  // namespace vdp

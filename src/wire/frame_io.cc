@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/metrics.h"
+
 namespace vdp {
 namespace wire {
 
@@ -142,7 +144,12 @@ WriteStatus WriteFrame(int fd, FrameType type, BytesView payload, int timeout_ms
   if (status != WriteStatus::kOk) {
     return status;
   }
-  return WriteAll(fd, payload, has_deadline, deadline);
+  status = WriteAll(fd, payload, has_deadline, deadline);
+  if (status == WriteStatus::kOk) {
+    obs::GlobalCounter(obs::kWireFramesOut)->Increment();
+    obs::GlobalCounter(obs::kWireBytesOut)->Add(kFrameHeaderSize + payload.size());
+  }
+  return status;
 }
 
 ReadStatus ReadFrame(int fd, Frame* out, int timeout_ms) {
@@ -183,6 +190,8 @@ ReadStatus ReadFrame(int fd, Frame* out, int timeout_ms) {
       return status;
     }
   }
+  obs::GlobalCounter(obs::kWireFramesIn)->Increment();
+  obs::GlobalCounter(obs::kWireBytesIn)->Add(kFrameHeaderSize + out->payload.size());
   return ReadStatus::kOk;
 }
 

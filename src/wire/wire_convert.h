@@ -7,11 +7,13 @@
 #define SRC_WIRE_WIRE_CONVERT_H_
 
 #include <bit>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/core/messages.h"
 #include "src/core/params.h"
+#include "src/obs/trace.h"
 #include "src/shard/sharded_verifier.h"
 #include "src/wire/wire_format.h"
 
@@ -167,6 +169,48 @@ std::optional<ShardResult<G>> ResultFromWire(const ProtocolConfig& config,
   }
   result.fallback_used = w.fallback_used == 1;
   return result;
+}
+
+// Spans recorded while verifying a shard, in wire form for the trailing
+// extension of WireShardResult. trace_id does not travel: the adopter stamps
+// its own (AdoptRemote), which is also what makes a replayed result join the
+// *current* trace instead of a stale one.
+inline std::vector<WireSpan> SpansToWire(const std::vector<obs::SpanRecord>& spans) {
+  std::vector<WireSpan> out;
+  out.reserve(spans.size());
+  for (const obs::SpanRecord& s : spans) {
+    if (s.span_id == 0 || s.name.empty()) {
+      continue;  // not encodable; 0 / "" are reserved
+    }
+    WireSpan w;
+    w.name = s.name;
+    w.span_id = s.span_id;
+    w.parent_span_id = s.parent_span_id;
+    w.start_us = s.start_us;
+    w.duration_us = s.duration_us;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+// The in-memory form of a result's spans, stamped with which process
+// recorded them ("worker:3", "server:host:port"). start_us stays relative to
+// that process's task receipt until TraceCollector::AdoptRemote rebases it.
+inline std::vector<obs::SpanRecord> SpansFromWire(const std::vector<WireSpan>& spans,
+                                                  const std::string& proc) {
+  std::vector<obs::SpanRecord> out;
+  out.reserve(spans.size());
+  for (const WireSpan& w : spans) {
+    obs::SpanRecord s;
+    s.name = w.name;
+    s.span_id = w.span_id;
+    s.parent_span_id = w.parent_span_id;
+    s.start_us = w.start_us;
+    s.duration_us = w.duration_us;
+    s.proc = proc;
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 }  // namespace wire

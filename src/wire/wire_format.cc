@@ -212,6 +212,12 @@ Bytes WireShardTask::Serialize() const {
   for (const Bytes& u : uploads) {
     w.Blob(u);
   }
+  // Optional trace extension: absent entirely when not tracing, so the
+  // untraced encoding is byte-identical to pre-extension frames.
+  if (trace_id != 0) {
+    w.U64(trace_id);
+    w.U64(parent_span_id);
+  }
   return w.Take();
 }
 
@@ -234,7 +240,15 @@ std::optional<WireShardTask> WireShardTask::Deserialize(BytesView data) {
     t.uploads.push_back(std::move(*blob));
   }
   if (!r.AtEnd()) {
-    return std::nullopt;
+    // Trace extension: both fields or neither, nothing after, and an
+    // explicitly-encoded zero trace_id is rejected (it must be absent).
+    auto trace_id = r.U64();
+    auto parent_span = r.U64();
+    if (!trace_id || !parent_span || *trace_id == 0 || !r.AtEnd()) {
+      return std::nullopt;
+    }
+    t.trace_id = *trace_id;
+    t.parent_span_id = *parent_span;
   }
   t.params_digest = *digest;
   t.shard_index = *shard_index;
@@ -269,6 +283,17 @@ Bytes WireShardResult::Serialize() const {
     }
   }
   w.U8(fallback_used);
+  // Optional trace extension: absent entirely when no spans were recorded.
+  if (!spans.empty()) {
+    w.U32(static_cast<uint32_t>(spans.size()));
+    for (const WireSpan& span : spans) {
+      PutString(&w, span.name);
+      w.U64(span.span_id);
+      w.U64(span.parent_span_id);
+      w.U64(span.start_us);
+      w.U64(span.duration_us);
+    }
+  }
   return w.Take();
 }
 
@@ -356,8 +381,38 @@ std::optional<WireShardResult> WireShardResult::Deserialize(BytesView data) {
   }
 
   auto fallback = r.U8();
-  if (!fallback || *fallback > 1 || !r.AtEnd()) {
+  if (!fallback || *fallback > 1) {
     return std::nullopt;
+  }
+  if (!r.AtEnd()) {
+    // Trace extension: an explicitly-encoded empty list is rejected (empty
+    // must be absent), names are nonempty, span ids nonzero -- one valid
+    // encoding per payload.
+    auto n_spans = r.U32();
+    if (!n_spans || *n_spans == 0) {
+      return std::nullopt;
+    }
+    for (uint32_t i = 0; i < *n_spans; ++i) {
+      WireSpan span;
+      auto name = GetString(&r);
+      auto span_id = r.U64();
+      auto parent = r.U64();
+      auto start_us = r.U64();
+      auto duration_us = r.U64();
+      if (!name || name->empty() || !span_id || *span_id == 0 || !parent || !start_us ||
+          !duration_us) {
+        return std::nullopt;
+      }
+      span.name = std::move(*name);
+      span.span_id = *span_id;
+      span.parent_span_id = *parent;
+      span.start_us = *start_us;
+      span.duration_us = *duration_us;
+      out.spans.push_back(std::move(span));
+    }
+    if (!r.AtEnd()) {
+      return std::nullopt;
+    }
   }
   out.params_digest = *digest;
   out.shard_index = *shard_index;

@@ -146,14 +146,39 @@ struct WireSetup {
 
 // --- Shard task / result ------------------------------------------------
 
+// One finished trace span crossing the process boundary inside a shard
+// result (src/obs/trace.h is the in-memory form). start_us is relative to
+// the *recording* process's receipt of the task; the driver rebases it onto
+// its own timeline when it adopts the spans, so clocks are never compared
+// across machines.
+struct WireSpan {
+  std::string name;
+  uint64_t span_id = 0;  // nonzero (0 is "no span" everywhere else)
+  uint64_t parent_span_id = 0;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+
+  bool operator==(const WireSpan&) const = default;
+};
+
 // One contiguous shard of the broadcast upload stream, addressed to any
 // worker holding the matching setup.
+//
+// Trace extension (still wire v1): when the driver is tracing, the task
+// carries the (trace_id, parent span id) its remote spans should hang from
+// as optional trailing fields. A task with trace_id == 0 serializes without
+// them -- byte-identical to the pre-extension encoding -- and the decoder
+// rejects an explicitly-encoded zero trace_id, so every payload still has
+// exactly one valid encoding (the canonical re-encode property the fuzz
+// suite pins).
 struct WireShardTask {
   std::array<uint8_t, Sha256::kDigestSize> params_digest{};
   uint64_t shard_index = 0;
   uint64_t base = 0;  // global index of uploads[0]
   uint8_t compute_products = 1;
   std::vector<Bytes> uploads;  // each: ClientUploadMsg<G>::Serialize()
+  uint64_t trace_id = 0;        // 0 = not tracing (fields absent on the wire)
+  uint64_t parent_span_id = 0;  // driver-side span the remote spans join
 
   Bytes Serialize() const;
   static std::optional<WireShardTask> Deserialize(BytesView data);
@@ -166,6 +191,12 @@ struct WireShardTask {
 // Decoding enforces the combiner's invariants: accepted and rejection
 // indices strictly ascending, every index within [base, base + count), and
 // accepted + rejections partitioning the shard exactly.
+//
+// Trace extension (still wire v1): spans the remote process recorded while
+// verifying this shard ride back as an optional trailing list. An empty
+// list serializes as nothing -- byte-identical to the pre-extension
+// encoding -- and the decoder rejects an explicitly-encoded empty list, so
+// the canonical re-encode property holds.
 struct WireShardResult {
   std::array<uint8_t, Sha256::kDigestSize> params_digest{};
   uint64_t shard_index = 0;
@@ -178,6 +209,9 @@ struct WireShardResult {
   // compute_products = 0.
   std::vector<std::vector<Bytes>> partial_products;
   uint8_t fallback_used = 0;
+  // Spans recorded by the remote verifier; empty when it was not asked to
+  // trace (task trace_id == 0).
+  std::vector<WireSpan> spans;
 
   Bytes Serialize() const;
   static std::optional<WireShardResult> Deserialize(BytesView data);

@@ -1,0 +1,86 @@
+// Stopwatch audit (ISSUE 6 satellite): the timer all stage timings and
+// run-log durations flow through must be steady-clock based, expose full
+// nanosecond resolution, and never run backwards.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <type_traits>
+
+#include "src/common/timer.h"
+
+namespace vdp {
+namespace {
+
+TEST(TimerTest, NeverRunsBackwards) {
+  Stopwatch sw;
+  std::int64_t last = sw.ElapsedNanos();
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t now = sw.ElapsedNanos();
+    ASSERT_GE(now, last) << "steady clock went backwards at iteration " << i;
+    last = now;
+  }
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, UnitsAgreeAcrossAccessors) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double seconds = sw.ElapsedSeconds();
+  const double millis = sw.ElapsedMillis();
+  const double micros = sw.ElapsedMicros();
+  const double nanos = static_cast<double>(sw.ElapsedNanos());
+  // Each accessor re-reads the clock, so later reads may only be larger;
+  // successive reads of a 10ms interval stay within a loose 100ms window.
+  EXPECT_GE(seconds, 0.010);
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_GE(micros, millis * 1e3);
+  EXPECT_GE(nanos, micros * 1e3);
+  EXPECT_LT(nanos, 1e9);  // well under a second for a 10ms sleep
+}
+
+TEST(TimerTest, ElapsedNanosHasSubMicrosecondResolution) {
+  // A busy loop of clock reads must observe distinct nanosecond values that
+  // are not all microsecond-aligned -- i.e. the integer path really does
+  // preserve resolution a microsecond double would round away.
+  Stopwatch sw;
+  bool saw_sub_us = false;
+  std::int64_t prev = sw.ElapsedNanos();
+  for (int i = 0; i < 1'000'000 && !saw_sub_us; ++i) {
+    const std::int64_t now = sw.ElapsedNanos();
+    if (now != prev && now % 1000 != 0) {
+      saw_sub_us = true;
+    }
+    prev = now;
+  }
+  EXPECT_TRUE(saw_sub_us) << "clock appears quantised to whole microseconds";
+}
+
+TEST(TimerTest, ResetRestartsTheInterval) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(sw.ElapsedNanos(), 5'000'000);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedNanos(), 5'000'000);
+}
+
+TEST(TimerTest, WallClockAdjustmentsCannotAffectIt) {
+  // Compile-time pin: the Stopwatch interval matches steady_clock, the only
+  // clock immune to NTP slew / manual date changes. (The alias is private,
+  // so assert the observable contract instead: elapsed time across a steady
+  // sleep tracks steady_clock's own measurement.)
+  static_assert(std::chrono::steady_clock::is_steady,
+                "steady_clock must be monotonic");
+  const auto before = std::chrono::steady_clock::now();
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::int64_t sw_ns = sw.ElapsedNanos();
+  const auto after = std::chrono::steady_clock::now();
+  const std::int64_t outer_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(after - before).count();
+  EXPECT_GT(sw_ns, 0);
+  EXPECT_LE(sw_ns, outer_ns);  // nested interval cannot exceed the outer one
+}
+
+}  // namespace
+}  // namespace vdp

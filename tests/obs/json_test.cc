@@ -1,0 +1,103 @@
+// src/obs/json.h coverage: total parsing (malformed input never crashes or
+// throws), write/parse round-trips, escaping, and the insertion-order
+// guarantee the run-log's stable output depends on.
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+
+namespace vdp {
+namespace obs {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->as_bool());
+  EXPECT_FALSE(ParseJson("false")->as_bool());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e3")->as_number(), -1500.0);
+  EXPECT_EQ(ParseJson("\"hi\\n\"")->as_string(), "hi\n");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[2].StringOr("b", ""), "c");
+  EXPECT_TRUE(v->Find("d")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, MalformedInputsReturnNullopt) {
+  for (const char* bad :
+       {"", "{", "}", "[1,", "{\"a\":}", "\"unterminated", "tru", "1.",
+        "nan", "+1", "{\"a\" 1}", "[1 2]", "{'a': 1}", "\"bad\\escape\"",
+        "\x01", "{\"a\":1}trailing"}) {
+    EXPECT_FALSE(ParseJson(bad).has_value()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, DeeplyNestedInputIsDepthCapped) {
+  std::string deep(100'000, '[');
+  EXPECT_FALSE(ParseJson(deep).has_value());  // and must not smash the stack
+}
+
+TEST(JsonTest, WriteParsesBackIdentically) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::String("fleet.retries"));
+  obj.Set("value", JsonValue::Number(3));
+  obj.Set("fraction", JsonValue::Number(1.25));
+  obj.Set("flag", JsonValue::Bool(true));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Number(1));
+  arr.Append(JsonValue::Null());
+  obj.Set("list", std::move(arr));
+
+  const std::string text = WriteJson(obj);
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->StringOr("name", ""), "fleet.retries");
+  EXPECT_DOUBLE_EQ(parsed->NumberOr("value", 0), 3.0);
+  EXPECT_DOUBLE_EQ(parsed->NumberOr("fraction", 0), 1.25);
+  EXPECT_TRUE(parsed->Find("flag")->as_bool());
+  EXPECT_EQ(parsed->Find("list")->items().size(), 2u);
+  // Round-tripping the written text is a fixed point.
+  EXPECT_EQ(WriteJson(*parsed), text);
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Number(1));
+  obj.Set("apple", JsonValue::Number(2));
+  const std::string text = WriteJson(obj);
+  EXPECT_LT(text.find("zebra"), text.find("apple"));
+  // Re-setting an existing key updates in place, not re-appends.
+  obj.Set("zebra", JsonValue::Number(9));
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_DOUBLE_EQ(obj.NumberOr("zebra", 0), 9.0);
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  const std::string escaped = JsonEscape("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(escaped, "a\\\"b\\\\c\\nd\\te\\u0001");
+  // And the writer applies the same escaping inside documents.
+  JsonValue v = JsonValue::String("a\"b");
+  auto round = ParseJson(WriteJson(v));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->as_string(), "a\"b");
+}
+
+TEST(JsonTest, IntegralNumbersPrintWithoutFraction) {
+  EXPECT_EQ(JsonNumber(42), "42");
+  EXPECT_EQ(JsonNumber(-7), "-7");
+  EXPECT_EQ(WriteJson(JsonValue::Number(1000)), "1000");
+  // Non-integral values keep a fraction that round-trips.
+  auto parsed = ParseJson(JsonNumber(0.125));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->as_number(), 0.125);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vdp

@@ -1,0 +1,139 @@
+// MetricsRegistry unit coverage: counter/gauge/histogram semantics, stable
+// pointers, snapshots, and concurrent updates (the whole point of the
+// relaxed-atomic design is that hot paths may hammer these from many
+// threads).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace vdp {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterAddsAndResets) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(MetricsTest, GaugeTracksLevelAndHighWater) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(5);
+  g->Set(3);
+  EXPECT_EQ(g->value(), 3);
+  EXPECT_EQ(g->max(), 5);
+  g->Add(10);
+  EXPECT_EQ(g->value(), 13);
+  EXPECT_EQ(g->max(), 13);
+  g->Add(-13);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(g->max(), 13);  // high-water survives the drain
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {10.0, 100.0});
+  h->Record(5);     // bucket 0 (<= 10)
+  h->Record(50);    // bucket 1 (<= 100)
+  h->Record(5000);  // bucket 2 (+inf)
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 5055.0);
+  auto counts = h->bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);  // bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("same.name");
+  Counter* b = registry.GetCounter("same.name");
+  EXPECT_EQ(a, b);
+  // First registration fixes histogram bounds; later bounds are ignored.
+  Histogram* h1 = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("h", {9.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Add(2);
+  registry.GetCounter("a.counter")->Add(1);
+  registry.GetGauge("c.gauge")->Set(7);
+  registry.GetHistogram("d.hist", {1.0})->Record(0.5);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.counter");
+  EXPECT_EQ(snap.counters[1].name, "b.counter");
+  EXPECT_EQ(snap.CounterValue("b.counter"), 2u);
+  EXPECT_EQ(snap.CounterValue("missing"), 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 7);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  ASSERT_EQ(snap.histograms[0].counts.size(), 2u);
+}
+
+TEST(MetricsTest, ResetAllZeroesEverythingKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("x");
+  Gauge* g = registry.GetGauge("y");
+  Histogram* h = registry.GetHistogram("z", {1.0});
+  c->Add(5);
+  g->Set(5);
+  h->Record(5);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(g->max(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  c->Increment();  // the same pointer still feeds the same registry slot
+  EXPECT_EQ(registry.Snapshot().CounterValue("x"), 1u);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("concurrent");
+  Histogram* h = registry.GetHistogram("concurrent.hist", {100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, GlobalRegistryHelpersResolve) {
+  // The canonical names resolve against the global registry; values are not
+  // asserted (other tests in this process may have bumped them).
+  EXPECT_NE(GlobalCounter(kFleetRetries), nullptr);
+  EXPECT_NE(GlobalGauge(kShardQueueDepth), nullptr);
+  EXPECT_NE(GlobalHistogram(kVerifyShardMs), nullptr);
+  EXPECT_EQ(GlobalCounter(kFleetRetries), GlobalCounter(kFleetRetries));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vdp

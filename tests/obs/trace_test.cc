@@ -1,0 +1,107 @@
+// TraceCollector / TraceSpan unit coverage: RAII recording, parenting,
+// null-collector no-ops, and the AdoptRemote rebase that stitches a remote
+// process's spans onto the driver's timeline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/obs/trace.h"
+
+namespace vdp {
+namespace obs {
+namespace {
+
+TEST(TraceTest, SpanRecordsOnEndWithParentage) {
+  TraceCollector collector;
+  TraceSpan root(&collector, "verify", collector.RootContext());
+  const TraceContext root_ctx = root.context();
+  EXPECT_TRUE(root_ctx.active());
+  {
+    TraceSpan child(&collector, "shard", root_ctx);
+    child.set_detail("shard=3");
+  }  // destructor records
+  root.End();
+
+  auto spans = collector.TakeSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Child recorded first (ended first).
+  EXPECT_EQ(spans[0].name, "shard");
+  EXPECT_EQ(spans[0].parent_span_id, root_ctx.span_id);
+  EXPECT_EQ(spans[0].trace_id, collector.trace_id());
+  EXPECT_EQ(spans[0].detail, "shard=3");
+  EXPECT_EQ(spans[1].name, "verify");
+  EXPECT_EQ(spans[1].parent_span_id, 0u);  // root
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  TraceCollector collector;
+  TraceSpan span(&collector, "verify", collector.RootContext());
+  span.End();
+  span.End();  // second End must not double-record
+  EXPECT_EQ(collector.TakeSpans().size(), 1u);
+}
+
+TEST(TraceTest, NullCollectorIsANoOp) {
+  TraceSpan span(nullptr, "verify", TraceContext{});
+  EXPECT_FALSE(span.context().active());
+  span.set_detail("ignored");
+  span.End();  // must not crash
+}
+
+TEST(TraceTest, SpanIdsAreUniqueAndNonzero) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    uint64_t id = NextSpanId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate span id " << id;
+  }
+}
+
+TEST(TraceTest, AdoptRemoteRebasesOntoDispatchTimeline) {
+  TraceCollector driver;
+  // A remote process recorded these against its own epoch (task receipt).
+  std::vector<SpanRecord> remote;
+  SpanRecord shard;
+  shard.name = "shard";
+  shard.trace_id = 999;  // whatever the remote stamped; adoption overrides
+  shard.span_id = 42;
+  shard.parent_span_id = 7;  // the driver-side dispatch span
+  shard.start_us = 100;
+  shard.duration_us = 500;
+  shard.proc = "server:1";
+  remote.push_back(shard);
+
+  driver.AdoptRemote(remote, /*rebase_start_us=*/10'000);
+  auto spans = driver.TakeSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, driver.trace_id());  // joined this trace
+  EXPECT_EQ(spans[0].span_id, 42u);                 // identity preserved
+  EXPECT_EQ(spans[0].parent_span_id, 7u);           // parent link preserved
+  EXPECT_EQ(spans[0].start_us, 10'100u);            // rebased, offset kept
+  EXPECT_EQ(spans[0].duration_us, 500u);            // durations never rescaled
+}
+
+TEST(TraceTest, StartOffsetsAreMonotoneAgainstTheEpoch) {
+  TraceCollector collector;
+  const uint64_t t0 = collector.NowUs();
+  TraceSpan span(&collector, "verify", collector.RootContext());
+  span.End();
+  auto spans = collector.TakeSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].start_us, t0);
+  EXPECT_LE(spans[0].start_us, collector.NowUs());
+}
+
+TEST(TraceTest, MoveTransfersOwnershipOfTheRecording) {
+  TraceCollector collector;
+  TraceSpan a(&collector, "verify", collector.RootContext());
+  TraceSpan b = std::move(a);
+  a.End();  // moved-from: no-op
+  EXPECT_TRUE(collector.TakeSpans().empty());
+  b.End();
+  EXPECT_EQ(collector.TakeSpans().size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vdp

@@ -14,6 +14,7 @@
 
 #include "src/core/verifier.h"
 #include "src/net/server_process.h"
+#include "src/obs/trace.h"
 #include "src/verify/factory.h"
 
 namespace vdp {
@@ -227,6 +228,70 @@ TEST_P(BackendConformanceTest, ProductsSkippedOnRequest) {
   auto report = Backend()->VerifyAll(uploads, options);
   EXPECT_FALSE(report.has_products());
   EXPECT_EQ(report.accepted, Oracle(uploads, /*compute_products=*/false).accepted);
+}
+
+// Observability conformance: every backend reports exactly the three
+// canonical stage names, in pipeline order, and their timings account for
+// the backend-resident wall time (total_ms). The loose-but-real bounds keep
+// a stage that silently stops being measured (or double-counts) from
+// passing, without making the suite flaky on loaded CI machines.
+TEST_P(BackendConformanceTest, StagesAreCanonicalAndSumToTotal) {
+  auto uploads = Corpus(ped_);
+  auto backend = Backend();
+  backend->Start(VerifyOptions{});
+  for (const auto& upload : uploads) {
+    backend->Add(upload);
+  }
+  auto report = backend->Finish();
+
+  auto stages = report.timings.Stages();
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].first, kStageIngest);
+  EXPECT_EQ(stages[1].first, kStageVerify);
+  EXPECT_EQ(stages[2].first, kStageCombine);
+  double sum = 0;
+  for (const auto& [name, ms] : stages) {
+    EXPECT_GE(ms, 0.0) << "stage " << name << " went negative";
+    sum += ms;
+  }
+  EXPECT_GT(report.timings.total_ms, 0.0);
+  EXPECT_GT(report.timings.verify_ms, 0.0);
+  // The named stages may not exceed the wall time (beyond scheduler noise)
+  // and must cover most of it -- "assembly overhead" is small by contract.
+  EXPECT_LE(sum, report.timings.total_ms * 1.10 + 10.0);
+  EXPECT_GE(sum, report.timings.total_ms * 0.5 - 10.0);
+}
+
+// And the same stage names as trace spans: a traced one-shot run from any
+// backend produces exactly one verify span and one combine span under the
+// caller's trace, so a fleet-wide trace always has the same skeleton no
+// matter which execution strategy ran.
+TEST_P(BackendConformanceTest, TracedRunEmitsCanonicalStageSpans) {
+  auto uploads = Corpus(ped_);
+  obs::TraceCollector tracer;
+  VerifyOptions options;
+  options.tracer = &tracer;
+  options.trace_parent = tracer.RootContext();
+  auto report = Backend()->VerifyAll(uploads, options);
+  EXPECT_EQ(report.accepted, Oracle(uploads).accepted);
+
+  auto spans = tracer.TakeSpans();
+  ASSERT_FALSE(spans.empty());
+  size_t verify_spans = 0;
+  size_t combine_spans = 0;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.trace_id, tracer.trace_id())
+        << "span " << span.name << " landed outside the caller's trace";
+    EXPECT_NE(span.span_id, 0u);
+    if (span.name == kStageVerify) {
+      ++verify_spans;
+    }
+    if (span.name == kStageCombine) {
+      ++combine_spans;
+    }
+  }
+  EXPECT_EQ(verify_spans, 1u);
+  EXPECT_EQ(combine_spans, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformanceTest,

@@ -69,7 +69,22 @@ WireShardTask RandomTask(SecureRng& rng) {
   for (size_t i = 0; i < n; ++i) {
     t.uploads.push_back(RandomBlob(rng, 96));
   }
+  // Half the corpus exercises the optional trace extension.
+  if (rng.NextBit()) {
+    t.trace_id = rng.NextU64() | 1;  // nonzero (0 means "absent")
+    t.parent_span_id = rng.NextU64();
+  }
   return t;
+}
+
+WireSpan RandomSpan(SecureRng& rng) {
+  WireSpan s;
+  s.name = RandomReason(rng);
+  s.span_id = rng.NextU64() | 1;  // nonzero by construction
+  s.parent_span_id = rng.NextU64();
+  s.start_us = rng.UniformBelow(1u << 30);
+  s.duration_us = rng.UniformBelow(1u << 30);
+  return s;
 }
 
 WireShardResult RandomResult(SecureRng& rng) {
@@ -99,6 +114,13 @@ WireShardResult RandomResult(SecureRng& rng) {
     }
   }
   r.fallback_used = static_cast<uint8_t>(rng.UniformBelow(2));
+  // Half the corpus carries remote trace spans (the optional extension).
+  if (rng.NextBit()) {
+    size_t n_spans = rng.UniformBelow(5) + 1;
+    for (size_t i = 0; i < n_spans; ++i) {
+      r.spans.push_back(RandomSpan(rng));
+    }
+  }
   return r;
 }
 
@@ -218,12 +240,20 @@ TEST(WireRoundTrip, TypedShardResultThroughConversion) {
 // --- adversarial totality: truncation ------------------------------------
 
 // Any strict prefix must fail cleanly: every Deserialize demands the buffer
-// end exactly at the value's last byte.
+// end exactly at the value's last byte. The one designed exception: messages
+// carrying the optional trace extension truncate back to their extensionless
+// twin at exactly `allowed` bytes (v1 compatibility) -- and there the decode
+// must be canonical for the truncated buffer, not the original.
 template <typename T>
-void ExpectAllTruncationsRejected(const T& value) {
+void ExpectAllTruncationsRejected(const T& value, size_t allowed = SIZE_MAX) {
   Bytes encoded = value.Serialize();
   for (size_t len = 0; len < encoded.size(); ++len) {
     auto truncated = T::Deserialize(BytesView(encoded.data(), len));
+    if (len == allowed) {
+      ASSERT_TRUE(truncated.has_value()) << "extensionless prefix must parse";
+      EXPECT_EQ(truncated->Serialize(), Bytes(encoded.begin(), encoded.begin() + len));
+      continue;
+    }
     EXPECT_FALSE(truncated.has_value()) << "truncation to " << len << " bytes parsed";
   }
 }
@@ -232,8 +262,25 @@ TEST(WireTruncation, EveryPrefixRejected) {
   SecureRng rng("wire-truncation");
   for (int iter = 0; iter < 10; ++iter) {
     ExpectAllTruncationsRejected(RandomSetup(rng));
-    ExpectAllTruncationsRejected(RandomTask(rng));
-    ExpectAllTruncationsRejected(RandomResult(rng));
+
+    WireShardTask task = RandomTask(rng);
+    size_t task_allowed = SIZE_MAX;
+    if (task.trace_id != 0) {
+      WireShardTask untraced = task;
+      untraced.trace_id = 0;
+      untraced.parent_span_id = 0;
+      task_allowed = untraced.Serialize().size();
+    }
+    ExpectAllTruncationsRejected(task, task_allowed);
+
+    WireShardResult result = RandomResult(rng);
+    size_t result_allowed = SIZE_MAX;
+    if (!result.spans.empty()) {
+      WireShardResult spanless = result;
+      spanless.spans.clear();
+      result_allowed = spanless.Serialize().size();
+    }
+    ExpectAllTruncationsRejected(result, result_allowed);
   }
   WireHello hello;
   ExpectAllTruncationsRejected(hello);
@@ -346,6 +393,84 @@ TEST(WireInvariants, ResultMustPartitionItsRange) {
     std::swap(bad.accepted.front(), bad.accepted.back());
     EXPECT_FALSE(WireShardResult::Deserialize(bad.Serialize()).has_value());
   }
+}
+
+// --- trace extension (still wire v1) ------------------------------------
+
+// Untraced values serialize byte-identically to the pre-extension format:
+// the extension may only appear as trailing fields, and only when active.
+TEST(WireTraceExtension, UntracedEncodingIsPreExtension) {
+  SecureRng rng("wire-trace-absent");
+  WireShardTask task = RandomTask(rng);
+  task.trace_id = 0;
+  task.parent_span_id = 0;
+  WireShardTask traced = task;
+  traced.trace_id = 7;
+  traced.parent_span_id = 9;
+  // The traced form is a strict extension of the untraced bytes.
+  Bytes plain = task.Serialize();
+  Bytes extended = traced.Serialize();
+  ASSERT_EQ(extended.size(), plain.size() + 16);
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), extended.begin()));
+
+  WireShardResult result = RandomResult(rng);
+  result.spans.clear();
+  WireShardResult with_spans = result;
+  with_spans.spans.push_back(WireSpan{"shard", 3, 0, 10, 20});
+  Bytes plain_result = result.Serialize();
+  Bytes extended_result = with_spans.Serialize();
+  EXPECT_GT(extended_result.size(), plain_result.size());
+  EXPECT_TRUE(
+      std::equal(plain_result.begin(), plain_result.end(), extended_result.begin()));
+}
+
+// Canonicality: the absent forms must stay absent. An explicitly-encoded
+// zero trace_id, an explicitly-encoded empty span list, an empty span name,
+// or a zero span id all reject at decode.
+TEST(WireTraceExtension, RejectsNonCanonicalTraceEncodings) {
+  SecureRng rng("wire-trace-reject");
+  WireShardTask task = RandomTask(rng);
+  task.trace_id = 0;
+
+  // Append an explicit zero trace_id (+ any parent): must not decode.
+  Bytes bytes = task.Serialize();
+  Writer w;
+  w.U64(0);
+  w.U64(42);
+  Bytes zero_trace = bytes;
+  Bytes tail = w.Take();
+  zero_trace.insert(zero_trace.end(), tail.begin(), tail.end());
+  EXPECT_FALSE(WireShardTask::Deserialize(zero_trace).has_value());
+
+  // Half the extension (trace_id without parent) must not decode.
+  Writer half;
+  half.U64(7);
+  Bytes half_trace = bytes;
+  Bytes half_tail = half.Take();
+  half_trace.insert(half_trace.end(), half_tail.begin(), half_tail.end());
+  EXPECT_FALSE(WireShardTask::Deserialize(half_trace).has_value());
+
+  WireShardResult result = RandomResult(rng);
+  result.spans.clear();
+  Bytes result_bytes = result.Serialize();
+
+  // Explicitly-encoded empty span list: must not decode.
+  Writer empty_list;
+  empty_list.U32(0);
+  Bytes with_empty = result_bytes;
+  Bytes empty_tail = empty_list.Take();
+  with_empty.insert(with_empty.end(), empty_tail.begin(), empty_tail.end());
+  EXPECT_FALSE(WireShardResult::Deserialize(with_empty).has_value());
+
+  // A span with an empty name must not decode.
+  WireShardResult bad_name = result;
+  bad_name.spans.push_back(WireSpan{"", 3, 0, 1, 1});
+  EXPECT_FALSE(WireShardResult::Deserialize(bad_name.Serialize()).has_value());
+
+  // A span with span_id == 0 (reserved for "no span") must not decode.
+  WireShardResult bad_id = result;
+  bad_id.spans.push_back(WireSpan{"shard", 0, 0, 1, 1});
+  EXPECT_FALSE(WireShardResult::Deserialize(bad_id.Serialize()).has_value());
 }
 
 // ReadFrame must classify what went wrong on the stream -- the process

@@ -21,6 +21,7 @@
 // Usage:
 //   verify_server --listen tcp:0.0.0.0:7000 --auth-key-file /etc/vdp/fleet.key
 //                 [--id N] [--once] [--watch-stdin] [--fault <mode>:<id|all>]
+//                 [--metrics-out FILE]
 //
 // --listen       tcp:<host>:<port> (port 0 = ephemeral) or unix:<path>. The
 //                bound endpoint is announced as "LISTENING <endpoint>" on
@@ -34,6 +35,9 @@
 // --watch-stdin  exit when stdin reaches EOF: a test or supervisor that
 //                holds a pipe to our stdin takes the fleet down with it,
 //                even if it crashes without cleanup.
+// --metrics-out  append the vdp.runlog/v1 JSONL run-log here (src/obs/):
+//                a header at startup and a counters snapshot on every
+//                session setup ack. $VDP_METRICS_OUT is the env twin.
 // --fault        test hook, same spirit as verify_worker's VDP_WORKER_FAULT
 //                (env VDP_SERVER_FAULT is honored too): mode one of
 //                crash | garbage | hang (on task, like the worker), plus the
@@ -56,6 +60,7 @@
 #include "src/common/rng.h"
 #include "src/net/auth.h"
 #include "src/net/socket.h"
+#include "src/obs/runlog.h"
 #include "src/shard/sharded_verifier.h"
 #include "src/shard/worker_process.h"
 #include "src/wire/group_dispatch.h"
@@ -63,6 +68,19 @@
 
 namespace vdp {
 namespace {
+
+// --metrics-out / $VDP_METRICS_OUT run-log; the writer is thread-safe, so
+// detached per-connection threads share it. Never freed (daemon lifetime).
+obs::RunLogWriter* g_metrics_log = nullptr;
+
+// Flushes the process-wide counters into the run-log (no-op when no
+// --metrics-out). Called on every kSetupAck and on clean exits, so a daemon
+// that is killed still leaves the counters as of its last session start.
+void FlushMetrics() {
+  if (g_metrics_log != nullptr) {
+    g_metrics_log->Metrics(obs::MetricsRegistry::Global().Snapshot());
+  }
+}
 
 enum class FaultMode { kNone, kCrash, kGarbage, kHang, kClose, kWrongShard, kStaleDigest };
 
@@ -165,16 +183,27 @@ void ServeTasks(net::AuthChannel* channel, const wire::WireSetup& setup,
         break;
     }
 
+    // When the driver is tracing, record this task's spans against a local
+    // collector whose epoch is task receipt; the driver rebases them onto
+    // its own timeline when it adopts them from the result.
+    obs::TraceCollector tracer;
+    const bool tracing = task->trace_id != 0;
+    const obs::TraceContext parent{task->trace_id, task->parent_span_id};
+
     std::vector<ClientUploadMsg<G>> uploads = wire::UploadsFromWire<G>(*task);
     ShardResult<G> result =
         VerifyShard(config, ped, uploads.data(), uploads.size(), task->base,
-                    task->shard_index, /*pool=*/nullptr, task->compute_products == 1);
+                    task->shard_index, /*pool=*/nullptr, task->compute_products == 1,
+                    tracing ? &tracer : nullptr, parent);
     if (fault == FaultMode::kWrongShard) {
       // Well-formed, authentically MACed -- but for the wrong shard
       // identity. The driver's result-matches-task check must catch it.
       result.shard_index += 1;
     }
     wire::WireShardResult wire_result = wire::ResultToWire<G>(digest, result);
+    if (tracing) {
+      wire_result.spans = wire::SpansToWire(tracer.TakeSpans());
+    }
     if (channel->Write(wire::FrameType::kResult, wire_result.Serialize()) !=
         wire::WriteStatus::kOk) {
       return;  // driver hung up mid-result
@@ -237,6 +266,7 @@ void ServeConnection(int fd, Bytes auth_key, size_t server_id, FaultMode fault) 
     net::CloseFd(&fd);
     return;
   }
+  FlushMetrics();  // one counters snapshot per session start
 
   bool known_group = wire::DispatchGroup(setup->group_name, [&](auto tag) {
     using G = typename decltype(tag)::Group;
@@ -279,6 +309,7 @@ int ServerMain(int argc, char** argv) {
   std::string listen_spec = "tcp:127.0.0.1:0";
   std::string key_file;
   std::string fault_spec;
+  std::string metrics_out;
   size_t server_id = 0;
   bool once = false;
   bool watch_stdin = false;
@@ -313,6 +344,13 @@ int ServerMain(int argc, char** argv) {
         return 2;
       }
       fault_spec = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "verify_server: --metrics-out needs a path\n");
+        return 2;
+      }
+      metrics_out = v;
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--watch-stdin") {
@@ -367,6 +405,20 @@ int ServerMain(int argc, char** argv) {
   std::printf("LISTENING %s\n", net::FormatEndpoint(listener->bound()).c_str());
   std::fflush(stdout);
 
+  // --metrics-out wins over $VDP_METRICS_OUT; either opens in append mode so
+  // a fleet of servers (or a restarted one) shares a file cleanly.
+  auto metrics_log = metrics_out.empty() ? obs::RunLogWriter::FromEnv()
+                                         : obs::RunLogWriter::Open(metrics_out, true);
+  if (metrics_log != nullptr) {
+    g_metrics_log = metrics_log.release();  // daemon lifetime, shared by threads
+    obs::RunHeader header;
+    header.tool = "verify_server";
+    header.notes = "id=" + std::to_string(server_id) + " listen=" +
+                   net::FormatEndpoint(listener->bound()) +
+                   (fault_spec.empty() ? "" : " fault=" + fault_spec);
+    g_metrics_log->Header(header);
+  }
+
   FaultMode fault = ParseFault(fault_spec, server_id);
   if (fault == FaultMode::kNone) {
     if (const char* env = std::getenv("VDP_SERVER_FAULT")) {
@@ -391,6 +443,7 @@ int ServerMain(int argc, char** argv) {
     }
     if (once) {
       ServeConnection(fd, *auth_key, server_id, fault);
+      FlushMetrics();
       return 0;
     }
     std::thread(ServeConnection, fd, *auth_key, server_id, fault).detach();

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/runlog.h"
 #include "src/shard/sharded_verifier.h"
 #include "src/shard/worker_process.h"
 #include "src/wire/frame_io.h"
@@ -129,11 +130,22 @@ int Serve(const wire::WireSetup& setup, FaultMode fault) {
       ApplyFault(fault);
     }
 
+    // When the driver is tracing, record this task's spans against a local
+    // collector whose epoch is task receipt; the driver rebases them onto
+    // its own timeline when it adopts them from the result.
+    obs::TraceCollector tracer;
+    const bool tracing = task->trace_id != 0;
+    const obs::TraceContext parent{task->trace_id, task->parent_span_id};
+
     std::vector<ClientUploadMsg<G>> uploads = wire::UploadsFromWire<G>(*task);
     ShardResult<G> result =
         VerifyShard(config, ped, uploads.data(), uploads.size(), task->base,
-                    task->shard_index, /*pool=*/nullptr, task->compute_products == 1);
+                    task->shard_index, /*pool=*/nullptr, task->compute_products == 1,
+                    tracing ? &tracer : nullptr, parent);
     wire::WireShardResult wire_result = wire::ResultToWire<G>(digest, result);
+    if (tracing) {
+      wire_result.spans = wire::SpansToWire(tracer.TakeSpans());
+    }
     if (wire::WriteFrame(STDOUT_FILENO, wire::FrameType::kResult,
                          wire_result.Serialize()) != wire::WriteStatus::kOk) {
       return 1;  // driver hung up mid-result
@@ -175,7 +187,16 @@ int WorkerMain(int argc, char** argv) {
   });
   if (!known_group) {
     SendError("unknown group backend: " + setup->group_name);
-    return 1;
+    exit_code = 1;
+  }
+  // $VDP_METRICS_OUT: flush this worker's counters on the way out, so a
+  // fleet run leaves one run-log with every process's contribution.
+  if (auto log = obs::RunLogWriter::FromEnv(); log != nullptr) {
+    obs::RunHeader header;
+    header.tool = "verify_worker";
+    header.notes = "worker_id=" + std::to_string(worker_id);
+    log->Header(header);
+    log->Metrics(obs::MetricsRegistry::Global().Snapshot());
   }
   return exit_code;
 }
