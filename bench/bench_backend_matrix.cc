@@ -158,12 +158,47 @@ int main() {
                        report.backend.c_str());
           return 1;
         }
+
+        // The streaming lifecycle on the all-cores rows: same corpus fed in
+        // 512-upload chunks through the bounded-window dispatcher
+        // (Start/Submit/Finish), so the cost of streaming vs one-shot is a
+        // row pair in the same log. "+stream" rows are new relative to the
+        // committed baselines, which only pins the one-shot rows.
+        if (pool_size == hw) {
+          timer.Reset();
+          backend->Start(options);
+          for (size_t from = 0; from < uploads.size(); from += 512) {
+            const size_t to = std::min(uploads.size(), from + 512);
+            std::vector<vdp::ClientUploadMsg<G>> chunk(uploads.begin() + from,
+                                                       uploads.begin() + to);
+            backend->Submit(std::move(chunk));
+          }
+          auto streamed = backend->Finish();
+          const double stream_ms = timer.ElapsedMillis();
+          std::printf("%-12s stream   %9.1f ms (%zu accepted, %zu shards)\n",
+                      streamed.backend.c_str(), stream_ms, streamed.accepted.size(),
+                      streamed.num_shards);
+          if (log != nullptr) {
+            log->Stages(std::string(scenario) + "+stream", streamed.backend,
+                        streamed.timings.Stages(), stream_ms,
+                        {{"accepted", static_cast<double>(streamed.accepted.size())},
+                         {"num_shards", static_cast<double>(streamed.num_shards)},
+                         {"pool_threads", static_cast<double>(pool_size)}});
+          }
+          if (streamed.accepted != reference_accepted) {
+            std::fprintf(stderr,
+                         "FATAL: streaming %s diverged from the per-proof oracle\n",
+                         streamed.backend.c_str());
+            return 1;
+          }
+        }
       }
     }
   }
 
   if (log != nullptr) {
     log->Metrics(vdp::obs::MetricsRegistry::Global().Snapshot());
+    log->Footer();  // peak RSS, for trending memory alongside wall clock
     std::printf("\nwrote %s\n", log->path().c_str());
   }
   return 0;

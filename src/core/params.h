@@ -87,6 +87,17 @@ struct ProtocolConfig {
   // recovered in process, so the verdict never depends on fleet health.
   std::vector<std::string> remote_verifiers;
 
+  // Streaming ingest knobs (src/shard/stream_dispatch.h), honored by every
+  // backend that streams (per-proof, sharded, multiprocess, remote).
+  // stream_shard_capacity is the number of uploads per sealed shard; 0 picks
+  // the dispatcher default (1024, sized for MSM efficiency).
+  // stream_max_inflight_shards bounds shards cut but not yet retired
+  // (queued + executing): Add() blocks while the window is full, capping
+  // resident memory at roughly (window + 1) * capacity uploads no matter how
+  // long the stream runs. 0 picks two shards per executor lane.
+  size_t stream_shard_capacity = 0;
+  size_t stream_max_inflight_shards = 0;
+
   // Hex-encoded pre-shared fleet secret (>= 16 bytes decoded) used to derive
   // the per-connection transport MAC keys (src/net/auth.h). Required when
   // remote_verifiers is non-empty. Deployment-local: it is never serialized

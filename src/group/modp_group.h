@@ -126,8 +126,11 @@ class ModPGroup {
   }
 };
 
-// Parameter sets. ModP256 is for fast tests only (no real security margin);
-// ModP2048 matches contemporary guidance for finite-field DLOG.
+// Parameter sets. ModP64 exists solely for memory/throughput soak runs that
+// need millions of cheap-but-real proofs (tools/stream_soak) and ModP256 is
+// for fast tests only -- neither has any security margin; ModP2048 matches
+// contemporary guidance for finite-field DLOG.
+using ModP64 = ModPGroup<1, ModP64Params>;
 using ModP256 = ModPGroup<4, ModP256Params>;
 using ModP512 = ModPGroup<8, ModP512Params>;
 using ModP1024 = ModPGroup<16, ModP1024Params>;

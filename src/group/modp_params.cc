@@ -22,6 +22,11 @@ ModPParams<L> MakeParams(const char* p_hex) {
 
 }  // namespace
 
+const ModPParams<1>& ModP64Params() {
+  static const ModPParams<1> params = MakeParams<1>("b5523ad7a8985107");
+  return params;
+}
+
 const ModPParams<4>& ModP256Params() {
   static const ModPParams<4> params = MakeParams<4>(
       "dbe9f9f63d95fe684c6f3cf76db3caf6ef4b7cd5130565e79f68a3ea74fdf9b7");

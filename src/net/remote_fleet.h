@@ -1,13 +1,14 @@
-// Multi-machine shard verification: a work-queue driver that farms shards of
-// the upload stream out to verify_server daemons over authenticated sockets
+// Multi-machine shard verification: an executor that farms shards of the
+// upload stream out to verify_server daemons over authenticated sockets
 // (src/net/auth.h over src/wire/frame_io.h), and feeds the decoded
 // ShardResults into the same deterministic combiner as every other path.
 //
-// Topology: one driver thread per configured endpoint, each owning one
-// persistent connection to its verifier. Shards are claimed from a shared
-// counter, so a slow or distant verifier never stalls the queue. Failure
-// handling is strictly per-shard, like the process pool's, plus a
-// reconnect policy the pipe transport never needed:
+// Topology: the streaming dispatcher (src/shard/stream_dispatch.h) runs one
+// lane per configured endpoint, each owning one persistent connection to its
+// verifier; shards flow to lanes as the dispatcher seals them, so remote
+// machines verify while the driver is still ingesting. Failure handling is
+// strictly per-shard, like the process pool's, plus a reconnect policy the
+// pipe transport never needed:
 //
 //   - A connection that fails mid-shard (dropped, timed out, bad MAC, result
 //     mismatch) is closed with blame recorded (which endpoint, which shard,
@@ -26,7 +27,6 @@
 #define SRC_NET_REMOTE_FLEET_H_
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -38,7 +38,8 @@
 #include "src/common/hex.h"
 #include "src/common/timer.h"
 #include "src/net/remote_conn.h"
-#include "src/shard/sharded_verifier.h"
+#include "src/shard/shard_result.h"
+#include "src/shard/stream_dispatch.h"
 #include "src/shard/worker_process.h"
 #include "src/wire/wire_convert.h"
 
@@ -73,7 +74,8 @@ struct RemoteFleetOptions {
   int reconnect_backoff_ms = 50;
   // When set, dispatches record "dispatch" spans here (parented under
   // trace_parent), span context crosses the wire, and server-recorded spans
-  // are adopted back into this collector.
+  // are adopted back into this collector. Used by the one-shot VerifyAll
+  // entry point; dispatcher streams override it via BeginStream.
   obs::TraceCollector* tracer = nullptr;
   obs::TraceContext trace_parent{};
 };
@@ -81,7 +83,7 @@ struct RemoteFleetOptions {
 // Farms shards to the fleet named by config.remote_verifiers, authenticated
 // with config.remote_auth_key_hex. The config must have passed Validate().
 template <PrimeOrderGroup G>
-class RemoteVerifierFleet {
+class RemoteVerifierFleet final : public ShardExecutor<G> {
  public:
   RemoteVerifierFleet(const ProtocolConfig& config, Pedersen<G> ped,
                       RemoteFleetOptions options = {})
@@ -98,171 +100,169 @@ class RemoteVerifierFleet {
     wire::WireSetup setup = wire::MakeWireSetup(config_, ped_);
     setup_payload_ = setup.Serialize();
     params_digest_ = setup.Digest();
+    lanes_.resize(std::max<size_t>(1, endpoints_.size()));
   }
 
-  // Verifies all uploads across the remote fleet and combines. The shard
-  // partition honors config.num_verify_shards when set (> 1); otherwise it
-  // defaults to two shards per endpoint so a straggler can be overlapped.
+  ~RemoteVerifierFleet() override {
+    for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+      CloseLane(lane);
+    }
+  }
+
+  // --- ShardExecutor ------------------------------------------------------
+  // Lanes map 1:1 to endpoints; each lane's connection is established lazily
+  // on its first shard and persists until the stream drains (CloseLane).
+
+  size_t lanes() const override { return lanes_.size(); }
+
+  void BeginStream(obs::TraceCollector* tracer, obs::TraceContext verify_ctx) override {
+    ShardExecutor<G>::BeginStream(tracer, verify_ctx);
+    IgnoreSigpipe();  // a write into a dead verifier must fail with EPIPE
+    for (LaneState& lane : lanes_) {
+      net::CloseRemoteConn(&lane.conn);
+      lane.connected_before = false;
+      lane.endpoint_dead = false;
+    }
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report_ = RemoteFleetReport{};
+  }
+
+  ShardResult<G> ExecuteShard(size_t lane_index, const ShardPayload<G>& shard) override {
+    {
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      ++report_.shards_total;
+    }
+    // No endpoints parsed (unreachable after Validate, but never lose the
+    // stream): every shard goes through the in-process fallback.
+    if (endpoints_.empty()) {
+      ShardResult<G> result =
+          VerifyShard(config_, ped_, shard.data(), shard.count(), shard.base,
+                      shard.shard_index, nullptr, shard.compute_products);
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      ++report_.shards_recovered_in_process;
+      return result;
+    }
+    LaneState& lane = lanes_[lane_index];
+    const net::Endpoint& endpoint = endpoints_[lane_index];
+    const std::string endpoint_name = net::FormatEndpoint(endpoint);
+    // One dispatch span covers every attempt at this shard; the server's own
+    // spans parent under it via the task's trace extension.
+    obs::TraceSpan dispatch_span(this->tracer_, "dispatch", this->verify_ctx_);
+    dispatch_span.set_detail("shard=" + std::to_string(shard.shard_index) +
+                             " endpoint=" + endpoint_name);
+    wire::WireShardTask task =
+        wire::MakeShardTask<G>(params_digest_, shard.shard_index, shard.base,
+                               shard.compute_products, shard.data(), shard.count());
+    task.trace_id = dispatch_span.context().trace_id;
+    task.parent_span_id = dispatch_span.context().span_id;
+    const Bytes task_payload = task.Serialize();
+    // Retries resend task_payload; only the task's scalar metadata is needed
+    // from here on (mirrors the process pool's memory trim).
+    task.uploads.clear();
+    task.uploads.shrink_to_fit();
+
+    ShardResult<G> result;
+    bool done = false;
+    // A task the authenticated frame layer would refuse (payload + MAC over
+    // kMaxFramePayload) can never succeed on any verifier.
+    const bool oversized = task_payload.size() + net::kMacTagSize > wire::kMaxFramePayload;
+    if (oversized) {
+      RecordFailure(shard.shard_index, endpoint_name,
+                    "task frame exceeds wire payload limit (" +
+                        std::to_string(task_payload.size()) +
+                        " bytes); shard too large -- raise num_verify_shards");
+    }
+    for (size_t attempt = 0; attempt < options_.max_attempts_per_shard && !done &&
+                             !oversized && !lane.endpoint_dead;
+         ++attempt) {
+      if (attempt > 0) {
+        obs::GlobalCounter(obs::kFleetRetries)->Increment();
+      }
+      if (!lane.conn.ok() && !Reconnect(endpoint, endpoint_name, &lane.conn,
+                                        &lane.connected_before, shard.shard_index)) {
+        // A whole connect ladder failed: trip the breaker. The lane keeps
+        // taking shards -- it still contributes CPU through the in-process
+        // fallback -- but never pays the futile connect timeouts again (a
+        // blackholed endpoint would otherwise serialize
+        // connect_attempts * connect_timeout_ms into EVERY shard it takes).
+        // Failures were already blamed shard-by-shard inside Reconnect.
+        lane.endpoint_dead = true;
+        break;
+      }
+      std::string blame;
+      if (AttemptShard(&lane.conn, task_payload, task, shard.count(), &result,
+                       endpoint_name, &dispatch_span, &blame)) {
+        obs::GlobalCounter(obs::kFleetShardsRemote)->Increment();
+        std::lock_guard<std::mutex> lock(report_mutex_);
+        ++report_.shards_from_remote;
+        done = true;
+      } else {
+        RecordFailure(shard.shard_index, endpoint_name, blame);
+        net::CloseRemoteConn(&lane.conn);
+      }
+    }
+    if (!done) {
+      // Retries exhausted: verify locally so the shard -- and the combined
+      // verdict -- is never lost to a dead fleet.
+      result = VerifyShard(config_, ped_, shard.data(), shard.count(), shard.base,
+                           shard.shard_index, nullptr, shard.compute_products, this->tracer_,
+                           dispatch_span.context());
+      obs::GlobalCounter(obs::kFleetShardsRecovered)->Increment();
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      ++report_.shards_recovered_in_process;
+    }
+    return result;
+  }
+
+  void CloseLane(size_t lane) override {
+    if (lane < lanes_.size()) {
+      net::CloseRemoteConn(&lanes_[lane].conn);
+    }
+  }
+
+  // Fleet health accumulated since BeginStream (or construction).
+  RemoteFleetReport TakeReport() {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    RemoteFleetReport out = std::move(report_);
+    report_ = RemoteFleetReport{};
+    return out;
+  }
+
+  // One-shot verification of an in-memory vector across the remote fleet.
+  // The shard partition honors config.num_verify_shards when set (> 1);
+  // otherwise it defaults to two shards per endpoint so a straggler can be
+  // overlapped. Runs through the same dispatcher/lane machinery as
+  // streaming, viewing the caller's vector (no copies).
   VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
                             bool compute_products = true,
                             RemoteFleetReport* report = nullptr) {
-    Stopwatch timer;
-    const size_t n = uploads.size();
-    size_t shards = config_.num_verify_shards > 1 ? config_.num_verify_shards
-                                                  : 2 * std::max<size_t>(1, endpoints_.size());
-    shards = std::min(std::max<size_t>(1, shards), std::max<size_t>(1, n));
-
-    std::vector<ShardResult<G>> results(shards);
-    RemoteFleetReport local_report;
-    local_report.shards_total = shards;
-
-    std::atomic<size_t> next_shard{0};
-    std::mutex report_mutex;
-
-    // The fleet drive IS the verify stage; per-shard dispatch spans (and the
-    // servers' own spans, shipped back over the wire) nest under it.
-    obs::TraceSpan verify_span(options_.tracer, kStageVerify, options_.trace_parent);
-    const obs::TraceContext verify_ctx = verify_span.context();
-
-    // No endpoints parsed (unreachable after Validate, but never lose the
-    // stream): the whole partition goes through the in-process fallback.
-    if (endpoints_.empty()) {
-      for (size_t s = 0; s < shards; ++s) {
-        const size_t from = n * s / shards;
-        const size_t to = n * (s + 1) / shards;
-        results[s] = VerifyShard(config_, ped_, uploads.data() + from, to - from, from, s,
-                                 nullptr, compute_products);
-        ++local_report.shards_recovered_in_process;
-      }
-      if (report != nullptr) {
-        *report = std::move(local_report);
-      }
-      verify_span.End();
-      const double verify_ms = timer.ElapsedMillis();
-      obs::TraceSpan combine_span(options_.tracer, kStageCombine, options_.trace_parent);
-      VerifyReport<G> combined =
-          CombineShardResults(config_, std::move(results), compute_products);
-      combine_span.End();
-      combined.timings.verify_ms = verify_ms;
-      return combined;
-    }
-
-    auto drive = [&](size_t endpoint_index) {
-      net::RemoteConn conn;
-      bool connected_before = false;
-      // Circuit breaker: once a full connect-retry ladder fails, the
-      // endpoint is written off for the rest of this stream. The thread
-      // keeps claiming shards -- it still contributes CPU through the
-      // in-process fallback -- but never pays the futile connect timeouts
-      // again (a blackholed endpoint would otherwise serialize
-      // connect_attempts * connect_timeout_ms into EVERY shard it claims).
-      bool endpoint_dead = false;
-      const net::Endpoint& endpoint = endpoints_[endpoint_index];
-      const std::string endpoint_name = net::FormatEndpoint(endpoint);
-      while (true) {
-        const size_t s = next_shard.fetch_add(1);
-        if (s >= shards) {
-          break;
-        }
-        const size_t from = n * s / shards;
-        const size_t to = n * (s + 1) / shards;
-        // One dispatch span covers every attempt at this shard; the server's
-        // own spans parent under it via the task's trace extension.
-        obs::TraceSpan dispatch_span(options_.tracer, "dispatch", verify_ctx);
-        dispatch_span.set_detail("shard=" + std::to_string(s) + " endpoint=" + endpoint_name);
-        wire::WireShardTask task = wire::MakeShardTask<G>(
-            params_digest_, s, from, compute_products, uploads.data() + from, to - from);
-        task.trace_id = dispatch_span.context().trace_id;
-        task.parent_span_id = dispatch_span.context().span_id;
-        const Bytes task_payload = task.Serialize();
-        // Retries resend task_payload; only the task's scalar metadata is
-        // needed from here on (mirrors the process pool's memory trim).
-        task.uploads.clear();
-        task.uploads.shrink_to_fit();
-
-        bool done = false;
-        // A task the authenticated frame layer would refuse (payload + MAC
-        // over kMaxFramePayload) can never succeed on any verifier.
-        const bool oversized =
-            task_payload.size() + net::kMacTagSize > wire::kMaxFramePayload;
-        if (oversized) {
-          RecordFailure(&local_report, &report_mutex, s, endpoint_name,
-                        "task frame exceeds wire payload limit (" +
-                            std::to_string(task_payload.size()) +
-                            " bytes); shard too large -- raise num_verify_shards");
-        }
-        for (size_t attempt = 0;
-             attempt < options_.max_attempts_per_shard && !done && !oversized &&
-             !endpoint_dead;
-             ++attempt) {
-          if (attempt > 0) {
-            obs::GlobalCounter(obs::kFleetRetries)->Increment();
-          }
-          if (!conn.ok() &&
-              !Reconnect(endpoint, endpoint_name, &conn, &connected_before, s,
-                         &local_report, &report_mutex)) {
-            // A whole connect ladder failed: trip the breaker. Failures
-            // were already blamed shard-by-shard inside Reconnect.
-            endpoint_dead = true;
-            break;
-          }
-          std::string blame;
-          if (AttemptShard(&conn, task_payload, task, to - from, &results[s],
-                           endpoint_name, &dispatch_span, &blame)) {
-            obs::GlobalCounter(obs::kFleetShardsRemote)->Increment();
-            std::lock_guard<std::mutex> lock(report_mutex);
-            ++local_report.shards_from_remote;
-            done = true;
-          } else {
-            RecordFailure(&local_report, &report_mutex, s, endpoint_name, blame);
-            net::CloseRemoteConn(&conn);
-          }
-        }
-        if (!done) {
-          // Retries exhausted: verify locally so the shard -- and the
-          // combined verdict -- is never lost to a dead fleet.
-          results[s] = VerifyShard(config_, ped_, uploads.data() + from, to - from, from, s,
-                                   nullptr, compute_products, options_.tracer,
-                                   dispatch_span.context());
-          obs::GlobalCounter(obs::kFleetShardsRecovered)->Increment();
-          std::lock_guard<std::mutex> lock(report_mutex);
-          ++local_report.shards_recovered_in_process;
-        }
-      }
-      net::CloseRemoteConn(&conn);
-    };
-
-    IgnoreSigpipe();  // a write into a dead verifier must fail with EPIPE
-    const size_t threads = std::min(endpoints_.size(), shards);
-    std::vector<std::thread> drivers;
-    drivers.reserve(threads);
-    for (size_t t = 1; t < threads; ++t) {
-      drivers.emplace_back(drive, t);
-    }
-    drive(0);  // the calling thread drives an endpoint too
-    for (std::thread& t : drivers) {
-      t.join();
-    }
-
+    const size_t shards = config_.num_verify_shards > 1
+                              ? config_.num_verify_shards
+                              : 2 * std::max<size_t>(1, endpoints_.size());
+    VerifyReport<G> combined = DispatchAllShards<G>(config_, this, uploads, shards,
+                                                    compute_products, options_.tracer,
+                                                    options_.trace_parent);
     if (report != nullptr) {
-      *report = std::move(local_report);
+      *report = TakeReport();
     }
-    verify_span.End();
-    const double verify_ms = timer.ElapsedMillis();
-    obs::TraceSpan combine_span(options_.tracer, kStageCombine, options_.trace_parent);
-    VerifyReport<G> combined =
-        CombineShardResults(config_, std::move(results), compute_products);
-    combine_span.End();
-    combined.timings.verify_ms = verify_ms;
     return combined;
   }
 
  private:
-  // Establishes (or re-establishes) the thread's connection, with bounded
+  // Per-lane transport state. Touched only by the lane's dispatcher thread
+  // (between BeginStream and CloseLane), so no locking.
+  struct LaneState {
+    net::RemoteConn conn;
+    bool connected_before = false;
+    // Circuit breaker: once a full connect-retry ladder fails, the endpoint
+    // is written off for the rest of the stream.
+    bool endpoint_dead = false;
+  };
+
+  // Establishes (or re-establishes) a lane's connection, with bounded
   // retries and backoff. Every failed try is blamed against `shard`.
   bool Reconnect(const net::Endpoint& endpoint, const std::string& endpoint_name,
-                 net::RemoteConn* conn, bool* connected_before, size_t shard,
-                 RemoteFleetReport* report, std::mutex* mutex) {
+                 net::RemoteConn* conn, bool* connected_before, size_t shard) {
     net::HandshakeOptions handshake;
     handshake.connect_timeout_ms = options_.connect_timeout_ms;
     handshake.handshake_timeout_ms = options_.handshake_timeout_ms;
@@ -279,15 +279,15 @@ class RemoteVerifierFleet {
         if (*connected_before) {
           obs::GlobalCounter(obs::kFleetReconnects)->Increment();
         }
-        std::lock_guard<std::mutex> lock(*mutex);
-        ++report->connections_established;
+        std::lock_guard<std::mutex> lock(report_mutex_);
+        ++report_.connections_established;
         if (*connected_before) {
-          ++report->reconnects;
+          ++report_.reconnects;
         }
         *connected_before = true;
         return true;
       }
-      RecordFailure(report, mutex, shard, endpoint_name, blame);
+      RecordFailure(shard, endpoint_name, blame);
     }
     return false;
   }
@@ -348,10 +348,10 @@ class RemoteVerifierFleet {
       *blame = "result elements fail group decoding";
       return false;
     }
-    if (options_.tracer != nullptr && !wire_result->spans.empty()) {
+    if (this->tracer_ != nullptr && !wire_result->spans.empty()) {
       // Server spans are relative to its task receipt; land them inside the
       // dispatch span on the driver's timeline.
-      options_.tracer->AdoptRemote(
+      this->tracer_->AdoptRemote(
           wire::SpansFromWire(wire_result->spans, "server:" + endpoint_name),
           dispatch_span->start_us());
     }
@@ -359,11 +359,10 @@ class RemoteVerifierFleet {
     return true;
   }
 
-  static void RecordFailure(RemoteFleetReport* report, std::mutex* mutex, size_t shard,
-                            const std::string& endpoint, std::string reason) {
+  void RecordFailure(size_t shard, const std::string& endpoint, std::string reason) {
     obs::GlobalCounter(obs::kFleetBlamed)->Increment();
-    std::lock_guard<std::mutex> lock(*mutex);
-    report->failures.push_back(RemoteFailure{shard, endpoint, std::move(reason)});
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report_.failures.push_back(RemoteFailure{shard, endpoint, std::move(reason)});
   }
 
   ProtocolConfig config_;
@@ -373,6 +372,9 @@ class RemoteVerifierFleet {
   Bytes auth_key_;
   Bytes setup_payload_;
   Sha256::Digest params_digest_;
+  std::vector<LaneState> lanes_;  // one slot per lane
+  std::mutex report_mutex_;
+  RemoteFleetReport report_;
 };
 
 }  // namespace vdp

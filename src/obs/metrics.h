@@ -58,6 +58,14 @@ inline constexpr const char* kMsmCalls = "msm.calls";
 inline constexpr const char* kShardQueueDepth = "shard.queue_depth";
 inline constexpr const char* kVerifyUsPerProof = "verify.us_per_proof";
 inline constexpr const char* kVerifyShardMs = "verify.shard_ms";
+// Streaming-pipeline state (src/shard/stream_dispatch.h): gauge max() is the
+// stream's high-water mark, which is what bounds resident memory.
+inline constexpr const char* kStreamInflightShards = "stream.inflight_shards";
+inline constexpr const char* kStreamBufferedUploads = "stream.buffered_uploads";
+inline constexpr const char* kBackpressureWaitUs = "backpressure.wait_us";
+// Process peak RSS (VmHWM), stamped into the run-log footer by
+// RunLogWriter::Footer so bounded-memory claims are machine-checkable.
+inline constexpr const char* kMemRssHwmKb = "mem.rss_hwm_kb";
 
 // A monotone event count. Add/Increment are wait-free.
 class Counter {

@@ -92,6 +92,22 @@ std::string IdToHex(uint64_t id) {
   return out;
 }
 
+uint64_t CurrentRssHwmKb() {
+  FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) {
+    return 0;
+  }
+  unsigned long long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      break;
+    }
+  }
+  std::fclose(status);
+  return static_cast<uint64_t>(kb);
+}
+
 std::unique_ptr<RunLogWriter> RunLogWriter::Open(const std::string& path, bool append) {
   FILE* file = std::fopen(path.c_str(), append ? "a" : "w");
   if (file == nullptr) {
@@ -224,6 +240,20 @@ void RunLogWriter::Spans(const std::vector<SpanRecord>& spans) {
     }
     Line("span", std::move(obj));
   }
+}
+
+void RunLogWriter::Footer() {
+  const uint64_t kb = CurrentRssHwmKb();
+  // Through the gauge so in-process consumers (tests, later snapshots) see
+  // the same value the log records; VmHWM is monotone, so Set keeps max
+  // consistent with value.
+  GlobalGauge(kMemRssHwmKb)->Set(static_cast<int64_t>(kb));
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::String(kMemRssHwmKb));
+  obj.Set("type", JsonValue::String("gauge"));
+  obj.Set("value", JsonValue::Number(static_cast<double>(kb)));
+  obj.Set("max", JsonValue::Number(static_cast<double>(kb)));
+  Line("metric", std::move(obj));
 }
 
 bool ValidateRunLogLine(const JsonValue& line, std::string* error) {

@@ -60,6 +60,12 @@ const std::string& GitSha();
 // 64-bit id as lowercase hex (no 0x), the run-log's span id encoding.
 std::string IdToHex(uint64_t id);
 
+// This process's peak resident set size in KiB (VmHWM from
+// /proc/self/status); 0 where the proc filesystem is unavailable. Peak, not
+// current: the kernel's high-water mark is what bounded-memory claims are
+// judged against.
+uint64_t CurrentRssHwmKb();
+
 // The header line's payload. Fields valued 0 / "" are still emitted --
 // "absent because zero" and "absent because unmeasured" must stay
 // distinguishable in a trend job.
@@ -105,6 +111,12 @@ class RunLogWriter {
 
   // One line per finished span.
   void Spans(const std::vector<SpanRecord>& spans);
+
+  // End-of-run footer: stamps the process's peak RSS (CurrentRssHwmKb) into
+  // the global mem.rss_hwm_kb gauge and emits it as one gauge metric line,
+  // so memory ceilings (the stream-1m CI job's) are checkable from the log
+  // alone. Call once, after the workload, before the writer closes.
+  void Footer();
 
   // Escape hatch for tool-specific lines; stamps schema/kind/t_ms/pid. The
   // object must satisfy ValidateRunLogLine for the given kind.

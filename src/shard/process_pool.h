@@ -1,12 +1,13 @@
-// Multi-process shard verification: a work-queue driver that farms shards of
-// the upload stream out to verify_worker subprocesses over pipes, speaking
-// the versioned wire format of src/wire/, and feeds the decoded ShardResults
+// Multi-process shard verification: an executor that farms shards of the
+// upload stream out to verify_worker subprocesses over pipes, speaking the
+// versioned wire format of src/wire/, and feeds the decoded ShardResults
 // into the same deterministic combiner as the in-process pipeline.
 //
-// Topology: N driver threads, each owning one worker process (spawned from
-// tools/verify_worker.cc). Shards are claimed from a shared counter, so a
-// slow worker never stalls the queue. Failure handling is strictly
-// per-shard:
+// Topology: the streaming dispatcher (src/shard/stream_dispatch.h) runs one
+// lane per configured worker; each lane owns one worker process (spawned
+// from tools/verify_worker.cc) and receives shards as the dispatcher seals
+// them, so workers verify while ingestion continues. Failure handling is
+// strictly per-shard:
 //
 //   - A worker that dies, emits garbage, or exceeds the shard deadline is
 //     destroyed (blame recorded: which worker, which shard, how it ended)
@@ -28,12 +29,12 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/common/timer.h"
-#include "src/shard/sharded_verifier.h"
+#include "src/shard/shard_result.h"
+#include "src/shard/stream_dispatch.h"
 #include "src/shard/worker_process.h"
 #include "src/wire/frame_io.h"
 #include "src/wire/wire_convert.h"
@@ -69,13 +70,14 @@ struct ProcessPoolOptions {
   size_t max_worker_attempts = 2;
   // When set, dispatches record "dispatch" spans here (parented under
   // trace_parent), span context crosses the wire, and worker-recorded spans
-  // are adopted back into this collector.
+  // are adopted back into this collector. Used by the one-shot VerifyAll
+  // entry point; dispatcher streams override it via BeginStream.
   obs::TraceCollector* tracer = nullptr;
   obs::TraceContext trace_parent{};
 };
 
 template <PrimeOrderGroup G>
-class MultiprocessVerifier {
+class MultiprocessVerifier final : public ShardExecutor<G> {
  public:
   MultiprocessVerifier(const ProtocolConfig& config, Pedersen<G> ped,
                        ProcessPoolOptions options = {})
@@ -89,146 +91,144 @@ class MultiprocessVerifier {
     wire::WireSetup setup = wire::MakeWireSetup(config_, ped_);
     setup_payload_ = setup.Serialize();
     params_digest_ = setup.Digest();
+    workers_.resize(options_.num_workers);
   }
 
-  // Verifies all uploads across the worker fleet and combines. The shard
-  // partition honors config.num_verify_shards when set (> 1); otherwise it
-  // defaults to two shards per worker so a straggler can be overlapped.
+  ~MultiprocessVerifier() override {
+    for (size_t lane = 0; lane < workers_.size(); ++lane) {
+      CloseLane(lane);
+    }
+  }
+
+  // --- ShardExecutor ------------------------------------------------------
+  // Lanes map 1:1 to worker processes; workers spawn lazily when their lane
+  // first claims a shard and live until the stream drains (CloseLane).
+
+  size_t lanes() const override { return options_.num_workers; }
+
+  void BeginStream(obs::TraceCollector* tracer, obs::TraceContext verify_ctx) override {
+    ShardExecutor<G>::BeginStream(tracer, verify_ctx);
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report_ = ProcessPoolReport{};
+  }
+
+  ShardResult<G> ExecuteShard(size_t lane, const ShardPayload<G>& shard) override {
+    {
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      ++report_.shards_total;
+    }
+    // One dispatch span covers every attempt at this shard; the worker's own
+    // spans parent under it via the task's trace extension.
+    obs::TraceSpan dispatch_span(this->tracer_, "dispatch", this->verify_ctx_);
+    dispatch_span.set_detail("shard=" + std::to_string(shard.shard_index));
+    wire::WireShardTask task =
+        wire::MakeShardTask<G>(params_digest_, shard.shard_index, shard.base,
+                               shard.compute_products, shard.data(), shard.count());
+    task.trace_id = dispatch_span.context().trace_id;
+    task.parent_span_id = dispatch_span.context().span_id;
+    const Bytes task_payload = task.Serialize();
+    // Retries resend task_payload; only the task's scalar metadata is needed
+    // from here on. Dropping the per-upload copies halves the per-shard
+    // memory held across the worker round-trip.
+    task.uploads.clear();
+    task.uploads.shrink_to_fit();
+
+    ShardResult<G> result;
+    bool done = false;
+    // A task the frame layer would refuse (payload over kMaxFramePayload)
+    // can never succeed on any worker: skip the futile attempts and go
+    // straight to the in-process fallback, with the reason on record.
+    // (Seen only with shards of ~1M+ uploads; raise num_verify_shards or
+    // lower the stream shard capacity.)
+    const bool oversized = task_payload.size() > wire::kMaxFramePayload;
+    if (oversized) {
+      RecordFailure(shard.shard_index, /*worker_id=*/SIZE_MAX, -1,
+                    "task frame exceeds wire payload limit (" +
+                        std::to_string(task_payload.size()) +
+                        " bytes); shard too large -- raise num_verify_shards");
+    }
+    std::optional<WorkerProcess>& worker = workers_[lane];
+    for (size_t attempt = 0; attempt < options_.max_worker_attempts && !done && !oversized;
+         ++attempt) {
+      if (attempt > 0) {
+        obs::GlobalCounter(obs::kPoolRetries)->Increment();
+      }
+      if (!worker.has_value()) {
+        worker = StartWorker(shard.shard_index);
+        if (!worker.has_value()) {
+          continue;  // spawn/handshake failure already blamed
+        }
+      }
+      std::string blame;
+      if (AttemptShard(*worker, task_payload, task, shard.count(), &result, &dispatch_span,
+                       &blame)) {
+        std::lock_guard<std::mutex> lock(report_mutex_);
+        ++report_.shards_from_workers;
+        done = true;
+      } else {
+        RecordFailure(shard.shard_index, worker->worker_id, worker->pid,
+                      blame + " (" + DestroyWorker(&*worker) + ")");
+        worker.reset();
+      }
+    }
+    if (!done) {
+      // Retries exhausted: verify locally so the shard -- and the combined
+      // verdict -- is never lost to a broken fleet.
+      result = VerifyShard(config_, ped_, shard.data(), shard.count(), shard.base,
+                           shard.shard_index, nullptr, shard.compute_products, this->tracer_,
+                           dispatch_span.context());
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      ++report_.shards_recovered_in_process;
+    }
+    return result;
+  }
+
+  void CloseLane(size_t lane) override {
+    if (lane < workers_.size() && workers_[lane].has_value()) {
+      DestroyWorker(&*workers_[lane]);
+      workers_[lane].reset();
+    }
+  }
+
+  // Fleet health accumulated since BeginStream (or construction).
+  ProcessPoolReport TakeReport() {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    ProcessPoolReport out = std::move(report_);
+    report_ = ProcessPoolReport{};
+    return out;
+  }
+
+  // One-shot verification of an in-memory vector across the worker fleet.
+  // The shard partition honors config.num_verify_shards when set (> 1);
+  // otherwise it defaults to two shards per worker so a straggler can be
+  // overlapped. Runs through the same dispatcher/lane machinery as
+  // streaming, viewing the caller's vector (no copies).
   VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
                             bool compute_products = true,
                             ProcessPoolReport* report = nullptr) {
-    Stopwatch timer;
-    const size_t n = uploads.size();
-    size_t shards = config_.num_verify_shards > 1 ? config_.num_verify_shards
-                                                  : 2 * options_.num_workers;
-    shards = std::min(std::max<size_t>(1, shards), std::max<size_t>(1, n));
-
-    std::vector<ShardResult<G>> results(shards);
-    ProcessPoolReport local_report;
-    local_report.shards_total = shards;
-
-    std::atomic<size_t> next_shard{0};
-    std::atomic<size_t> next_worker_id{0};
-    std::mutex report_mutex;
-
-    // The fleet drive IS the verify stage; per-shard dispatch spans (and the
-    // workers' own spans, shipped back over the wire) nest under it.
-    obs::TraceSpan verify_span(options_.tracer, kStageVerify, options_.trace_parent);
-    const obs::TraceContext verify_ctx = verify_span.context();
-
-    auto drive = [&]() {
-      std::optional<WorkerProcess> worker;
-      while (true) {
-        const size_t s = next_shard.fetch_add(1);
-        if (s >= shards) {
-          break;
-        }
-        const size_t from = n * s / shards;
-        const size_t to = n * (s + 1) / shards;
-        // One dispatch span covers every attempt at this shard; the worker's
-        // own spans parent under it via the task's trace extension.
-        obs::TraceSpan dispatch_span(options_.tracer, "dispatch", verify_ctx);
-        dispatch_span.set_detail("shard=" + std::to_string(s));
-        wire::WireShardTask task = wire::MakeShardTask<G>(
-            params_digest_, s, from, compute_products, uploads.data() + from, to - from);
-        task.trace_id = dispatch_span.context().trace_id;
-        task.parent_span_id = dispatch_span.context().span_id;
-        const Bytes task_payload = task.Serialize();
-        // Retries resend task_payload; only the task's scalar metadata is
-        // needed from here on. Dropping the per-upload copies halves the
-        // per-shard memory held across the worker round-trip.
-        task.uploads.clear();
-        task.uploads.shrink_to_fit();
-
-        bool done = false;
-        // A task the frame layer would refuse (payload over kMaxFramePayload)
-        // can never succeed on any worker: skip the futile attempts and go
-        // straight to the in-process fallback, with the reason on record.
-        // (Seen only with shards of ~1M+ uploads; raise num_verify_shards.)
-        const bool oversized = task_payload.size() > wire::kMaxFramePayload;
-        if (oversized) {
-          RecordFailure(&local_report, &report_mutex, s, /*worker_id=*/SIZE_MAX, -1,
-                        "task frame exceeds wire payload limit (" +
-                            std::to_string(task_payload.size()) +
-                            " bytes); shard too large -- raise num_verify_shards");
-        }
-        for (size_t attempt = 0;
-             attempt < options_.max_worker_attempts && !done && !oversized; ++attempt) {
-          if (attempt > 0) {
-            obs::GlobalCounter(obs::kPoolRetries)->Increment();
-          }
-          if (!worker.has_value()) {
-            worker = StartWorker(&next_worker_id, &local_report, &report_mutex, s);
-            if (!worker.has_value()) {
-              continue;  // spawn/handshake failure already blamed
-            }
-          }
-          std::string blame;
-          if (AttemptShard(*worker, task_payload, task, to - from, &results[s],
-                           &dispatch_span, &blame)) {
-            std::lock_guard<std::mutex> lock(report_mutex);
-            ++local_report.shards_from_workers;
-            done = true;
-          } else {
-            RecordFailure(&local_report, &report_mutex, s, worker->worker_id, worker->pid,
-                          blame + " (" + DestroyWorker(&*worker) + ")");
-            worker.reset();
-          }
-        }
-        if (!done) {
-          // Retries exhausted: verify locally so the shard -- and the
-          // combined verdict -- is never lost to a broken fleet.
-          results[s] = VerifyShard(config_, ped_, uploads.data() + from, to - from, from, s,
-                                   nullptr, compute_products, options_.tracer,
-                                   dispatch_span.context());
-          std::lock_guard<std::mutex> lock(report_mutex);
-          ++local_report.shards_recovered_in_process;
-        }
-      }
-      if (worker.has_value()) {
-        DestroyWorker(&*worker);
-      }
-    };
-
-    const size_t threads = std::min(options_.num_workers, shards);
-    std::vector<std::thread> drivers;
-    drivers.reserve(threads);
-    for (size_t t = 0; t + 1 < threads; ++t) {
-      drivers.emplace_back(drive);
-    }
-    drive();  // the calling thread drives a worker too
-    for (std::thread& t : drivers) {
-      t.join();
-    }
-
+    const size_t shards = config_.num_verify_shards > 1 ? config_.num_verify_shards
+                                                        : 2 * options_.num_workers;
+    VerifyReport<G> combined = DispatchAllShards<G>(config_, this, uploads, shards,
+                                                    compute_products, options_.tracer,
+                                                    options_.trace_parent);
     if (report != nullptr) {
-      *report = std::move(local_report);
+      *report = TakeReport();
     }
-    verify_span.End();
-    const double verify_ms = timer.ElapsedMillis();
-    obs::TraceSpan combine_span(options_.tracer, kStageCombine, options_.trace_parent);
-    VerifyReport<G> combined =
-        CombineShardResults(config_, std::move(results), compute_products);
-    combine_span.End();
-    combined.timings.verify_ms = verify_ms;
     return combined;
   }
 
  private:
   // Spawns and handshakes one worker: hello (version check) then setup.
-  std::optional<WorkerProcess> StartWorker(std::atomic<size_t>* next_worker_id,
-                                           ProcessPoolReport* report, std::mutex* mutex,
-                                           size_t shard_for_blame) {
-    const size_t id = next_worker_id->fetch_add(1);
+  std::optional<WorkerProcess> StartWorker(size_t shard_for_blame) {
+    const size_t id = next_worker_id_.fetch_add(1);
     auto worker = SpawnWorker(options_.worker_path, id);
     if (!worker.has_value()) {
-      RecordFailure(report, mutex, shard_for_blame, id, -1,
-                    "spawn failed: " + options_.worker_path);
+      RecordFailure(shard_for_blame, id, -1, "spawn failed: " + options_.worker_path);
       return std::nullopt;
     }
     {
-      std::lock_guard<std::mutex> lock(*mutex);
-      ++report->workers_spawned;
+      std::lock_guard<std::mutex> lock(report_mutex_);
+      ++report_.workers_spawned;
     }
     obs::GlobalCounter(obs::kPoolWorkersSpawned)->Increment();
     wire::Frame frame;
@@ -251,7 +251,7 @@ class MultiprocessVerifier {
       }
     }
     if (!blame.empty()) {
-      RecordFailure(report, mutex, shard_for_blame, id, worker->pid,
+      RecordFailure(shard_for_blame, id, worker->pid,
                     blame + " (" + DestroyWorker(&*worker) + ")");
       return std::nullopt;
     }
@@ -311,10 +311,10 @@ class MultiprocessVerifier {
       *blame = "result elements fail group decoding";
       return false;
     }
-    if (options_.tracer != nullptr && !wire_result->spans.empty()) {
+    if (this->tracer_ != nullptr && !wire_result->spans.empty()) {
       // Worker spans are relative to its task receipt; land them inside the
       // dispatch span on the driver's timeline.
-      options_.tracer->AdoptRemote(
+      this->tracer_->AdoptRemote(
           wire::SpansFromWire(wire_result->spans,
                               "worker:" + std::to_string(worker.worker_id)),
           dispatch_span->start_us());
@@ -323,11 +323,10 @@ class MultiprocessVerifier {
     return true;
   }
 
-  static void RecordFailure(ProcessPoolReport* report, std::mutex* mutex, size_t shard,
-                            size_t worker_id, pid_t pid, std::string reason) {
+  void RecordFailure(size_t shard, size_t worker_id, pid_t pid, std::string reason) {
     obs::GlobalCounter(obs::kPoolBlamed)->Increment();
-    std::lock_guard<std::mutex> lock(*mutex);
-    report->failures.push_back(WorkerFailure{shard, worker_id, pid, std::move(reason)});
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report_.failures.push_back(WorkerFailure{shard, worker_id, pid, std::move(reason)});
   }
 
   ProtocolConfig config_;
@@ -335,6 +334,10 @@ class MultiprocessVerifier {
   ProcessPoolOptions options_;
   Bytes setup_payload_;
   Sha256::Digest params_digest_;
+  std::vector<std::optional<WorkerProcess>> workers_;  // one slot per lane
+  std::atomic<size_t> next_worker_id_{0};
+  std::mutex report_mutex_;
+  ProcessPoolReport report_;
 };
 
 }  // namespace vdp

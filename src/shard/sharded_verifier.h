@@ -5,327 +5,89 @@
 // collapsed that to one MSM per batch. A single monolithic batch still has
 // two scaling problems: (a) one bad proof forces a per-proof re-scan of the
 // *entire* population to attribute blame, and (b) one thread of control caps
-// ingestion. This module partitions the upload stream into contiguous shards,
-// batch-verifies each shard independently (RLC + MSM, fanned across the
-// ThreadPool), and merges the per-shard results with a deterministic
-// combiner. Guarantees:
-//
-//   - Equivalence: the merged accepted set, rejection reasons, and the
-//     per-prover/per-bin products of accepted commitments are bit-identical
-//     to what the monolithic PublicVerifier::ValidateClients path computes
-//     (per-client decisions are independent and deterministic; sharding only
-//     changes which random-linear combination covers which proofs, and batch
-//     failure always falls back to the per-proof oracle).
-//   - Confined blame attribution: a corrupted upload makes only its own
-//     shard's RLC check fail, so only that shard re-verifies per proof. The
-//     fallback cost is bounded by the shard size, not the population.
-//   - Bounded memory: the streaming API (Add / Finish) keeps at most
-//     max_pending_shards * shard_capacity uploads resident; verified shards
-//     are reduced to their compact ShardResult immediately. Millions of
-//     uploads never need to coexist in memory.
+// ingestion. The compute core (per-shard batch verification + deterministic
+// combiner) lives in shard_result.h; the streaming machinery (shard cutting,
+// the bounded in-flight window, backpressure) lives in stream_dispatch.h and
+// is shared by every backend. This header keeps the classic ShardedVerifier
+// shape on top of those layers: a streaming Add/Finish verifier running the
+// in-process executor, plus the historical one-shot entry point.
 #ifndef SRC_SHARD_SHARDED_VERIFIER_H_
 #define SRC_SHARD_SHARDED_VERIFIER_H_
 
 #include <algorithm>
-#include <string>
+#include <optional>
 #include <utility>
 #include <vector>
 
-#include "src/batch/batch_or_proof.h"
-#include "src/common/timer.h"
-#include "src/core/client.h"
-#include "src/obs/metrics.h"
-#include "src/obs/trace.h"
-#include "src/verify/report.h"
+#include "src/shard/shard_result.h"
+#include "src/shard/stream_dispatch.h"
 
 namespace vdp {
 
-namespace shard_internal {
-
-// Dispatch policy shared by the one-shot and streaming paths: fan whole
-// shards across the pool only when there are enough of them to occupy every
-// worker; otherwise run them serially and give each shard the full pool
-// internally (same total work, full parallelism either way). verify is
-// called as verify(shard_index, inner_pool).
-template <typename Fn>
-void DispatchShards(size_t n, ThreadPool* pool, const Fn& verify) {
-  if (pool != nullptr && n > 1 && n >= pool->worker_count()) {
-    pool->ParallelFor(n, [&](size_t s) { verify(s, nullptr); });
-  } else {
-    for (size_t s = 0; s < n; ++s) {
-      verify(s, pool);
-    }
-  }
-}
-
-}  // namespace shard_internal
-
-// Outcome of verifying one contiguous shard of the upload stream. Everything
-// downstream (combiner, Eq. 10 check) needs survives here; the uploads
-// themselves can be released once this is produced.
-template <PrimeOrderGroup G>
-struct ShardResult {
-  size_t shard_index = 0;
-  size_t base = 0;   // global index of the shard's first upload
-  size_t count = 0;  // uploads in the shard
-  // Global indices of accepted uploads, ascending.
-  std::vector<size_t> accepted;
-  // (global index, reason) for every rejected upload, ascending by index.
-  std::vector<std::pair<size_t, std::string>> rejections;
-  // partial_products[k][m] = prod over accepted uploads of commitments[k][m]
-  // -- this shard's contribution to the Eq. 10 left-hand side.
-  std::vector<std::vector<typename G::Element>> partial_products;
-  // True iff this shard's RLC batch check failed and the shard re-verified
-  // per proof to attribute blame.
-  bool fallback_used = false;
-};
-
-// Reduces per-upload verdicts (ok / why, with global index base + i) to a
-// compact ShardResult: accepted indices, rejections, and optionally the
-// per-(prover, bin) partial products of accepted commitments. The single
-// implementation of result assembly -- VerifyShard and PerProofBackend
-// (src/verify/per_proof_backend.h) both build their results here, so the
-// bit-identity contract between backends cannot be broken by one copy
-// drifting. Consumes `why` (details are moved out).
-template <PrimeOrderGroup G>
-ShardResult<G> BuildShardResult(const ProtocolConfig& config,
-                                const ClientUploadMsg<G>* uploads, size_t count, size_t base,
-                                size_t shard_index, const std::vector<uint8_t>& ok,
-                                std::vector<std::string>& why, bool compute_products,
-                                bool fallback_used = false) {
-  using Element = typename G::Element;
-  ShardResult<G> result;
-  result.shard_index = shard_index;
-  result.base = base;
-  result.count = count;
-  result.fallback_used = fallback_used;
-  if (compute_products) {
-    result.partial_products.assign(config.num_provers,
-                                   std::vector<Element>(config.num_bins, G::Identity()));
-  }
-  for (size_t i = 0; i < count; ++i) {
-    if (ok[i] == 0) {
-      result.rejections.emplace_back(base + i, std::move(why[i]));
-      continue;
-    }
-    result.accepted.push_back(base + i);
-    if (!compute_products) {
-      continue;
-    }
-    for (size_t k = 0; k < config.num_provers; ++k) {
-      for (size_t m = 0; m < config.num_bins; ++m) {
-        result.partial_products[k][m] =
-            G::Mul(result.partial_products[k][m], uploads[i].commitments[k][m]);
-      }
-    }
-  }
-  return result;
-}
-
-// Verifies uploads[0..count) as one shard whose first element has global
-// index `base`. Structural checks and (on fallback) per-proof re-checks fan
-// across `pool`; the RLC batch check shards its MSM onto `pool` too. Pass
-// pool == nullptr when calling from inside a pool task (ParallelFor does not
-// nest). This is the single implementation of the batched validation
-// algorithm: BatchedBackend (src/verify/batched_backend.h) runs it as one
-// whole-stream shard, so the batched and sharded paths cannot drift apart.
-template <PrimeOrderGroup G>
-ShardResult<G> VerifyShard(const ProtocolConfig& config, const Pedersen<G>& ped,
-                           const ClientUploadMsg<G>* uploads, size_t count, size_t base,
-                           size_t shard_index, ThreadPool* pool = nullptr,
-                           bool compute_products = true,
-                           obs::TraceCollector* tracer = nullptr,
-                           obs::TraceContext trace_parent = {}) {
-  using Element = typename G::Element;
-  Stopwatch shard_timer;
-  obs::TraceSpan shard_span(tracer, "shard", trace_parent);
-  shard_span.set_detail("shard=" + std::to_string(shard_index) +
-                        " n=" + std::to_string(count));
-  std::vector<uint8_t> ok(count, 0);
-  std::vector<std::string> why(count);
-  std::vector<std::vector<Element>> aggregated(count);
-
-  // Structural pass: shape, per-bin aggregated commitments, one-hot opening.
-  obs::TraceSpan structure_span(tracer, "structure", shard_span.context());
-  auto structure = [&](size_t i) {
-    auto agg = ClientUploadStructure(uploads[i], config, ped, &why[i]);
-    if (agg.has_value()) {
-      aggregated[i] = std::move(*agg);
-      ok[i] = 1;
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(count, structure);
-  } else {
-    for (size_t i = 0; i < count; ++i) {
-      structure(i);
-    }
-  }
-  structure_span.End();
-
-  // One RLC check over every bin proof of every structurally valid upload in
-  // this shard. Contexts carry the *global* client index, so the challenge
-  // schedule is identical to the monolithic verifier's.
-  std::vector<OrInstance<G>> instances;
-  for (size_t i = 0; i < count; ++i) {
-    if (ok[i] == 0) {
-      continue;
-    }
-    for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
-      instances.push_back({aggregated[i][bin], uploads[i].bin_proofs[bin],
-                           ClientProofContext(config.session_id, base + i, bin)});
-    }
-  }
-  bool fallback_used = false;
-  obs::TraceSpan rlc_span(tracer, "rlc", shard_span.context());
-  const bool rlc_ok = BatchOrVerify(ped, instances, pool);
-  rlc_span.End();
-  if (!rlc_ok) {
-    // Someone in *this shard* cheated; re-run the per-proof oracle on this
-    // shard only. Decisions stay bit-identical to the monolithic path because
-    // the per-upload verdict is independent of every other upload.
-    fallback_used = true;
-    obs::TraceSpan fallback_span(tracer, "fallback", shard_span.context());
-    auto recheck = [&](size_t i) {
-      if (ok[i] == 0) {
-        return;
-      }
-      for (size_t bin = 0; bin < aggregated[i].size(); ++bin) {
-        if (!OrVerify(ped, aggregated[i][bin], uploads[i].bin_proofs[bin],
-                      ClientProofContext(config.session_id, base + i, bin))) {
-          why[i] = kDetailProofInvalid;
-          ok[i] = 0;
-          return;
-        }
-      }
-    };
-    if (pool != nullptr) {
-      pool->ParallelFor(count, recheck);
-    } else {
-      for (size_t i = 0; i < count; ++i) {
-        recheck(i);
-      }
-    }
-  }
-
-  const double shard_us = shard_timer.ElapsedMicros();
-  obs::GlobalHistogram(obs::kVerifyShardMs)->Record(shard_us / 1000.0);
-  if (count > 0) {
-    obs::GlobalHistogram(obs::kVerifyUsPerProof)->Record(shard_us / static_cast<double>(count));
-  }
-  return BuildShardResult(config, uploads, count, base, shard_index, ok, why,
-                          compute_products, fallback_used);
-}
-
-// Deterministic combiner: merges shard results (which must cover contiguous,
-// ascending ranges) into the global VerifyReport. Pure data-plane: no group
-// or hash operations beyond one Mul per shard per (prover, bin). When
-// compute_products is false the report carries no products (has_products()
-// is false) so downstream consumers recompute Eq. 10 from the uploads.
-template <PrimeOrderGroup G>
-VerifyReport<G> CombineShardResults(const ProtocolConfig& config,
-                                    std::vector<ShardResult<G>> results,
-                                    bool compute_products = true) {
-  using Element = typename G::Element;
-  Stopwatch timer;
-  std::sort(results.begin(), results.end(),
-            [](const ShardResult<G>& a, const ShardResult<G>& b) {
-              return a.shard_index < b.shard_index;
-            });
-  VerifyReport<G> report;
-  report.num_shards = results.size();
-  if (compute_products) {
-    report.commitment_products.assign(config.num_provers,
-                                      std::vector<Element>(config.num_bins, G::Identity()));
-  }
-  for (const ShardResult<G>& r : results) {
-    report.total_uploads += r.count;
-    if (r.fallback_used) {
-      ++report.shards_with_fallback;
-    }
-    report.accepted.insert(report.accepted.end(), r.accepted.begin(), r.accepted.end());
-    for (const auto& [index, why] : r.rejections) {
-      report.rejections.push_back(RejectionReason{index, ClassifyRejectDetail(why), why});
-    }
-    if (!compute_products || r.partial_products.empty()) {
-      continue;  // nothing to fold in
-    }
-    for (size_t k = 0; k < config.num_provers; ++k) {
-      for (size_t m = 0; m < config.num_bins; ++m) {
-        report.commitment_products[k][m] =
-            G::Mul(report.commitment_products[k][m], r.partial_products[k][m]);
-      }
-    }
-  }
-  report.timings.combine_ms = timer.ElapsedMillis();
-  return report;
-}
-
 // Streaming sharded verifier. Feed uploads in broadcast order with Add();
-// full shards are dispatched (batch-verified and reduced to ShardResults) as
-// soon as max_pending_shards buffers have accumulated, so memory stays
-// bounded no matter how long the stream runs. Finish() drains the remainder
-// and returns the combined verdict; the instance is then reset and reusable.
+// full shards are dispatched across the pool while ingestion continues, and
+// Add blocks once max_pending_shards are in flight, so memory stays bounded
+// no matter how long the stream runs. Finish() drains the remainder and
+// returns the combined verdict; the instance is then reset and reusable.
 template <PrimeOrderGroup G>
 class ShardedVerifier {
  public:
   // shard_capacity == 0 picks a default sized for MSM efficiency.
-  // max_pending_shards == 0 keeps one buffer per pool worker (or 1 without a
-  // pool), which is what lets a flush fan whole shards across the workers.
-  // compute_products == false skips the per-(prover, bin) partial products,
-  // for callers that only need decisions and reasons.
+  // max_pending_shards == 0 allows two in-flight shards per pool worker (or
+  // two without a pool), enough to keep every worker busy while the next
+  // shard fills. compute_products == false skips the per-(prover, bin)
+  // partial products, for callers that only need decisions and reasons.
   ShardedVerifier(const ProtocolConfig& config, Pedersen<G> ped, ThreadPool* pool = nullptr,
                   size_t shard_capacity = 0, size_t max_pending_shards = 0,
                   bool compute_products = true)
       : config_(config),
         ped_(std::move(ped)),
-        pool_(pool),
-        shard_capacity_(shard_capacity > 0 ? shard_capacity : kDefaultShardCapacity),
-        max_pending_(max_pending_shards > 0
-                         ? max_pending_shards
-                         : (pool != nullptr ? std::max<size_t>(1, pool->worker_count()) : 1)),
-        compute_products_(compute_products) {}
+        executor_(config_, ped_, pool),
+        options_{shard_capacity, max_pending_shards, compute_products, nullptr, {}} {}
 
-  size_t shard_capacity() const { return shard_capacity_; }
+  size_t shard_capacity() const {
+    return options_.shard_capacity > 0 ? options_.shard_capacity
+                                       : StreamDispatcher<G>::kDefaultShardCapacity;
+  }
 
-  // Verify time accumulated by flushes so far this stream (Finish resets
-  // it). ShardedBackend reads this before/after calls to split its wall time
-  // into the ingest and verify stages.
-  double flushed_verify_ms() const { return flushed_verify_ms_; }
-
-  // Span tree destination for subsequent flushes; null disables tracing.
+  // Span tree destination for the stream; null disables tracing. Takes
+  // effect at the next stream start (before the first Add).
   void SetTracer(obs::TraceCollector* tracer, obs::TraceContext parent) {
-    tracer_ = tracer;
-    trace_parent_ = parent;
+    options_.tracer = tracer;
+    options_.trace_parent = parent;
+    dispatcher_.reset();  // rebuild lazily with the new trace destination
   }
 
   // Ingest the next upload of the broadcast stream (global index assigned in
-  // arrival order). May synchronously verify and release buffered shards.
-  void Add(ClientUploadMsg<G> upload) {
-    current_.push_back(std::move(upload));
-    if (current_.size() == shard_capacity_) {
-      CloseCurrentShard();
-      if (pending_.size() >= max_pending_) {
-        FlushPending();
-      }
-    }
+  // arrival order). Blocks when the in-flight window is full.
+  void Add(ClientUploadMsg<G> upload) { Stream().Add(std::move(upload)); }
+
+  // Bulk ingestion without per-upload copies.
+  void AddBulk(std::vector<ClientUploadMsg<G>>&& uploads) {
+    Stream().AddBulk(std::move(uploads));
   }
 
-  // Verifies whatever is still buffered, merges all shard results, and resets
-  // the verifier for a fresh stream.
+  // Verifies whatever is still in flight, merges all shard results, and
+  // resets the verifier for a fresh stream.
   VerifyReport<G> Finish() {
-    CloseCurrentShard();
-    FlushPending();
-    obs::TraceSpan combine_span(tracer_, kStageCombine, trace_parent_);
-    VerifyReport<G> report =
-        CombineShardResults(config_, std::move(results_), compute_products_);
-    combine_span.End();
-    report.timings.verify_ms = flushed_verify_ms_;
-    results_.clear();
-    next_base_ = 0;
-    next_shard_index_ = 0;
-    flushed_verify_ms_ = 0;
+    StreamDispatcher<G>& stream = Stream();
+    const double wait_before_ms = stream.backpressure_wait_ms();
+    Stopwatch timer;
+    VerifyReport<G> report = stream.Finish();
+    const double drain_wait_ms =
+        std::max(0.0, stream.last_backpressure_wait_ms() - wait_before_ms);
+    // The drain is verify-stage work; time the producer already spent blocked
+    // on the window during Add was verify time too, but it belongs to the
+    // caller's ingest wall so only callers tracking Add time can fold it in.
+    report.timings.verify_ms =
+        std::max(0.0, timer.ElapsedMillis() - report.timings.combine_ms - drain_wait_ms) +
+        stream.last_backpressure_wait_ms();
     return report;
+  }
+
+  // Mid-stream pipeline state (see VerifyProgress).
+  VerifyProgress Progress() const {
+    return dispatcher_.has_value() ? dispatcher_->Progress() : VerifyProgress{};
   }
 
   // One-shot sharded verification of an in-memory vector: partitions into
@@ -339,81 +101,38 @@ class ShardedVerifier {
                                    ThreadPool* pool = nullptr, bool compute_products = true,
                                    obs::TraceCollector* tracer = nullptr,
                                    obs::TraceContext trace_parent = {}) {
-    Stopwatch timer;
-    const size_t n = uploads.size();
-    size_t shards = std::max<size_t>(1, config.num_verify_shards);
-    shards = std::min(shards, std::max<size_t>(1, n));
-    std::vector<ShardResult<G>> results(shards);
-    obs::TraceSpan verify_span(tracer, kStageVerify, trace_parent);
-    shard_internal::DispatchShards(shards, pool, [&](size_t s, ThreadPool* inner) {
-      size_t from = n * s / shards;
-      size_t to = n * (s + 1) / shards;
-      results[s] = VerifyShard(config, ped, uploads.data() + from, to - from, from, s, inner,
-                               compute_products, tracer, verify_span.context());
-    });
-    verify_span.End();
-    const double verify_ms = timer.ElapsedMillis();
-    obs::TraceSpan combine_span(tracer, kStageCombine, trace_parent);
-    VerifyReport<G> report = CombineShardResults(config, std::move(results), compute_products);
-    combine_span.End();
-    report.timings.verify_ms = verify_ms;
-    return report;
+    InProcessShardExecutor<G> executor(config, ped, pool);
+    return DispatchAllShards(config, &executor, uploads, config.num_verify_shards,
+                             compute_products, tracer, trace_parent);
   }
 
  private:
-  static constexpr size_t kDefaultShardCapacity = 1024;
-
-  void CloseCurrentShard() {
-    if (current_.empty()) {
-      return;
-    }
-    pending_.push_back(PendingShard{next_base_, next_shard_index_, std::move(current_)});
-    next_base_ += pending_.back().uploads.size();
-    ++next_shard_index_;
-    current_.clear();
-    // Backlog high-water mark: how many full shards were resident at once.
-    obs::GlobalGauge(obs::kShardQueueDepth)->Set(static_cast<int64_t>(pending_.size()));
-  }
-
-  void FlushPending() {
-    if (pending_.empty()) {
-      return;
-    }
-    Stopwatch timer;
-    size_t first = results_.size();
-    results_.resize(first + pending_.size());
-    shard_internal::DispatchShards(pending_.size(), pool_, [&](size_t p, ThreadPool* inner) {
-      const PendingShard& shard = pending_[p];
-      results_[first + p] = VerifyShard(config_, ped_, shard.uploads.data(),
-                                        shard.uploads.size(), shard.base, shard.shard_index,
-                                        inner, compute_products_, tracer_, trace_parent_);
-    });
-    pending_.clear();  // releases the upload buffers
-    obs::GlobalGauge(obs::kShardQueueDepth)->Set(0);
-    flushed_verify_ms_ += timer.ElapsedMillis();
-  }
-
-  struct PendingShard {
-    size_t base;
-    size_t shard_index;
-    std::vector<ClientUploadMsg<G>> uploads;
+  struct StreamKnobs {
+    size_t shard_capacity;
+    size_t max_pending_shards;
+    bool compute_products;
+    obs::TraceCollector* tracer;
+    obs::TraceContext trace_parent;
   };
+
+  StreamDispatcher<G>& Stream() {
+    if (!dispatcher_.has_value()) {
+      StreamDispatchOptions options;
+      options.shard_capacity = options_.shard_capacity;
+      options.max_inflight_shards = options_.max_pending_shards;
+      options.compute_products = options_.compute_products;
+      options.tracer = options_.tracer;
+      options.trace_parent = options_.trace_parent;
+      dispatcher_.emplace(config_, &executor_, options);
+    }
+    return *dispatcher_;
+  }
 
   ProtocolConfig config_;
   Pedersen<G> ped_;
-  ThreadPool* pool_;
-  size_t shard_capacity_;
-  size_t max_pending_;
-  bool compute_products_;
-  obs::TraceCollector* tracer_ = nullptr;
-  obs::TraceContext trace_parent_{};
-
-  std::vector<ClientUploadMsg<G>> current_;  // the shard being filled
-  std::vector<PendingShard> pending_;        // full shards awaiting dispatch
-  std::vector<ShardResult<G>> results_;      // compact results of verified shards
-  size_t next_base_ = 0;
-  size_t next_shard_index_ = 0;
-  double flushed_verify_ms_ = 0;             // verify time accumulated across flushes
+  InProcessShardExecutor<G> executor_;
+  StreamKnobs options_;
+  std::optional<StreamDispatcher<G>> dispatcher_;
 };
 
 }  // namespace vdp

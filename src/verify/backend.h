@@ -38,6 +38,13 @@ struct VerifyOptions {
   // Thread pool for in-process parallelism; nullptr runs serially. Backends
   // with their own execution resources (worker processes) may ignore it.
   ThreadPool* pool = nullptr;
+  // Streaming knobs for backends on the shard dispatcher
+  // (src/shard/stream_dispatch.h): uploads per sealed shard, and the bound
+  // on shards cut but not yet retired (Add blocks when it is reached). 0
+  // defers to the ProtocolConfig's stream_* fields, which at 0 defer to the
+  // dispatcher's defaults. Ignored by backends that buffer the whole stream.
+  size_t stream_shard_capacity = 0;
+  size_t stream_max_inflight_shards = 0;
   // When set, the stream records trace spans (ingest, verify, per-shard
   // dispatch, combine) into this collector, parented under trace_parent --
   // for the remote/multiprocess backends the span context also crosses the
@@ -70,12 +77,32 @@ class VerifyBackend {
   // report. Resets the stream state.
   virtual VerifyReport<G> Finish() = 0;
 
+  // Bulk ingestion that surrenders the buffer: equivalent to Add of each
+  // element in arrival order, but backends may adopt the allocation outright
+  // (no per-upload copies). The vector is left empty.
+  virtual void AddBulk(std::vector<ClientUploadMsg<G>>&& uploads) {
+    for (ClientUploadMsg<G>& upload : uploads) {
+      Add(std::move(upload));
+    }
+    uploads.clear();
+  }
+
   // Bulk ingestion; equivalent to Add for each element.
   void Submit(const std::vector<ClientUploadMsg<G>>& uploads) {
     for (const ClientUploadMsg<G>& upload : uploads) {
       Add(upload);
     }
   }
+
+  // Rvalue fast path: moves the uploads into the stream instead of copying.
+  void Submit(std::vector<ClientUploadMsg<G>>&& uploads) {
+    AddBulk(std::move(uploads));
+  }
+
+  // Point-in-time pipeline state of the current stream. Streaming backends
+  // report live shard/window occupancy; buffered backends report only what
+  // has accumulated. Zeroes outside a stream.
+  virtual VerifyProgress Progress() const { return VerifyProgress{}; }
 
   // One-shot convenience: Start + Submit + Finish. Backends with a zero-copy
   // bulk path override this; it must behave exactly like the streaming
@@ -115,6 +142,32 @@ class BufferedVerifyBackend : public VerifyBackend<G> {
     Stopwatch timer;
     buffer_.push_back(std::move(upload));
     ingest_ms_ += timer.ElapsedMillis();
+  }
+
+  void AddBulk(std::vector<ClientUploadMsg<G>>&& uploads) override {
+    if (uploads.empty()) {
+      return;
+    }
+    if (!ingested_any_ && options_.tracer != nullptr) {
+      first_add_us_ = options_.tracer->NowUs();
+    }
+    ingested_any_ = true;
+    Stopwatch timer;
+    if (buffer_.empty()) {
+      buffer_ = std::move(uploads);  // adopt the caller's allocation outright
+    } else {
+      buffer_.insert(buffer_.end(), std::make_move_iterator(uploads.begin()),
+                     std::make_move_iterator(uploads.end()));
+    }
+    uploads.clear();
+    ingest_ms_ += timer.ElapsedMillis();
+  }
+
+  VerifyProgress Progress() const override {
+    VerifyProgress progress;
+    progress.uploads_ingested = buffer_.size();
+    progress.buffered_uploads = buffer_.size();
+    return progress;
   }
 
   VerifyReport<G> Finish() override {

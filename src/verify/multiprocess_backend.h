@@ -1,27 +1,27 @@
 // MultiprocessBackend: shards farmed out to verify_worker subprocesses over
-// the versioned wire format (PR 3's src/shard/process_pool.h), with blamed
-// retries and in-process recovery, so the verdict never depends on fleet
-// health.
+// the versioned wire format (src/shard/process_pool.h), with blamed retries
+// and in-process recovery, so the verdict never depends on fleet health.
 //
 // Worker topology comes from ProtocolConfig::verify_workers (>= 2; a config
 // that selected this backend through the factory always has it). Streaming
-// Add buffers until Finish: shards only leave the process as whole wire
-// frames. A future RemoteBackend (socket transport) slots in exactly here --
-// same interface, different transport under the pool driver.
+// Add cuts shards through the dispatcher and ships them to workers while
+// ingestion continues -- shards only leave the process as whole wire frames,
+// and at most the in-flight window of them is resident at once.
 #ifndef SRC_VERIFY_MULTIPROCESS_BACKEND_H_
 #define SRC_VERIFY_MULTIPROCESS_BACKEND_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/shard/process_pool.h"
-#include "src/verify/backend.h"
+#include "src/verify/streaming_backend.h"
 
 namespace vdp {
 
 template <PrimeOrderGroup G>
-class MultiprocessBackend final : public BufferedVerifyBackend<G> {
+class MultiprocessBackend final : public StreamingVerifyBackend<G> {
  public:
   MultiprocessBackend(const ProtocolConfig& config, Pedersen<G> ped,
                       ProcessPoolOptions options = {})
@@ -36,6 +36,8 @@ class MultiprocessBackend final : public BufferedVerifyBackend<G> {
     }
   }
 
+  ~MultiprocessBackend() override { this->AbortStream(); }
+
   std::string_view name() const override { return "multiprocess"; }
 
   // Fleet health of the most recent stream: blamed failures, shards served
@@ -43,15 +45,24 @@ class MultiprocessBackend final : public BufferedVerifyBackend<G> {
   const ProcessPoolReport& last_pool_report() const { return last_pool_report_; }
 
  protected:
-  VerifyReport<G> Run(const std::vector<ClientUploadMsg<G>>& uploads) override {
-    ProcessPoolOptions options = pool_options_;
-    options.tracer = this->options().tracer;
-    options.trace_parent = this->options().trace_parent;
-    MultiprocessVerifier<G> verifier(config_, ped_, options);
-    VerifyReport<G> report = verifier.VerifyAll(uploads, this->options().compute_products,
-                                                &last_pool_report_);
-    report.backend = name();
-    return report;
+  std::unique_ptr<ShardExecutor<G>> MakeExecutor(const VerifyOptions& /*options*/,
+                                                 bool /*streaming*/) override {
+    auto verifier = std::make_unique<MultiprocessVerifier<G>>(config_, ped_, pool_options_);
+    verifier_ = verifier.get();
+    return verifier;
+  }
+
+  size_t OneShotShardCount(size_t /*n*/) const override {
+    return config_.num_verify_shards > 1 ? config_.num_verify_shards
+                                         : 2 * pool_options_.num_workers;
+  }
+
+  const ProtocolConfig& config() const override { return config_; }
+
+  void OnStreamFinished() override {
+    if (verifier_ != nullptr) {
+      last_pool_report_ = verifier_->TakeReport();
+    }
   }
 
  private:
@@ -60,6 +71,7 @@ class MultiprocessBackend final : public BufferedVerifyBackend<G> {
   ProtocolConfig config_;
   Pedersen<G> ped_;
   ProcessPoolOptions pool_options_;
+  MultiprocessVerifier<G>* verifier_ = nullptr;  // owned by the base as the executor
   ProcessPoolReport last_pool_report_;
 };
 

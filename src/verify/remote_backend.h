@@ -7,26 +7,32 @@
 // The fleet comes from ProtocolConfig::remote_verifiers (validated
 // endpoints; a config that selected this backend through the factory always
 // has them) and authenticates with ProtocolConfig::remote_auth_key_hex.
-// Streaming Add buffers until Finish: shards only leave the process as
-// whole authenticated wire frames, exactly like the subprocess pool.
+// Streaming Add cuts shards through the dispatcher and ships them to the
+// fleet while ingestion continues -- shards only leave the process as whole
+// authenticated wire frames, and at most the in-flight window of them is
+// resident at once.
 #ifndef SRC_VERIFY_REMOTE_BACKEND_H_
 #define SRC_VERIFY_REMOTE_BACKEND_H_
 
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/net/remote_fleet.h"
-#include "src/verify/backend.h"
+#include "src/verify/streaming_backend.h"
 
 namespace vdp {
 
 template <PrimeOrderGroup G>
-class RemoteBackend final : public BufferedVerifyBackend<G> {
+class RemoteBackend final : public StreamingVerifyBackend<G> {
  public:
   RemoteBackend(const ProtocolConfig& config, Pedersen<G> ped,
                 RemoteFleetOptions options = {})
       : config_(config), ped_(std::move(ped)), fleet_options_(std::move(options)) {}
+
+  ~RemoteBackend() override { this->AbortStream(); }
 
   std::string_view name() const override { return "remote"; }
 
@@ -35,21 +41,32 @@ class RemoteBackend final : public BufferedVerifyBackend<G> {
   const RemoteFleetReport& last_fleet_report() const { return last_fleet_report_; }
 
  protected:
-  VerifyReport<G> Run(const std::vector<ClientUploadMsg<G>>& uploads) override {
-    RemoteFleetOptions options = fleet_options_;
-    options.tracer = this->options().tracer;
-    options.trace_parent = this->options().trace_parent;
-    RemoteVerifierFleet<G> fleet(config_, ped_, options);
-    VerifyReport<G> report = fleet.VerifyAll(uploads, this->options().compute_products,
-                                             &last_fleet_report_);
-    report.backend = name();
-    return report;
+  std::unique_ptr<ShardExecutor<G>> MakeExecutor(const VerifyOptions& /*options*/,
+                                                 bool /*streaming*/) override {
+    auto fleet = std::make_unique<RemoteVerifierFleet<G>>(config_, ped_, fleet_options_);
+    fleet_ = fleet.get();
+    return fleet;
+  }
+
+  size_t OneShotShardCount(size_t /*n*/) const override {
+    return config_.num_verify_shards > 1
+               ? config_.num_verify_shards
+               : 2 * std::max<size_t>(1, config_.remote_verifiers.size());
+  }
+
+  const ProtocolConfig& config() const override { return config_; }
+
+  void OnStreamFinished() override {
+    if (fleet_ != nullptr) {
+      last_fleet_report_ = fleet_->TakeReport();
+    }
   }
 
  private:
   ProtocolConfig config_;
   Pedersen<G> ped_;
   RemoteFleetOptions fleet_options_;
+  RemoteVerifierFleet<G>* fleet_ = nullptr;  // owned by the base as the executor
   RemoteFleetReport last_fleet_report_;
 };
 

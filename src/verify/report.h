@@ -118,6 +118,23 @@ struct VerifyTimings {
   }
 };
 
+// A point-in-time snapshot of a verification stream in flight, for callers
+// that want to watch a long ingest (progress bars, soak harnesses, the
+// run-log). All counters are monotone within one stream except
+// inflight_shards/buffered_uploads, which rise and fall with the
+// backpressure window. Buffered backends report only what they have
+// ingested; streaming backends report real pipeline state.
+struct VerifyProgress {
+  size_t uploads_ingested = 0;   // Add/Submit calls so far
+  size_t shards_cut = 0;         // contiguous shards sealed from the stream
+  size_t shards_done = 0;        // shards reduced to a compact ShardResult
+  size_t inflight_shards = 0;    // cut but not yet reduced (queued + executing)
+  size_t buffered_uploads = 0;   // uploads resident in backend memory
+  size_t accepted_so_far = 0;    // accepted uploads across finished shards
+  size_t rejected_so_far = 0;    // rejected uploads across finished shards
+  double backpressure_wait_ms = 0;  // producer time blocked on the window
+};
+
 // The structured verdict of one verification stream.
 template <PrimeOrderGroup G>
 struct VerifyReport {

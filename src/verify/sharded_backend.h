@@ -1,96 +1,49 @@
 // ShardedBackend: the upload stream partitioned into contiguous shards, each
-// batch-verified independently (RLC + MSM, fanned across the ThreadPool) and
-// merged by the deterministic combiner (PR 2's src/shard/sharded_verifier.h).
+// batch-verified independently (RLC + MSM) by the in-process executor, cut
+// and dispatched by the streaming spine (src/shard/stream_dispatch.h), and
+// merged by the deterministic combiner.
 //
-// Streaming Add keeps memory bounded (full shards are reduced to compact
-// ShardResults as soon as enough have buffered); the bulk path partitions the
-// caller's vector in place with no copies.
+// Streaming Add keeps memory bounded: full shards leave for pool lanes as
+// soon as they are cut, and Add blocks at the in-flight window. The bulk
+// path partitions the caller's vector in place with no copies.
 #ifndef SRC_VERIFY_SHARDED_BACKEND_H_
 #define SRC_VERIFY_SHARDED_BACKEND_H_
 
-#include <algorithm>
-#include <optional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "src/common/timer.h"
-#include "src/shard/sharded_verifier.h"
-#include "src/verify/backend.h"
+#include "src/shard/stream_dispatch.h"
+#include "src/verify/streaming_backend.h"
 
 namespace vdp {
 
 template <PrimeOrderGroup G>
-class ShardedBackend final : public VerifyBackend<G> {
+class ShardedBackend final : public StreamingVerifyBackend<G> {
  public:
   ShardedBackend(const ProtocolConfig& config, Pedersen<G> ped)
       : config_(config), ped_(std::move(ped)) {}
 
+  ~ShardedBackend() override { this->AbortStream(); }
+
   std::string_view name() const override { return "sharded"; }
 
-  void Start(const VerifyOptions& options) override {
-    options_ = options;
-    stream_.emplace(config_, ped_, options_.pool, /*shard_capacity=*/0,
-                    /*max_pending_shards=*/0, options_.compute_products);
-    stream_->SetTracer(options_.tracer, options_.trace_parent);
-    add_wall_ms_ = 0;
+ protected:
+  std::unique_ptr<ShardExecutor<G>> MakeExecutor(const VerifyOptions& options,
+                                                 bool /*streaming*/) override {
+    return std::make_unique<InProcessShardExecutor<G>>(config_, ped_, options.pool);
   }
 
-  void Add(ClientUploadMsg<G> upload) override {
-    EnsureStream();  // tolerate Add-before-Start like the buffered backends
-    Stopwatch timer;
-    stream_->Add(std::move(upload));
-    add_wall_ms_ += timer.ElapsedMillis();
+  size_t OneShotShardCount(size_t /*n*/) const override {
+    return config_.num_verify_shards;
   }
 
-  VerifyReport<G> Finish() override {
-    EnsureStream();  // Finish-without-Start yields an empty report
-    // Time spent inside Add splits into ingest (buffering) and verify (the
-    // flushes Add triggered); the stream tracks the latter.
-    const double verify_during_add_ms = stream_->flushed_verify_ms();
-    Stopwatch timer;
-    VerifyReport<G> report = stream_->Finish();
-    const double finish_wall_ms = timer.ElapsedMillis();
-    report.backend = name();
-    report.timings.ingest_ms = std::max(0.0, add_wall_ms_ - verify_during_add_ms);
-    report.timings.total_ms = add_wall_ms_ + finish_wall_ms;
-    add_wall_ms_ = 0;
-    stream_.reset();
-    return report;
-  }
-
-  VerifyReport<G> VerifyAll(const std::vector<ClientUploadMsg<G>>& uploads,
-                            const VerifyOptions& options = {}) override {
-    // Like Start: a one-shot call discards any buffered stream and fixes the
-    // options a later lazily-opened stream will reuse.
-    options_ = options;
-    stream_.reset();
-    Stopwatch timer;
-    // Zero-copy bulk path: contiguous shards over the caller's vector.
-    VerifyReport<G> report = ShardedVerifier<G>::VerifyAll(config_, ped_, uploads,
-                                                           options.pool,
-                                                           options.compute_products,
-                                                           options.tracer,
-                                                           options.trace_parent);
-    report.backend = name();
-    report.timings.total_ms = timer.ElapsedMillis();
-    return report;
-  }
+  const ProtocolConfig& config() const override { return config_; }
 
  private:
-  // Lazily (re)opens the stream with the most recent options, mirroring how
-  // BufferedVerifyBackend retains options_ across Finish.
-  void EnsureStream() {
-    if (!stream_.has_value()) {
-      Start(options_);
-    }
-  }
-
   ProtocolConfig config_;
   Pedersen<G> ped_;
-  VerifyOptions options_;
-  std::optional<ShardedVerifier<G>> stream_;
-  double add_wall_ms_ = 0;
 };
 
 }  // namespace vdp

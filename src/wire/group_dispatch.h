@@ -23,6 +23,8 @@ template <typename Fn>
 bool DispatchGroup(const std::string& name, Fn&& fn) {
   if (name == ModP256::Name()) {
     fn(GroupTag<ModP256>{});
+  } else if (name == ModP64::Name()) {
+    fn(GroupTag<ModP64>{});
   } else if (name == ModP512::Name()) {
     fn(GroupTag<ModP512>{});
   } else if (name == ModP1024::Name()) {

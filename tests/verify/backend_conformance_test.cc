@@ -11,6 +11,7 @@
 #include <signal.h>
 
 #include <cstdlib>
+#include <random>
 
 #include "src/core/verifier.h"
 #include "src/net/server_process.h"
@@ -192,6 +193,49 @@ TEST_P(BackendConformanceTest, VerifyAllDiscardsBufferedStream) {
   auto after = backend->Finish();  // fresh empty stream, not the stale upload
   EXPECT_TRUE(after.accepted.empty());
   EXPECT_EQ(after.total_uploads, 0u);
+}
+
+// Randomized streaming interleavings: any mix of Add, moved-out Submit, and
+// AddBulk over the adversarial corpus, under randomly small stream windows
+// (where backpressure actually engages) and capacities that land the
+// tampered uploads on different shard boundaries every round, must still be
+// bit-identical to the one-shot verdict. The RNG is seeded per backend, so a
+// failure names a reproducible (capacity, window, interleaving) triple.
+TEST_P(BackendConformanceTest, RandomizedInterleavingsMatchOneShot) {
+  auto uploads = Corpus(ped_);
+  auto backend = Backend();
+  auto oneshot = backend->VerifyAll(uploads);
+
+  std::mt19937 rng(0x5eed0000u + static_cast<unsigned>(GetParam()) * 97u);
+  for (int round = 0; round < 4; ++round) {
+    VerifyOptions options;
+    options.stream_shard_capacity = 1 + rng() % 7;
+    options.stream_max_inflight_shards = 1 + rng() % 3;
+    SCOPED_TRACE("round " + std::to_string(round) + " capacity=" +
+                 std::to_string(options.stream_shard_capacity) + " window=" +
+                 std::to_string(options.stream_max_inflight_shards));
+    backend->Start(options);
+    size_t i = 0;
+    while (i < uploads.size()) {
+      const uint32_t pick = rng() % 3;
+      if (pick == 0) {
+        backend->Add(uploads[i]);
+        ++i;
+      } else {
+        const size_t len = std::min<size_t>(1 + rng() % 5, uploads.size() - i);
+        std::vector<ClientUploadMsg<G>> chunk(uploads.begin() + i,
+                                              uploads.begin() + i + len);
+        if (pick == 1) {
+          backend->Submit(std::move(chunk));  // the rvalue fast path
+        } else {
+          backend->AddBulk(std::move(chunk));
+        }
+        i += len;
+      }
+    }
+    auto streamed = backend->Finish();
+    ExpectSameDecisions(oneshot, streamed);
+  }
 }
 
 TEST_P(BackendConformanceTest, EmptyUploadSet) {

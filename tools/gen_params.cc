@@ -58,12 +58,15 @@ int main(int argc, char** argv) {
     }
   }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <bits: 256|512|1024|2048> | %s schnorr <512|2048>\n",
+    std::fprintf(stderr, "usage: %s <bits: 64|256|512|1024|2048> | %s schnorr <512|2048>\n",
                  argv[0], argv[0]);
     return 1;
   }
   size_t bits = static_cast<size_t>(std::atoi(argv[1]));
   switch (bits) {
+    case 64:
+      Generate<1>(bits);
+      break;
     case 256:
       Generate<4>(bits);
       break;

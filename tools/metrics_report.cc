@@ -181,6 +181,26 @@ void RenderMetrics(const std::vector<ParsedLine>& lines) {
   }
 }
 
+// The bounded-memory headline: every process's mem.rss_hwm_kb footer gauge
+// (src/obs/runlog.h Footer), rendered in MiB so a stream-1m log answers
+// "did memory stay bounded" at a glance.
+void RenderPeakRss(const std::vector<ParsedLine>& lines) {
+  std::map<int, double> peak_kb_by_pid;  // last write wins per process
+  for (const ParsedLine& line : lines) {
+    if (Kind(line) == "metric" && line.value.StringOr("name", "") == kMemRssHwmKb) {
+      peak_kb_by_pid[static_cast<int>(line.value.NumberOr("pid", 0))] =
+          line.value.NumberOr("max", line.value.NumberOr("value", 0));
+    }
+  }
+  if (peak_kb_by_pid.empty()) {
+    return;
+  }
+  std::printf("\npeak rss (VmHWM):\n");
+  for (const auto& [pid, kb] : peak_kb_by_pid) {
+    std::printf("  pid=%-8d %10.0f KiB  (%.1f MiB)\n", pid, kb, kb / 1024.0);
+  }
+}
+
 struct SpanRow {
   std::string name;
   std::string span_id;
@@ -262,6 +282,7 @@ int Render(const std::vector<std::string>& paths) {
   RenderHeaders(lines);
   RenderStages(lines);
   RenderMetrics(lines);
+  RenderPeakRss(lines);
   RenderSpans(lines);
   return ok ? 0 : 2;
 }
