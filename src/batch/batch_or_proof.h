@@ -63,12 +63,18 @@ bool BatchOrVerify(const Pedersen<G>& ped, const std::vector<OrInstance<G>>& ins
     }
   }
 
-  // Combiners are bound to the whole batch.
+  // Combiners are bound to the whole batch. Commitments are encoded in one
+  // batch (one shared field inversion on curve groups instead of n).
+  std::vector<typename G::Element> cs(n);
+  for (size_t i = 0; i < n; ++i) {
+    cs[i] = instances[i].c;
+  }
+  std::vector<Bytes> enc_cs = EncodeAll<G>(cs);
   Transcript fork("vdp/batch-or");
   fork.AppendU64("count", n);
   for (size_t i = 0; i < n; ++i) {
     fork.Append("context", ToBytes(instances[i].context));
-    fork.Append("c", G::Encode(instances[i].c));
+    fork.Append("c", enc_cs[i]);
     fork.Append("proof", instances[i].proof.Serialize());
   }
   SecureRng rng = ForkCombinerRng(fork);
@@ -92,7 +98,9 @@ bool BatchOrVerify(const Pedersen<G>& ped, const std::vector<OrInstance<G>>& ins
     bases.push_back(instances[i].c);
     scalars.push_back(alpha * p.e0 + beta * p.e1);
   }
-  auto lhs = G::Mul(ped.ExpH(sum_h), ped.ExpG(sum_g));
+  // Left side: two fixed-base terms, merged through the shared comb tables.
+  auto lhs = MsmWithFixedTerms<G>(
+      {{&ped.h_table(), sum_h}, {&ped.g_table(), sum_g}}, {}, {});
   return lhs == Msm<G>(bases, scalars, pool);
 }
 

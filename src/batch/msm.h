@@ -6,20 +6,29 @@
 // sigma-protocol checks to a couple of MSMs. Three algorithms:
 //   - MsmNaive: fold of G::Exp, the correctness oracle for tests,
 //   - windowed-NAF Straus (small batches): a shared double-and-add chain over
-//     per-point signed-digit tables, with negative digits collected in a
-//     second accumulator so the whole batch costs one group inversion,
+//     per-point signed-digit tables; groups with cheap negation fold negative
+//     digits directly, others collect them in a second accumulator so the
+//     whole batch costs one group inversion,
 //   - Pippenger (large batches): bucket accumulation per w-bit window; cost
 //     per term drops to ~bits/w group operations as the batch grows.
+// All fast paths run on the group's acceleration kernel (src/group/accel.h):
+// input points are batch-normalized to the kernel's table form once (one
+// field inversion for curve groups -- Montgomery's trick), so every bucket
+// insert and table add is a mixed addition, and accumulators use the
+// dedicated doubling formula instead of the generic group Mul.
 // Msm() dispatches on batch size and optionally shards across a ThreadPool
-// (chunked, one partial MSM per chunk; partials combine with one Mul each).
+// (chunked, one partial MSM per chunk; partials combine with one add each).
 #ifndef SRC_BATCH_MSM_H_
 #define SRC_BATCH_MSM_H_
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/group/accel.h"
+#include "src/group/fixed_base.h"
 #include "src/group/group.h"
 #include "src/obs/metrics.h"
 
@@ -122,7 +131,7 @@ inline uint64_t DigitAt(const std::vector<uint64_t>& v, size_t bit, size_t w) {
 
 // Pippenger window width minimizing a simple cost model:
 // ceil(bits/w) windows, each costing n bucket inserts + ~1.5 * 2^w running-sum
-// multiplications + w squarings.
+// additions + w doublings.
 inline size_t BestWindow(size_t n, size_t bits) {
   size_t best_w = 2;
   double best_cost = 1e300;
@@ -137,6 +146,83 @@ inline size_t BestWindow(size_t n, size_t bits) {
     }
   }
   return best_w;
+}
+
+// Batch-normalize public group elements into the kernel's table form.
+template <PrimeOrderGroup G>
+void NormalizeBases(const std::vector<typename G::Element>& bases,
+                    std::vector<typename AccelOf<G>::A>* out) {
+  using Ac = AccelOf<G>;
+  std::vector<typename Ac::P> lifted(bases.size());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    lifted[i] = Ac::Lift(bases[i]);
+  }
+  Ac::Normalize(lifted, out);
+}
+
+// Pippenger over pre-normalized bases[from, to); result stays in accumulator
+// form so chunked partials combine without leaving the kernel.
+template <PrimeOrderGroup G>
+typename AccelOf<G>::P PippengerAccum(
+    const std::vector<typename AccelOf<G>::A>& abases,
+    const std::vector<std::vector<uint64_t>>& limbs, size_t from, size_t to) {
+  using Ac = AccelOf<G>;
+  size_t max_bits = 0;
+  for (size_t i = from; i < to; ++i) {
+    max_bits = std::max(max_bits, LimbsBitLength(limbs[i]));
+  }
+  if (max_bits == 0) {
+    return Ac::Identity();
+  }
+  const size_t w = BestWindow(to - from, max_bits);
+  const size_t num_buckets = size_t{1} << w;
+  const size_t windows = (max_bits + w - 1) / w;
+
+  std::vector<typename Ac::P> buckets(num_buckets, Ac::Identity());
+  std::vector<uint8_t> used(num_buckets);
+
+  typename Ac::P acc = Ac::Identity();
+  bool acc_live = false;
+  for (size_t win = windows; win-- > 0;) {
+    if (acc_live) {
+      for (size_t s = 0; s < w; ++s) {
+        acc = Ac::Dbl(acc);
+      }
+    }
+    std::fill(used.begin(), used.end(), 0);
+    for (size_t i = from; i < to; ++i) {
+      uint64_t d = DigitAt(limbs[i], win * w, w);
+      if (d == 0) {
+        continue;
+      }
+      // Mixed addition against the normalized base -- the hot line of the
+      // whole batch verifier.
+      buckets[d] = used[d] ? Ac::AddA(buckets[d], abases[i])
+                           : Ac::AddA(Ac::Identity(), abases[i]);
+      used[d] = 1;
+    }
+    // running = sum of buckets [d, top]; each bucket's content is thereby
+    // added d times in total across the iterations of window_sum.
+    typename Ac::P running = Ac::Identity();
+    typename Ac::P window_sum = Ac::Identity();
+    bool running_live = false;
+    bool sum_live = false;
+    for (size_t d = num_buckets; d-- > 1;) {
+      if (used[d]) {
+        running = running_live ? Ac::Add(running, buckets[d]) : buckets[d];
+        running_live = true;
+      }
+      if (running_live) {
+        window_sum = sum_live ? Ac::Add(window_sum, running) : running;
+        sum_live = true;
+      }
+    }
+    if (sum_live) {
+      acc = acc_live ? Ac::Add(acc, window_sum) : window_sum;
+      acc_live = true;
+    }
+  }
+  return acc_live ? acc : Ac::Identity();
 }
 
 }  // namespace msm_internal
@@ -156,14 +242,16 @@ typename G::Element MsmNaive(const std::vector<typename G::Element>& bases,
   return acc;
 }
 
-// Windowed-NAF Straus for small batches: one shared squaring chain, per-point
-// tables of odd multiples. Negative digits accumulate into a second
+// Windowed-NAF Straus for small batches: one shared doubling chain, per-point
+// tables of odd multiples normalized in one batch. Cheap-negate groups fold
+// negative digits in place; for the rest they accumulate into a second
 // accumulator over the same chain, so the batch needs exactly one group
 // inversion at the end (inversion is a full exponentiation for mod-p groups).
 template <PrimeOrderGroup G>
 typename G::Element MsmWnaf(const std::vector<typename G::Element>& bases,
                             const std::vector<typename G::Scalar>& scalars) {
   namespace mi = msm_internal;
+  using Ac = AccelOf<G>;
   if (bases.size() != scalars.size()) {
     throw std::invalid_argument("MsmWnaf: size mismatch");
   }
@@ -172,127 +260,105 @@ typename G::Element MsmWnaf(const std::vector<typename G::Element>& bases,
   constexpr size_t kTable = size_t{1} << (kW - 2);
 
   std::vector<std::vector<int>> nafs(n);
-  std::vector<std::vector<typename G::Element>> tables(n);
+  std::vector<size_t> offset(n, 0);
+  std::vector<typename Ac::P> flat;
   size_t max_len = 0;
   for (size_t i = 0; i < n; ++i) {
     nafs[i] = mi::ComputeWnaf(mi::ToLimbs(scalars[i].Encode()), kW);
     max_len = std::max(max_len, nafs[i].size());
     if (!nafs[i].empty()) {
-      auto& table = tables[i];
-      table.reserve(kTable);
-      table.push_back(bases[i]);
-      auto twice = G::Mul(bases[i], bases[i]);
+      offset[i] = flat.size();
+      typename Ac::P cur = Ac::Lift(bases[i]);
+      typename Ac::P twice = Ac::Dbl(cur);
+      flat.push_back(cur);
       for (size_t k = 1; k < kTable; ++k) {
-        table.push_back(G::Mul(table.back(), twice));
+        cur = Ac::Add(cur, twice);
+        flat.push_back(cur);
       }
     }
   }
+  std::vector<typename Ac::A> table;
+  Ac::Normalize(flat, &table);
 
-  auto pos = G::Identity();
-  auto neg = G::Identity();
-  bool pos_live = false;
-  bool neg_live = false;
-  for (size_t j = max_len; j-- > 0;) {
-    if (pos_live) {
-      pos = G::Mul(pos, pos);
-    }
-    if (neg_live) {
-      neg = G::Mul(neg, neg);
-    }
-    for (size_t i = 0; i < n; ++i) {
-      if (j >= nafs[i].size()) {
-        continue;
+  if constexpr (Ac::kCheapNegate) {
+    typename Ac::P acc = Ac::Identity();
+    bool live = false;
+    for (size_t j = max_len; j-- > 0;) {
+      if (live) {
+        acc = Ac::Dbl(acc);
       }
-      int d = nafs[i][j];
-      if (d > 0) {
-        pos = pos_live ? G::Mul(pos, tables[i][static_cast<size_t>(d) / 2])
-                       : tables[i][static_cast<size_t>(d) / 2];
-        pos_live = true;
-      } else if (d < 0) {
-        neg = neg_live ? G::Mul(neg, tables[i][static_cast<size_t>(-d) / 2])
-                       : tables[i][static_cast<size_t>(-d) / 2];
-        neg_live = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (j >= nafs[i].size()) {
+          continue;
+        }
+        int d = nafs[i][j];
+        if (d > 0) {
+          acc = Ac::AddA(acc, table[offset[i] + static_cast<size_t>(d) / 2]);
+          live = true;
+        } else if (d < 0) {
+          acc = Ac::AddA(acc,
+                         Ac::NegA(table[offset[i] + static_cast<size_t>(-d) / 2]));
+          live = true;
+        }
       }
     }
+    return Ac::Lower(acc);
+  } else {
+    typename Ac::P pos = Ac::Identity();
+    typename Ac::P neg = Ac::Identity();
+    bool pos_live = false;
+    bool neg_live = false;
+    for (size_t j = max_len; j-- > 0;) {
+      if (pos_live) {
+        pos = Ac::Dbl(pos);
+      }
+      if (neg_live) {
+        neg = Ac::Dbl(neg);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (j >= nafs[i].size()) {
+          continue;
+        }
+        int d = nafs[i][j];
+        if (d > 0) {
+          pos = Ac::AddA(pos, table[offset[i] + static_cast<size_t>(d) / 2]);
+          pos_live = true;
+        } else if (d < 0) {
+          neg = Ac::AddA(neg, table[offset[i] + static_cast<size_t>(-d) / 2]);
+          neg_live = true;
+        }
+      }
+    }
+    if (!neg_live) {
+      return Ac::Lower(pos);
+    }
+    return G::Mul(Ac::Lower(pos), G::Inverse(Ac::Lower(neg)));
   }
-  if (!neg_live) {
-    return pos;
-  }
-  return G::Mul(pos, G::Inverse(neg));
 }
 
 // Pippenger bucket method over bases[from, to). For each w-bit window, points
 // land in the bucket of their digit; the window sum is recovered with the
-// running-sum trick (2 * 2^w multiplications, no per-bucket weighting).
+// running-sum trick (2 * 2^w additions, no per-bucket weighting).
 template <PrimeOrderGroup G>
 typename G::Element MsmPippenger(const std::vector<typename G::Element>& bases,
                                  const std::vector<std::vector<uint64_t>>& limbs, size_t from,
                                  size_t to) {
-  namespace mi = msm_internal;
-  size_t max_bits = 0;
-  for (size_t i = from; i < to; ++i) {
-    max_bits = std::max(max_bits, mi::LimbsBitLength(limbs[i]));
-  }
-  if (max_bits == 0) {
-    return G::Identity();
-  }
-  const size_t w = mi::BestWindow(to - from, max_bits);
-  const size_t num_buckets = size_t{1} << w;
-  const size_t windows = (max_bits + w - 1) / w;
-
-  std::vector<typename G::Element> buckets(num_buckets);
-  std::vector<uint8_t> used(num_buckets);
-
-  auto acc = G::Identity();
-  bool acc_live = false;
-  for (size_t win = windows; win-- > 0;) {
-    if (acc_live) {
-      for (size_t s = 0; s < w; ++s) {
-        acc = G::Mul(acc, acc);
-      }
-    }
-    std::fill(used.begin(), used.end(), 0);
-    for (size_t i = from; i < to; ++i) {
-      uint64_t d = mi::DigitAt(limbs[i], win * w, w);
-      if (d == 0) {
-        continue;
-      }
-      buckets[d] = used[d] ? G::Mul(buckets[d], bases[i]) : bases[i];
-      used[d] = 1;
-    }
-    // running = sum of buckets [d, top]; each bucket's content is thereby
-    // added d times in total across the iterations of window_sum.
-    typename G::Element running;
-    typename G::Element window_sum;
-    bool running_live = false;
-    bool sum_live = false;
-    for (size_t d = num_buckets; d-- > 1;) {
-      if (used[d]) {
-        running = running_live ? G::Mul(running, buckets[d]) : buckets[d];
-        running_live = true;
-      }
-      if (running_live) {
-        window_sum = sum_live ? G::Mul(window_sum, running) : running;
-        sum_live = true;
-      }
-    }
-    if (sum_live) {
-      acc = acc_live ? G::Mul(acc, window_sum) : window_sum;
-      acc_live = true;
-    }
-  }
-  return acc_live ? acc : G::Identity();
+  using Ac = AccelOf<G>;
+  std::vector<typename Ac::A> abases;
+  msm_internal::NormalizeBases<G>(bases, &abases);
+  return Ac::Lower(msm_internal::PippengerAccum<G>(abases, limbs, from, to));
 }
 
 // prod_i bases[i]^scalars[i]. Dispatches between the windowed-NAF and
 // Pippenger paths; large batches shard across the pool (chunked partial MSMs,
-// combined with one Mul per chunk). Must not be called from inside a pool
+// combined with one add per chunk). Must not be called from inside a pool
 // task (ParallelFor does not nest).
 template <PrimeOrderGroup G>
 typename G::Element Msm(const std::vector<typename G::Element>& bases,
                         const std::vector<typename G::Scalar>& scalars,
                         ThreadPool* pool = nullptr) {
   namespace mi = msm_internal;
+  using Ac = AccelOf<G>;
   if (bases.size() != scalars.size()) {
     throw std::invalid_argument("Msm: size mismatch");
   }
@@ -311,23 +377,47 @@ typename G::Element Msm(const std::vector<typename G::Element>& bases,
   for (size_t i = 0; i < n; ++i) {
     limbs[i] = mi::ToLimbs(scalars[i].Encode());
   }
+  // One batch normalization for the whole set, shared by every chunk.
+  std::vector<typename Ac::A> abases;
+  mi::NormalizeBases<G>(bases, &abases);
 
   const size_t workers = (pool != nullptr) ? pool->worker_count() : 1;
   const size_t chunks = std::min(workers, n / kPippengerThreshold);
   if (chunks <= 1) {
-    return MsmPippenger<G>(bases, limbs, 0, n);
+    return Ac::Lower(mi::PippengerAccum<G>(abases, limbs, 0, n));
   }
-  std::vector<typename G::Element> partial(chunks);
+  std::vector<typename Ac::P> partial(chunks, Ac::Identity());
   pool->ParallelFor(chunks, [&](size_t c) {
     size_t from = n * c / chunks;
     size_t to = n * (c + 1) / chunks;
-    partial[c] = MsmPippenger<G>(bases, limbs, from, to);
+    partial[c] = mi::PippengerAccum<G>(abases, limbs, from, to);
   });
   auto acc = partial[0];
   for (size_t c = 1; c < chunks; ++c) {
-    acc = G::Mul(acc, partial[c]);
+    acc = Ac::Add(acc, partial[c]);
   }
-  return acc;
+  return Ac::Lower(acc);
+}
+
+// prod_j tables[j]^fixed_scalars[j] * prod_i bases[i]^scalars[i]: the
+// fixed-base fast path. Generator terms (every batch verifier has a g^a h^b
+// component) go through the shared comb tables instead of occupying MSM
+// slots, and the partial products merge in accumulator form.
+template <PrimeOrderGroup G>
+typename G::Element MsmWithFixedTerms(
+    const std::vector<std::pair<const FixedBaseTable<G>*, typename G::Scalar>>& fixed,
+    const std::vector<typename G::Element>& bases,
+    const std::vector<typename G::Scalar>& scalars,
+    ThreadPool* pool = nullptr) {
+  using Ac = AccelOf<G>;
+  typename Ac::P acc = Ac::Identity();
+  for (const auto& term : fixed) {
+    acc = Ac::Add(acc, term.first->ExpAccum(term.second));
+  }
+  if (!bases.empty()) {
+    acc = Ac::Add(acc, Ac::Lift(Msm<G>(bases, scalars, pool)));
+  }
+  return Ac::Lower(acc);
 }
 
 }  // namespace vdp

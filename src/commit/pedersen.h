@@ -39,14 +39,19 @@ class Pedersen {
 
   explicit Pedersen(PedersenParams<G> params = PedersenParams<G>::Default())
       : params_(std::move(params)),
-        g_table_(std::make_shared<FixedBaseTable<G>>(params_.g)),
-        h_table_(std::make_shared<FixedBaseTable<G>>(params_.h)) {}
+        g_table_(FixedBaseTable<G>::Shared(params_.g)),
+        h_table_(FixedBaseTable<G>::Shared(params_.h)),
+        encoded_g_(G::Encode(params_.g)),
+        encoded_h_(G::Encode(params_.h)) {}
 
   const PedersenParams<G>& params() const { return params_; }
 
-  // Com(x, r) = g^x h^r using the fixed-base tables.
+  // Com(x, r) = g^x h^r using the fixed-base tables; the two partial products
+  // are merged in the kernel's accumulator form.
   Commitment Commit(const Scalar& x, const Scalar& r) const {
-    return G::Mul(g_table_->Exp(x), h_table_->Exp(r));
+    using Ac = AccelOf<G>;
+    return Ac::Lower(
+        Ac::Add(g_table_->ExpAccum(x), h_table_->ExpAccum(r)));
   }
 
   // Commitment with fresh randomness; returns both.
@@ -69,11 +74,23 @@ class Pedersen {
   Element ExpH(const Scalar& r) const { return h_table_->Exp(r); }
   Element ExpG(const Scalar& x) const { return g_table_->Exp(x); }
 
+  // Cached canonical encodings (transcripts absorb the generators on every
+  // proof; for curve groups each fresh encode would cost a field inversion).
+  const Bytes& encoded_g() const { return encoded_g_; }
+  const Bytes& encoded_h() const { return encoded_h_; }
+
+  // The underlying tables, for verifiers that fold fixed-base terms into a
+  // larger multi-scalar multiplication.
+  const FixedBaseTable<G>& g_table() const { return *g_table_; }
+  const FixedBaseTable<G>& h_table() const { return *h_table_; }
+
  private:
   PedersenParams<G> params_;
-  // Shared so Pedersen instances are cheap to copy into protocol parties.
+  // Shared process-wide per generator (see FixedBaseTable::Shared).
   std::shared_ptr<const FixedBaseTable<G>> g_table_;
   std::shared_ptr<const FixedBaseTable<G>> h_table_;
+  Bytes encoded_g_;
+  Bytes encoded_h_;
 };
 
 }  // namespace vdp

@@ -1,0 +1,75 @@
+// Group acceleration kernels.
+//
+// The generic multi-exponentiation code (FixedBaseTable, Pippenger MSM) does
+// thousands of group operations per call, and the public PrimeOrderGroup API
+// is the wrong currency for that: ModPGroup's Mul converts to Montgomery form
+// and back on every call, and Ed25519Group's Exp pays a field inversion per
+// affine conversion. An accel kernel is a group's internal fast-path
+// representation, exposed just enough for the templated exp code:
+//
+//   struct Accel {
+//     using P = ...;   // accumulator form (Montgomery residue / extended point)
+//     using A = ...;   // table form for mixed additions (residue / Niels point)
+//     static constexpr bool kCheapNegate;  // NegA is ~free (curve groups)
+//     static P Identity();
+//     static P Lift(const G::Element&);    // public -> accumulator form
+//     static G::Element Lower(const P&);   // accumulator -> public form
+//     static A ToA(const P&);              // single conversion (may invert)
+//     static void Normalize(const std::vector<P>&, std::vector<A>*);  // batch
+//     static P Add(const P&, const P&);
+//     static P AddA(const P&, const A&);   // mixed add (the table hot path)
+//     static P Dbl(const P&);
+//     static A NegA(const A&);             // only called when kCheapNegate
+//   };
+//
+// Groups opt in by declaring a nested `Accel`; everything else falls back to
+// GenericAccel below, which phrases the same interface in terms of the public
+// API so the templated code never needs two code paths.
+#ifndef SRC_GROUP_ACCEL_H_
+#define SRC_GROUP_ACCEL_H_
+
+#include <type_traits>
+#include <vector>
+
+namespace vdp {
+
+template <typename G>
+struct GenericAccel {
+  using P = typename G::Element;
+  using A = typename G::Element;
+  static constexpr bool kCheapNegate = false;
+
+  static P Identity() { return G::Identity(); }
+  static P Lift(const typename G::Element& e) { return e; }
+  static typename G::Element Lower(const P& p) { return p; }
+  static A ToA(const P& p) { return p; }
+  static void Normalize(const std::vector<P>& pts, std::vector<A>* out) {
+    *out = pts;
+  }
+  static P Add(const P& a, const P& b) { return G::Mul(a, b); }
+  static P AddA(const P& a, const A& b) { return G::Mul(a, b); }
+  static P Dbl(const P& a) { return G::Mul(a, a); }
+  static A NegA(const A& a) { return G::Inverse(a); }
+};
+
+namespace accel_internal {
+
+template <typename G, typename = void>
+struct AccelFor {
+  using type = GenericAccel<G>;
+};
+
+template <typename G>
+struct AccelFor<G, std::void_t<typename G::Accel>> {
+  using type = typename G::Accel;
+};
+
+}  // namespace accel_internal
+
+// The kernel for G: G::Accel if declared, GenericAccel<G> otherwise.
+template <typename G>
+using AccelOf = typename accel_internal::AccelFor<G>::type;
+
+}  // namespace vdp
+
+#endif  // SRC_GROUP_ACCEL_H_

@@ -1,5 +1,7 @@
 #include "src/group/ed25519.h"
 
+#include "src/math/batch_inverse.h"
+
 namespace vdp {
 namespace {
 
@@ -35,6 +37,40 @@ bool OnCurve(const Fe25519& x, const Fe25519& y) {
   return lhs == rhs;
 }
 
+// Readdable projective point: (y+x, y-x, z, 2dT). Mixed addition against this
+// form costs 8M and needs no normalization, so it serves as the per-call
+// precomputation of variable-base ScalarMult.
+struct GeCached {
+  Fe25519 ypx;
+  Fe25519 ymx;
+  Fe25519 z;
+  Fe25519 t2d;
+};
+
+GeCached ToCached(const GePoint& p) {
+  return GeCached{Fe25519::Add(p.y, p.x), Fe25519::Sub(p.y, p.x), p.z,
+                  Fe25519::Mul(p.t, Ed25519Group::TwoD())};
+}
+
+// add-2008-hwcd-3 (a = -1) against a cached point: 8M.
+GePoint AddCached(const GePoint& p, const GeCached& q) {
+  Fe25519 a = Fe25519::Mul(Fe25519::Add(p.y, p.x), q.ypx);
+  Fe25519 b = Fe25519::Mul(Fe25519::Sub(p.y, p.x), q.ymx);
+  Fe25519 c = Fe25519::Mul(p.t, q.t2d);
+  Fe25519 zz = Fe25519::Mul(p.z, q.z);
+  Fe25519 d2 = Fe25519::Add(zz, zz);
+  Fe25519 e = Fe25519::Sub(a, b);
+  Fe25519 f = Fe25519::Sub(d2, c);
+  Fe25519 g = Fe25519::Add(d2, c);
+  Fe25519 h = Fe25519::Add(a, b);
+  GePoint r;
+  r.x = Fe25519::Mul(e, f);
+  r.y = Fe25519::Mul(g, h);
+  r.z = Fe25519::Mul(f, g);
+  r.t = Fe25519::Mul(e, h);
+  return r;
+}
+
 }  // namespace
 
 const BigInt<4>& Ed25519Group::ScalarTag::Order() {
@@ -53,6 +89,11 @@ const Fe25519& Ed25519Group::D() {
   return d;
 }
 
+const Fe25519& Ed25519Group::TwoD() {
+  static const Fe25519 two_d = Fe25519::Add(D(), D());
+  return two_d;
+}
+
 Ed25519Group::Element::Element() : p_(IdentityPoint()) {}
 
 bool operator==(const Ed25519Group::Element& a, const Ed25519Group::Element& b) {
@@ -60,6 +101,32 @@ bool operator==(const Ed25519Group::Element& a, const Ed25519Group::Element& b) 
 }
 
 Ed25519Group::Element Ed25519Group::Identity() { return Element(); }
+
+GePoint Ed25519Group::Accel::Identity() { return IdentityPoint(); }
+
+GeNiels Ed25519Group::Accel::ToA(const GePoint& p) {
+  Fe25519 zinv = p.z.Invert();
+  Fe25519 x = Fe25519::Mul(p.x, zinv);
+  Fe25519 y = Fe25519::Mul(p.y, zinv);
+  return GeNiels{Fe25519::Add(y, x), Fe25519::Sub(y, x),
+                 Fe25519::Mul(TwoD(), Fe25519::Mul(x, y))};
+}
+
+void Ed25519Group::Accel::Normalize(const std::vector<GePoint>& pts,
+                                    std::vector<GeNiels>* out) {
+  std::vector<Fe25519> zs(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    zs[i] = pts[i].z;
+  }
+  BatchInverse(Fe25519Field{}, &zs);  // z is never 0 for a valid point
+  out->resize(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    Fe25519 x = Fe25519::Mul(pts[i].x, zs[i]);
+    Fe25519 y = Fe25519::Mul(pts[i].y, zs[i]);
+    (*out)[i] = GeNiels{Fe25519::Add(y, x), Fe25519::Sub(y, x),
+                        Fe25519::Mul(TwoD(), Fe25519::Mul(x, y))};
+  }
+}
 
 Ed25519Group::Element Ed25519Group::Generator() {
   static const GePoint base = [] {
@@ -82,41 +149,24 @@ Ed25519Group::Element Ed25519Group::Generator() {
   return Element(base);
 }
 
-// Unified addition (add-2008-hwcd with a = -1); complete on this curve, so it
-// also serves as doubling.
-GePoint Ed25519Group::Add(const GePoint& p, const GePoint& q) {
-  Fe25519 a = Fe25519::Mul(p.x, q.x);
-  Fe25519 b = Fe25519::Mul(p.y, q.y);
-  Fe25519 c = Fe25519::Mul(Fe25519::Mul(p.t, D()), q.t);
-  Fe25519 d2 = Fe25519::Mul(p.z, q.z);
-  Fe25519 e = Fe25519::Sub(
-      Fe25519::Sub(Fe25519::Mul(Fe25519::Add(p.x, p.y), Fe25519::Add(q.x, q.y)), a), b);
-  Fe25519 f = Fe25519::Sub(d2, c);
-  Fe25519 g = Fe25519::Add(d2, c);
-  Fe25519 h = Fe25519::Add(b, a);  // B - aA with a = -1
-  GePoint r;
-  r.x = Fe25519::Mul(e, f);
-  r.y = Fe25519::Mul(g, h);
-  r.t = Fe25519::Mul(e, h);
-  r.z = Fe25519::Mul(f, g);
-  return r;
-}
-
 GePoint Ed25519Group::ScalarMult(const GePoint& p, const BigInt<4>& e) {
-  // 4-bit window, variable time (acceptable: exponents in this library are
-  // either public or blinded at the protocol level).
-  GePoint table[16];
-  table[0] = IdentityPoint();
-  table[1] = p;
+  // 4-bit window over a cached-form table, variable time (acceptable:
+  // exponents in this library are either public or blinded at the protocol
+  // level). Doublings use the dedicated 4M+4S formula; window additions the
+  // 8M cached add.
+  GeCached table[16];  // table[i] = i * p; index 0 unused
+  GePoint multiple = p;
+  table[1] = ToCached(p);
   for (int i = 2; i < 16; ++i) {
-    table[i] = Add(table[i - 1], p);
+    multiple = Accel::Add(multiple, p);
+    table[i] = ToCached(multiple);
   }
   GePoint acc = IdentityPoint();
   size_t bits = e.BitLength();
   size_t windows = (bits + 3) / 4;
   for (size_t w = windows; w-- > 0;) {
     for (int i = 0; i < 4; ++i) {
-      acc = Add(acc, acc);
+      acc = Accel::Dbl(acc);
     }
     uint32_t nib = 0;
     for (int b = 3; b >= 0; --b) {
@@ -124,14 +174,14 @@ GePoint Ed25519Group::ScalarMult(const GePoint& p, const BigInt<4>& e) {
       nib = (nib << 1) | ((bit < bits && e.Bit(bit)) ? 1u : 0u);
     }
     if (nib != 0) {
-      acc = Add(acc, table[nib]);
+      acc = AddCached(acc, table[nib]);
     }
   }
   return acc;
 }
 
 Ed25519Group::Element Ed25519Group::Mul(const Element& a, const Element& b) {
-  return Element(Add(a.p_, b.p_));
+  return Element(Accel::Add(a.p_, b.p_));
 }
 
 Ed25519Group::Element Ed25519Group::Exp(const Element& base, const Scalar& e) {
@@ -143,14 +193,37 @@ Ed25519Group::Element Ed25519Group::Inverse(const Element& a) {
 }
 
 Bytes Ed25519Group::Encode(const Element& e) {
-  Fe25519 zinv = e.p_.z.Invert();
-  Fe25519 x = Fe25519::Mul(e.p_.x, zinv);
-  Fe25519 y = Fe25519::Mul(e.p_.y, zinv);
+  Fe25519 x = e.p_.x;
+  Fe25519 y = e.p_.y;
+  if (!(e.p_.z == Fe25519::One())) {  // decoded points carry z = 1
+    Fe25519 zinv = e.p_.z.Invert();
+    x = Fe25519::Mul(x, zinv);
+    y = Fe25519::Mul(y, zinv);
+  }
   auto bytes = y.ToBytes();
   if (x.IsNegative()) {
     bytes[31] |= 0x80;
   }
   return Bytes(bytes.begin(), bytes.end());
+}
+
+std::vector<Bytes> Ed25519Group::EncodeBatch(const std::vector<Element>& es) {
+  std::vector<Fe25519> zs(es.size());
+  for (size_t i = 0; i < es.size(); ++i) {
+    zs[i] = es[i].p_.z;
+  }
+  BatchInverse(Fe25519Field{}, &zs);
+  std::vector<Bytes> out(es.size());
+  for (size_t i = 0; i < es.size(); ++i) {
+    Fe25519 x = Fe25519::Mul(es[i].p_.x, zs[i]);
+    Fe25519 y = Fe25519::Mul(es[i].p_.y, zs[i]);
+    auto bytes = y.ToBytes();
+    if (x.IsNegative()) {
+      bytes[31] |= 0x80;
+    }
+    out[i] = Bytes(bytes.begin(), bytes.end());
+  }
+  return out;
 }
 
 std::optional<GePoint> Ed25519Group::Decompress(BytesView bytes) {
@@ -227,9 +300,9 @@ Ed25519Group::Element Ed25519Group::HashToGroup(BytesView domain, BytesView msg)
       continue;
     }
     // Clear the cofactor: 8P lies in the prime-order subgroup.
-    GePoint p2 = Add(*p, *p);
-    GePoint p4 = Add(p2, p2);
-    GePoint p8 = Add(p4, p4);
+    GePoint p2 = Accel::Dbl(*p);
+    GePoint p4 = Accel::Dbl(p2);
+    GePoint p8 = Accel::Dbl(p4);
     if (PointsEqual(p8, IdentityPoint())) {
       continue;  // hashed into the torsion subgroup; try the next counter
     }

@@ -1,14 +1,27 @@
-// Fixed-base exponentiation with a precomputed window table.
+// Fixed-base exponentiation with precomputed comb tables.
 //
-// Pedersen commitments exponentiate the same two generators millions of times
-// per protocol run; a comb table turns each exponentiation into one group
-// multiplication per 4-bit window of the exponent (no squarings). The table
-// costs ~16 * ceil(bits/4) group elements and is built once per generator.
+// Pedersen commitments and the per-proof verifier exponentiate the same two
+// generators millions of times per protocol run. A comb table stores
+// base^(d * 2^(w*width)) for every window position w and digit d, turning
+// each exponentiation into one table addition per nonzero window -- no
+// squarings at all. Tables are built through the group's acceleration kernel
+// (src/group/accel.h): entries live in the kernel's table form (Montgomery
+// residues / Niels points, batch-normalized with one inversion), and groups
+// with cheap negation use signed digits, which halves the table while keeping
+// the same window width.
+//
+// Shared(base) memoizes tables per generator behind a mutex so the committer,
+// the verifier and the MSM fixed-base fast path all reuse one table per
+// (group, generator) pair across threads.
 #ifndef SRC_GROUP_FIXED_BASE_H_
 #define SRC_GROUP_FIXED_BASE_H_
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "src/group/accel.h"
 #include "src/group/group.h"
 
 namespace vdp {
@@ -18,48 +31,140 @@ class FixedBaseTable {
  public:
   using Element = typename G::Element;
   using Scalar = typename G::Scalar;
+  using Ac = AccelOf<G>;
 
-  explicit FixedBaseTable(const Element& base) {
-    size_t bits = Scalar::Order().BitLength();
-    size_t windows = (bits + 3) / 4;
-    rows_.resize(windows);
-    Element window_base = base;  // base^(16^w)
-    for (size_t w = 0; w < windows; ++w) {
-      auto& row = rows_[w];
-      row.reserve(16);
-      row.push_back(G::Identity());
-      for (int i = 1; i < 16; ++i) {
-        row.push_back(G::Mul(row.back(), window_base));
-      }
-      // Next row's base: base^(16^(w+1)) = (base^(16^w))^16.
-      Element sq = G::Mul(window_base, window_base);   // ^2
-      sq = G::Mul(sq, sq);                             // ^4
-      sq = G::Mul(sq, sq);                             // ^8
-      window_base = G::Mul(sq, sq);                    // ^16
+  // Signed digits halve the table, so cheap-negate groups afford a wider
+  // window; large moduli get a narrower one to keep tables in the low MBs.
+  static size_t DefaultWindow() {
+    if (Ac::kCheapNegate) {
+      return 6;
     }
+    return Scalar::Order().BitLength() > 512 ? 4 : 5;
   }
 
-  // base^e using one multiplication per nonzero window.
-  Element Exp(const Scalar& e) const {
-    const auto& v = e.value();
-    Element acc = G::Identity();
-    size_t bits = v.BitLength();
-    size_t windows = std::min(rows_.size(), (bits + 3) / 4);
-    for (size_t w = 0; w < windows; ++w) {
-      uint32_t nib = 0;
-      for (int b = 3; b >= 0; --b) {
-        size_t bit = w * 4 + static_cast<size_t>(b);
-        nib = (nib << 1) | ((bit < bits && v.Bit(bit)) ? 1u : 0u);
+  explicit FixedBaseTable(const Element& base, size_t window = DefaultWindow())
+      : width_(window < 2 ? 2 : (window > 8 ? 8 : window)) {
+    const size_t bits = Scalar::Order().BitLength();
+    const size_t base_windows = (bits + width_ - 1) / width_;
+    // Signed recoding can carry one digit past the top window.
+    windows_ = Ac::kCheapNegate ? base_windows + 1 : base_windows;
+    per_row_ = Ac::kCheapNegate ? (size_t{1} << (width_ - 1))
+                                : (size_t{1} << width_) - 1;
+
+    // Build every row in accumulator form, then normalize the whole table to
+    // the kernel's mixed-addition form with a single batch conversion.
+    std::vector<typename Ac::P> pts;
+    pts.reserve(windows_ * per_row_);
+    typename Ac::P row_base = Ac::Lift(base);  // base^(2^(w*width))
+    for (size_t w = 0; w < windows_; ++w) {
+      typename Ac::P cur = row_base;
+      pts.push_back(cur);
+      for (size_t d = 2; d <= per_row_; ++d) {
+        cur = Ac::Add(cur, row_base);
+        pts.push_back(cur);
       }
-      if (nib != 0) {
-        acc = G::Mul(acc, rows_[w][nib]);
+      for (size_t s = 0; s < width_; ++s) {
+        row_base = Ac::Dbl(row_base);
+      }
+    }
+    Ac::Normalize(pts, &entries_);
+  }
+
+  size_t window() const { return width_; }
+
+  // base^e in the kernel's accumulator form (for callers that keep working --
+  // the MSM fixed-base fast path folds this straight into its running sum).
+  typename Ac::P ExpAccum(const Scalar& e) const {
+    const auto& v = e.value();
+    const size_t bits = v.BitLength();
+    typename Ac::P acc = Ac::Identity();
+    if constexpr (Ac::kCheapNegate) {
+      // Signed digits in [-2^(width-1), 2^(width-1)]: digits above half are
+      // replaced by (digit - 2^width) with a carry into the next window, and
+      // negative digits use the kernel's free negation.
+      const int64_t full = int64_t{1} << width_;
+      const int64_t half = full >> 1;
+      int64_t carry = 0;
+      for (size_t w = 0; w < windows_; ++w) {
+        int64_t u = 0;
+        for (size_t b = width_; b-- > 0;) {
+          size_t bit = w * width_ + b;
+          u = (u << 1) | ((bit < bits && v.Bit(bit)) ? 1 : 0);
+        }
+        int64_t d = u + carry;
+        if (d > half) {
+          d -= full;
+          carry = 1;
+        } else {
+          carry = 0;
+        }
+        if (d > 0) {
+          acc = Ac::AddA(acc, entry(w, static_cast<size_t>(d)));
+        } else if (d < 0) {
+          acc = Ac::AddA(acc, Ac::NegA(entry(w, static_cast<size_t>(-d))));
+        }
+      }
+    } else {
+      // Unsigned digits. Every window of the table is consulted up to the
+      // scalar's own top bit; the table always covers the order's full bit
+      // length, so scalars at exactly that length use the top row too.
+      for (size_t w = 0; w < windows_; ++w) {
+        if (w * width_ >= bits) {
+          break;
+        }
+        size_t d = 0;
+        for (size_t b = width_; b-- > 0;) {
+          size_t bit = w * width_ + b;
+          d = (d << 1) | ((bit < bits && v.Bit(bit)) ? 1u : 0u);
+        }
+        if (d != 0) {
+          acc = Ac::AddA(acc, entry(w, d));
+        }
       }
     }
     return acc;
   }
 
+  // base^e using one table addition per nonzero window.
+  Element Exp(const Scalar& e) const { return Ac::Lower(ExpAccum(e)); }
+
+  // Per-generator shared table cache. Keyed by the generator's canonical
+  // encoding; thread-safe; capped so adversarially many generators cannot
+  // balloon the process (extra generators get uncached fresh tables).
+  static std::shared_ptr<const FixedBaseTable> Shared(const Element& base) {
+    static std::mutex mu;
+    static std::map<Bytes, std::shared_ptr<const FixedBaseTable>>* cache =
+        new std::map<Bytes, std::shared_ptr<const FixedBaseTable>>();
+    Bytes key = G::Encode(base);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = cache->find(key);
+      if (it != cache->end()) {
+        return it->second;
+      }
+    }
+    auto table = std::make_shared<const FixedBaseTable>(base);
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(key);  // racing builder may have won; reuse theirs
+    if (it != cache->end()) {
+      return it->second;
+    }
+    if (cache->size() < 64) {
+      cache->emplace(std::move(key), table);
+    }
+    return table;
+  }
+
  private:
-  std::vector<std::vector<Element>> rows_;
+  // Digit d in [1, per_row_] of window w.
+  const typename Ac::A& entry(size_t w, size_t d) const {
+    return entries_[w * per_row_ + (d - 1)];
+  }
+
+  size_t width_;
+  size_t windows_ = 0;
+  size_t per_row_ = 0;
+  std::vector<typename Ac::A> entries_;
 };
 
 }  // namespace vdp

@@ -12,6 +12,7 @@
 #include <concepts>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
@@ -68,6 +69,36 @@ static_assert(PrimeOrderGroup<Schnorr2048>);
 template <PrimeOrderGroup G>
 typename G::Element Div(const typename G::Element& a, const typename G::Element& b) {
   return G::Mul(a, G::Inverse(b));
+}
+
+namespace group_internal {
+
+template <typename G, typename = void>
+struct HasEncodeBatch : std::false_type {};
+
+template <typename G>
+struct HasEncodeBatch<G, std::void_t<decltype(G::EncodeBatch(
+                             std::declval<const std::vector<typename G::Element>&>()))>>
+    : std::true_type {};
+
+}  // namespace group_internal
+
+// Encode a set of elements, using the group's batch encoder when it has one.
+// Curve groups pay a field inversion per Encode; EncodeBatch shares one
+// inversion across the whole set, which matters in transcript construction
+// (every proof absorbs several element encodings).
+template <PrimeOrderGroup G>
+std::vector<Bytes> EncodeAll(const std::vector<typename G::Element>& es) {
+  if constexpr (group_internal::HasEncodeBatch<G>::value) {
+    return G::EncodeBatch(es);
+  } else {
+    std::vector<Bytes> out;
+    out.reserve(es.size());
+    for (const auto& e : es) {
+      out.push_back(G::Encode(e));
+    }
+    return out;
+  }
 }
 
 }  // namespace vdp

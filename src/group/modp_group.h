@@ -9,6 +9,7 @@
 #define SRC_GROUP_MODP_GROUP_H_
 
 #include <string>
+#include <vector>
 
 #include "src/common/sha256.h"
 #include "src/group/modp_params.h"
@@ -40,6 +41,29 @@ class ModPGroup {
     friend class ModPGroup;
     explicit Element(const BigInt<L>& v) : v_(v) {}
     BigInt<L> v_;
+  };
+
+  // Acceleration kernel (see src/group/accel.h): values held in Montgomery
+  // form so the MulMont/SqrMont round-trips of the public Mul disappear from
+  // table and MSM inner loops. "Affine" and accumulator forms coincide.
+  struct Accel {
+    using P = BigInt<L>;
+    using A = BigInt<L>;
+    static constexpr bool kCheapNegate = false;
+
+    static P Identity() { return PCtx().r(); }  // 1 in Montgomery form
+    static P Lift(const Element& e) { return PCtx().ToMont(e.v_); }
+    static Element Lower(const P& p) { return Element(PCtx().FromMont(p)); }
+    static A ToA(const P& p) { return p; }
+    static void Normalize(const std::vector<P>& pts, std::vector<A>* out) {
+      *out = pts;
+    }
+    static P Add(const P& a, const P& b) { return PCtx().MulMont(a, b); }
+    static P AddA(const P& a, const A& b) { return PCtx().MulMont(a, b); }
+    static P Dbl(const P& a) { return PCtx().SqrMont(a); }
+    static A NegA(const A& a) {
+      return PCtx().ToMont(PCtx().Inverse(PCtx().FromMont(a)));
+    }
   };
 
   static std::string Name() { return "modp-" + std::to_string(L * 64); }

@@ -8,6 +8,7 @@
 #define SRC_GROUP_SCHNORR_GROUP_H_
 
 #include <string>
+#include <vector>
 
 #include "src/common/sha256.h"
 #include "src/group/scalar_field.h"
@@ -39,6 +40,27 @@ class SchnorrGroup {
     friend class SchnorrGroup;
     explicit Element(const BigInt<L>& v) : v_(v) {}
     BigInt<L> v_;
+  };
+
+  // Acceleration kernel: Montgomery-form residues (see modp_group.h).
+  struct Accel {
+    using P = BigInt<L>;
+    using A = BigInt<L>;
+    static constexpr bool kCheapNegate = false;
+
+    static P Identity() { return PCtx().r(); }
+    static P Lift(const Element& e) { return PCtx().ToMont(e.v_); }
+    static Element Lower(const P& p) { return Element(PCtx().FromMont(p)); }
+    static A ToA(const P& p) { return p; }
+    static void Normalize(const std::vector<P>& pts, std::vector<A>* out) {
+      *out = pts;
+    }
+    static P Add(const P& a, const P& b) { return PCtx().MulMont(a, b); }
+    static P AddA(const P& a, const A& b) { return PCtx().MulMont(a, b); }
+    static P Dbl(const P& a) { return PCtx().SqrMont(a); }
+    static A NegA(const A& a) {
+      return PCtx().ToMont(PCtx().Inverse(PCtx().FromMont(a)));
+    }
   };
 
   static std::string Name() { return "schnorr-" + std::to_string(L * 64) + "-q256"; }

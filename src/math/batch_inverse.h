@@ -1,0 +1,106 @@
+// Batch inversion (Montgomery's trick): n field inversions for the price of
+// one inversion plus 3(n-1) multiplications.
+//
+// This is what lets the group layer normalize whole tables and MSM inputs to
+// affine coordinates: a Pippenger bucket pass or a fixed-base comb row wants
+// every point with Z = 1 (cheap mixed additions), and converting n points
+// naively costs n full inversions -- each a ~254-squaring exponentiation.
+// With the product tree the whole set costs one.
+//
+// The functions are generic over a minimal "field" adapter so the same code
+// serves BigInt-modulo-p (MontgomeryCtx) and the radix-51 curve field
+// (Fe25519). Adapter requirements:
+//   using T = ...;            // element type
+//   T One() const;
+//   T Mul(const T&, const T&) const;
+//   T Inv(const T&) const;    // multiplicative inverse of a nonzero element
+//   bool IsZero(const T&) const;
+#ifndef SRC_MATH_BATCH_INVERSE_H_
+#define SRC_MATH_BATCH_INVERSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/group/ed25519_field.h"
+#include "src/math/montgomery.h"
+
+namespace vdp {
+
+// Inverts every element of xs in place. Zero elements are left as zero (the
+// convention of Fe25519::Invert, and what coordinate normalization wants: the
+// identity point's T coordinate is zero and must stay zero). Returns the
+// number of elements actually inverted.
+template <typename Field>
+size_t BatchInverse(const Field& f, std::vector<typename Field::T>* xs) {
+  using T = typename Field::T;
+  const size_t n = xs->size();
+  // prefix[k] = product of the first k+1 nonzero elements.
+  std::vector<T> prefix;
+  prefix.reserve(n);
+  T running = f.One();
+  size_t nonzero = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (f.IsZero((*xs)[i])) {
+      continue;
+    }
+    running = f.Mul(running, (*xs)[i]);
+    prefix.push_back(running);
+    ++nonzero;
+  }
+  if (nonzero == 0) {
+    return 0;
+  }
+  T inv = f.Inv(prefix.back());
+  // Walk backwards: inv holds the inverse of the product of all remaining
+  // nonzero elements; peel one off per step.
+  size_t k = nonzero;
+  for (size_t i = n; i-- > 0;) {
+    if (f.IsZero((*xs)[i])) {
+      continue;
+    }
+    --k;
+    T x = (*xs)[i];
+    (*xs)[i] = (k == 0) ? inv : f.Mul(inv, prefix[k - 1]);
+    inv = f.Mul(inv, x);
+  }
+  return nonzero;
+}
+
+// Strict variant: refuses sets containing zero (returns false, xs untouched).
+template <typename Field>
+bool BatchInverseStrict(const Field& f, std::vector<typename Field::T>* xs) {
+  for (const auto& x : *xs) {
+    if (f.IsZero(x)) {
+      return false;
+    }
+  }
+  BatchInverse(f, xs);
+  return true;
+}
+
+// Adapter for BigInt arithmetic modulo a prime via a MontgomeryCtx. Values
+// are in plain (non-Montgomery) representation.
+template <size_t L>
+struct ModField {
+  using T = BigInt<L>;
+  const MontgomeryCtx<L>* ctx;
+
+  explicit ModField(const MontgomeryCtx<L>& c) : ctx(&c) {}
+  T One() const { return BigInt<L>::One(); }
+  T Mul(const T& a, const T& b) const { return ctx->MulMod(a, b); }
+  T Inv(const T& a) const { return ctx->Inverse(a); }
+  bool IsZero(const T& a) const { return a.IsZero(); }
+};
+
+// Adapter for the curve25519 base field.
+struct Fe25519Field {
+  using T = Fe25519;
+  T One() const { return Fe25519::One(); }
+  T Mul(const T& a, const T& b) const { return Fe25519::Mul(a, b); }
+  T Inv(const T& a) const { return a.Invert(); }
+  bool IsZero(const T& a) const { return a.IsZero(); }
+};
+
+}  // namespace vdp
+
+#endif  // SRC_MATH_BATCH_INVERSE_H_

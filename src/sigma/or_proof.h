@@ -30,9 +30,10 @@ struct OrProof {
   typename G::Scalar z0, z1;        // per-branch responses (v0, v1)
 
   Bytes Serialize() const {
+    std::vector<Bytes> enc = EncodeAll<G>({a0, a1});
     Writer w;
-    w.Blob(G::Encode(a0));
-    w.Blob(G::Encode(a1));
+    w.Blob(enc[0]);
+    w.Blob(enc[1]);
     w.Blob(e0.Encode());
     w.Blob(e1.Encode());
     w.Blob(z0.Encode());
@@ -66,14 +67,16 @@ struct OrProof {
 
 namespace internal {
 
-// Binds statement and context into the Fiat-Shamir transcript.
+// Binds statement and context into the Fiat-Shamir transcript. The generator
+// encodings come from the committer's cache (encoding is a field inversion
+// for curve groups).
 template <PrimeOrderGroup G>
 Transcript OrTranscript(const Pedersen<G>& ped, const typename G::Element& c,
                         const std::string& context) {
   Transcript t("vdp/or-proof");
   t.Append("context", ToBytes(context));
-  t.Append("g", G::Encode(ped.params().g));
-  t.Append("h", G::Encode(ped.params().h));
+  t.Append("g", ped.encoded_g());
+  t.Append("h", ped.encoded_h());
   t.Append("c", G::Encode(c));
   return t;
 }
@@ -83,14 +86,20 @@ Transcript OrTranscript(const Pedersen<G>& ped, const typename G::Element& c,
 // The Fiat-Shamir challenge for an OR proof with branch commitments a0, a1 on
 // statement c. The single definition of the transcript schedule, shared by
 // the prover, the per-proof verifier, and the batch verifier
-// (src/batch/batch_or_proof.h) -- they must never drift apart.
+// (src/batch/batch_or_proof.h) -- they must never drift apart. c, a0 and a1
+// are encoded in one batch (one shared inversion on curve groups).
 template <PrimeOrderGroup G>
 typename G::Scalar OrChallenge(const Pedersen<G>& ped, const typename G::Element& c,
                                const typename G::Element& a0, const typename G::Element& a1,
                                const std::string& context) {
-  Transcript t = internal::OrTranscript(ped, c, context);
-  t.Append("a0", G::Encode(a0));
-  t.Append("a1", G::Encode(a1));
+  std::vector<Bytes> enc = EncodeAll<G>({c, a0, a1});
+  Transcript t("vdp/or-proof");
+  t.Append("context", ToBytes(context));
+  t.Append("g", ped.encoded_g());
+  t.Append("h", ped.encoded_h());
+  t.Append("c", enc[0]);
+  t.Append("a0", enc[1]);
+  t.Append("a1", enc[2]);
   return t.template ChallengeScalar<typename G::Scalar>("e");
 }
 
@@ -111,15 +120,18 @@ OrProof<G> OrProve(const Pedersen<G>& ped, const typename G::Element& c, int bit
 
   if (bit == 0) {
     // Real: log_h(c). Simulated: branch 1 with statement c/g.
+    // (c/g)^{-e} = c^{-e} * g^e; exponentiating by the negated scalar yields
+    // the same element without a group inversion (a full exponentiation for
+    // mod-p groups).
     proof.a0 = ped.ExpH(k);
     auto target1 = Div<G>(c, g);
-    proof.a1 = G::Mul(ped.ExpH(z_sim), G::Inverse(G::Exp(target1, e_sim)));
+    proof.a1 = G::Mul(ped.ExpH(z_sim), G::Exp(target1, -e_sim));
     proof.e1 = e_sim;
     proof.z1 = z_sim;
   } else {
     // Real: log_h(c/g). Simulated: branch 0 with statement c.
     proof.a1 = ped.ExpH(k);
-    proof.a0 = G::Mul(ped.ExpH(z_sim), G::Inverse(G::Exp(c, e_sim)));
+    proof.a0 = G::Mul(ped.ExpH(z_sim), G::Exp(c, -e_sim));
     proof.e0 = e_sim;
     proof.z0 = z_sim;
   }
@@ -141,7 +153,7 @@ template <PrimeOrderGroup G>
 bool OrVerify(const Pedersen<G>& ped, const typename G::Element& c, const OrProof<G>& proof,
               const std::string& context = "") {
   using S = typename G::Scalar;
-  const auto& g = ped.params().g;
+  using Ac = AccelOf<G>;
 
   S e = OrChallenge(ped, c, proof.a0, proof.a1, context);
 
@@ -152,9 +164,12 @@ bool OrVerify(const Pedersen<G>& ped, const typename G::Element& c, const OrProo
   if (ped.ExpH(proof.z0) != G::Mul(proof.a0, G::Exp(c, proof.e0))) {
     return false;
   }
-  // Branch 1: h^z1 == a1 * (c/g)^e1.
-  auto target1 = Div<G>(c, g);
-  if (ped.ExpH(proof.z1) != G::Mul(proof.a1, G::Exp(target1, proof.e1))) {
+  // Branch 1: h^z1 == a1 * (c/g)^e1, rearranged (multiply both sides by
+  // g^e1) to h^z1 * g^e1 == a1 * c^e1 -- same decision, no group inversion,
+  // and the left side is two fixed-base comb lookups merged in the kernel.
+  auto lhs = Ac::Lower(Ac::Add(ped.h_table().ExpAccum(proof.z1),
+                               ped.g_table().ExpAccum(proof.e1)));
+  if (lhs != G::Mul(proof.a1, G::Exp(c, proof.e1))) {
     return false;
   }
   return true;
@@ -174,9 +189,9 @@ OrProof<G> OrSimulate(const Pedersen<G>& ped, const typename G::Element& c,
   proof.e1 = e - proof.e0;
   proof.z0 = S::Random(rng);
   proof.z1 = S::Random(rng);
-  proof.a0 = G::Mul(ped.ExpH(proof.z0), G::Inverse(G::Exp(c, proof.e0)));
+  proof.a0 = G::Mul(ped.ExpH(proof.z0), G::Exp(c, -proof.e0));
   auto target1 = Div<G>(c, ped.params().g);
-  proof.a1 = G::Mul(ped.ExpH(proof.z1), G::Inverse(G::Exp(target1, proof.e1)));
+  proof.a1 = G::Mul(ped.ExpH(proof.z1), G::Exp(target1, -proof.e1));
   return proof;
 }
 
@@ -184,14 +199,17 @@ OrProof<G> OrSimulate(const Pedersen<G>& ped, const typename G::Element& c,
 template <PrimeOrderGroup G>
 bool OrVerifyWithChallenge(const Pedersen<G>& ped, const typename G::Element& c,
                            const OrProof<G>& proof, const typename G::Scalar& e) {
+  using Ac = AccelOf<G>;
   if (proof.e0 + proof.e1 != e) {
     return false;
   }
   if (ped.ExpH(proof.z0) != G::Mul(proof.a0, G::Exp(c, proof.e0))) {
     return false;
   }
-  auto target1 = Div<G>(c, ped.params().g);
-  if (ped.ExpH(proof.z1) != G::Mul(proof.a1, G::Exp(target1, proof.e1))) {
+  // Same rearrangement as OrVerify: h^z1 * g^e1 == a1 * c^e1.
+  auto lhs = Ac::Lower(Ac::Add(ped.h_table().ExpAccum(proof.z1),
+                               ped.g_table().ExpAccum(proof.e1)));
+  if (lhs != G::Mul(proof.a1, G::Exp(c, proof.e1))) {
     return false;
   }
   return true;

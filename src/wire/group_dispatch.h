@@ -1,46 +1,27 @@
 // Runtime group selection for processes that learn the backend from the
 // wire (tools/verify_worker): maps a setup frame's group name to the
-// matching PrimeOrderGroup instantiation.
+// matching PrimeOrderGroup instantiation. Thin veneer over the group
+// registry (src/group/registry.h) so the set of wire-reachable backends is
+// exactly the set of registered groups.
 #ifndef SRC_WIRE_GROUP_DISPATCH_H_
 #define SRC_WIRE_GROUP_DISPATCH_H_
 
 #include <string>
 
-#include "src/group/group.h"
+#include "src/group/registry.h"
 
 namespace vdp {
 namespace wire {
 
 template <PrimeOrderGroup G>
-struct GroupTag {
-  using Group = G;
-};
+using GroupTag = vdp::GroupTag<G>;
 
 // Invokes fn(GroupTag<G>{}) for the backend named `name`; false when the
 // name matches no compiled-in backend. fn runs for exactly one group, so a
 // generic lambda is instantiated once per supported backend.
 template <typename Fn>
 bool DispatchGroup(const std::string& name, Fn&& fn) {
-  if (name == ModP256::Name()) {
-    fn(GroupTag<ModP256>{});
-  } else if (name == ModP64::Name()) {
-    fn(GroupTag<ModP64>{});
-  } else if (name == ModP512::Name()) {
-    fn(GroupTag<ModP512>{});
-  } else if (name == ModP1024::Name()) {
-    fn(GroupTag<ModP1024>{});
-  } else if (name == ModP2048::Name()) {
-    fn(GroupTag<ModP2048>{});
-  } else if (name == Ed25519Group::Name()) {
-    fn(GroupTag<Ed25519Group>{});
-  } else if (name == Schnorr512::Name()) {
-    fn(GroupTag<Schnorr512>{});
-  } else if (name == Schnorr2048::Name()) {
-    fn(GroupTag<Schnorr2048>{});
-  } else {
-    return false;
-  }
-  return true;
+  return DispatchRegisteredGroup(name, std::forward<Fn>(fn));
 }
 
 }  // namespace wire

@@ -1,0 +1,124 @@
+// Decode fuzzing for the ed25519 backend: arbitrary 32-byte strings must
+// either fail decoding cleanly or produce a point whose re-encoding is
+// byte-identical (canonical), and every deliberately non-canonical encoding
+// of a valid point must be rejected. Also pins EncodeBatch to the scalar
+// Encode path byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/group/ed25519.h"
+
+namespace vdp {
+namespace {
+
+using G = Ed25519Group;
+
+TEST(Ed25519DecodeFuzzTest, RandomStringsDecodeCleanlyOrCanonically) {
+  SecureRng rng("ed25519-decode-fuzz");
+  size_t accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    Bytes raw = rng.RandomBytes(32);
+    auto e = G::Decode(raw);
+    if (!e.has_value()) {
+      continue;  // clean rejection is a valid outcome
+    }
+    ++accepted;
+    // Anything accepted must round-trip to exactly the same bytes: Decode
+    // accepts only canonical encodings, so re-encoding cannot differ.
+    EXPECT_EQ(G::Encode(*e), raw) << "iteration " << i;
+    // ... and must genuinely be in the prime-order subgroup.
+    EXPECT_TRUE(G::InSubgroup(*e)) << "iteration " << i;
+  }
+  // About 1/2 of y values are on the curve and 1/8 of those survive the
+  // subgroup check; with 5000 tries the accept count cannot be zero unless
+  // decoding is broken.
+  EXPECT_GT(accepted, 100u);
+  EXPECT_LT(accepted, 2500u);
+}
+
+TEST(Ed25519DecodeFuzzTest, BiasedHighBytesStressCanonicalBoundary) {
+  // Encodings with y close to 2^255 - 19 exercise the canonical-range check;
+  // force the top bytes high so the fuzz actually lands near the modulus.
+  SecureRng rng("ed25519-decode-fuzz-high");
+  for (int i = 0; i < 2000; ++i) {
+    Bytes raw = rng.RandomBytes(32);
+    raw[31] = 0x7f | (raw[31] & 0x80);  // y >= 2^255 - 2^248 (plus sign bit)
+    for (size_t b = 16; b < 31; ++b) {
+      raw[b] = 0xff;
+    }
+    auto e = G::Decode(raw);
+    if (e.has_value()) {
+      EXPECT_EQ(G::Encode(*e), raw) << "iteration " << i;
+    }
+  }
+}
+
+TEST(Ed25519DecodeFuzzTest, NonCanonicalFieldEncodingsRejected) {
+  // y' = y + p fits in 255 bits whenever y < 19; those encodings name the
+  // same field element as y but are non-canonical and must be rejected with
+  // either sign bit.
+  for (uint64_t y = 0; y < 19; ++y) {
+    BigInt<4> big = Fe25519::P();
+    BigInt<4>::AddInto(big, big, BigInt<4>::FromU64(y));
+    Bytes raw(32, 0);
+    // little-endian serialization of the 255-bit value
+    Bytes be = big.ToBytesBe();
+    for (size_t i = 0; i < 32; ++i) {
+      raw[i] = be[be.size() - 1 - i];
+    }
+    for (int sign = 0; sign < 2; ++sign) {
+      Bytes attempt = raw;
+      attempt[31] = static_cast<uint8_t>((attempt[31] & 0x7f) | (sign << 7));
+      EXPECT_FALSE(G::Decode(attempt).has_value())
+          << "y=p+" << y << " sign=" << sign;
+    }
+  }
+}
+
+TEST(Ed25519DecodeFuzzTest, ValidPointsSurviveDecodeEncodeLoop) {
+  SecureRng rng("ed25519-roundtrip");
+  auto p = G::Generator();
+  for (int i = 0; i < 200; ++i) {
+    Bytes enc = G::Encode(p);
+    auto back = G::Decode(enc);
+    ASSERT_TRUE(back.has_value()) << "iteration " << i;
+    EXPECT_TRUE(*back == p);
+    EXPECT_EQ(G::Encode(*back), enc);
+    p = G::Exp(p, G::Scalar::Random(rng));
+  }
+}
+
+TEST(Ed25519DecodeFuzzTest, IdentityEncodingIsCanonical) {
+  Bytes enc = G::Encode(G::Identity());
+  // (0, 1): y = 1, sign(x) = 0.
+  Bytes expected(32, 0);
+  expected[0] = 1;
+  EXPECT_EQ(enc, expected);
+  auto back = G::Decode(enc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == G::Identity());
+}
+
+TEST(Ed25519DecodeFuzzTest, EncodeBatchMatchesScalarEncode) {
+  SecureRng rng("ed25519-encode-batch");
+  std::vector<G::Element> es;
+  es.push_back(G::Identity());
+  es.push_back(G::Generator());
+  for (int i = 0; i < 47; ++i) {
+    es.push_back(G::ExpG(G::Scalar::Random(rng)));
+  }
+  std::vector<Bytes> batch = G::EncodeBatch(es);
+  ASSERT_EQ(batch.size(), es.size());
+  for (size_t i = 0; i < es.size(); ++i) {
+    EXPECT_EQ(batch[i], G::Encode(es[i])) << "i=" << i;
+  }
+  // Degenerate batch shapes.
+  EXPECT_TRUE(G::EncodeBatch({}).empty());
+  std::vector<G::Element> one = {G::Identity()};
+  EXPECT_EQ(G::EncodeBatch(one)[0], G::Encode(G::Identity()));
+}
+
+}  // namespace
+}  // namespace vdp

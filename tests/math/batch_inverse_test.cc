@@ -1,0 +1,145 @@
+// Montgomery's-trick batch inversion must agree with element-wise inversion
+// for every set shape the group layer produces: singletons, pairs, odd sizes,
+// and sets with zeros interleaved (identity points normalize through here).
+#include "src/math/batch_inverse.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/group/ed25519_field.h"
+#include "src/math/primality.h"
+
+namespace vdp {
+namespace {
+
+// 2^61 - 1, a Mersenne prime.
+constexpr uint64_t kPrime61 = 2305843009213693951ull;
+
+const MontgomeryCtx<1>& Ctx61() {
+  static const MontgomeryCtx<1> ctx(BigInt<1>::FromU64(kPrime61));
+  return ctx;
+}
+
+std::vector<BigInt<1>> RandomSet(size_t n, SecureRng& rng, bool with_zeros) {
+  std::vector<BigInt<1>> xs(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (with_zeros && rng.UniformBelow(4) == 0) {
+      xs[i] = BigInt<1>::Zero();
+    } else {
+      xs[i] = BigInt<1>::FromU64(1 + rng.UniformBelow(kPrime61 - 1));
+    }
+  }
+  return xs;
+}
+
+TEST(BatchInverseTest, MatchesElementWiseInversion) {
+  SecureRng rng("batch-inverse-elementwise");
+  ModField<1> f(Ctx61());
+  // Sizes cover the degenerate single element, the smallest nontrivial
+  // product tree, and non-power-of-two shapes.
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{7}, size_t{64},
+                   size_t{101}}) {
+    std::vector<BigInt<1>> xs = RandomSet(n, rng, /*with_zeros=*/false);
+    std::vector<BigInt<1>> expected(n);
+    for (size_t i = 0; i < n; ++i) {
+      expected[i] = Ctx61().Inverse(xs[i]);
+    }
+    EXPECT_EQ(BatchInverse(f, &xs), n) << "n=" << n;
+    EXPECT_EQ(xs, expected) << "n=" << n;
+  }
+}
+
+TEST(BatchInverseTest, ZerosStayZeroOthersInvert) {
+  SecureRng rng("batch-inverse-zeros");
+  ModField<1> f(Ctx61());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<BigInt<1>> xs = RandomSet(33, rng, /*with_zeros=*/true);
+    std::vector<BigInt<1>> orig = xs;
+    size_t nonzero = 0;
+    for (const auto& x : orig) {
+      nonzero += x.IsZero() ? 0 : 1;
+    }
+    EXPECT_EQ(BatchInverse(f, &xs), nonzero);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (orig[i].IsZero()) {
+        EXPECT_TRUE(xs[i].IsZero()) << "i=" << i;
+      } else {
+        EXPECT_EQ(Ctx61().MulMod(xs[i], orig[i]), BigInt<1>::One()) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchInverseTest, AllZeros) {
+  ModField<1> f(Ctx61());
+  std::vector<BigInt<1>> xs(5, BigInt<1>::Zero());
+  EXPECT_EQ(BatchInverse(f, &xs), 0u);
+  for (const auto& x : xs) {
+    EXPECT_TRUE(x.IsZero());
+  }
+}
+
+TEST(BatchInverseTest, EmptySet) {
+  ModField<1> f(Ctx61());
+  std::vector<BigInt<1>> xs;
+  EXPECT_EQ(BatchInverse(f, &xs), 0u);
+}
+
+TEST(BatchInverseTest, StrictRejectsZeroUntouched) {
+  SecureRng rng("batch-inverse-strict");
+  ModField<1> f(Ctx61());
+  std::vector<BigInt<1>> xs = RandomSet(9, rng, /*with_zeros=*/false);
+  xs[4] = BigInt<1>::Zero();
+  std::vector<BigInt<1>> orig = xs;
+  EXPECT_FALSE(BatchInverseStrict(f, &xs));
+  EXPECT_EQ(xs, orig);  // untouched on rejection
+  xs[4] = BigInt<1>::FromU64(42);
+  EXPECT_TRUE(BatchInverseStrict(f, &xs));
+  EXPECT_EQ(Ctx61().MulMod(xs[4], BigInt<1>::FromU64(42)), BigInt<1>::One());
+}
+
+TEST(BatchInverseTest, MultiLimbField) {
+  // Same trick over a 256-bit prime field (the ed25519 base field prime,
+  // driven through the generic BigInt adapter rather than Fe25519).
+  static const MontgomeryCtx<4> ctx(Fe25519::P());
+  SecureRng rng("batch-inverse-256");
+  ModField<4> f(ctx);
+  std::vector<BigInt<4>> xs(21);
+  for (auto& x : xs) {
+    x = RandomBelow(Fe25519::P(), rng);
+  }
+  std::vector<BigInt<4>> orig = xs;
+  BatchInverse(f, &xs);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (orig[i].IsZero()) {
+      EXPECT_TRUE(xs[i].IsZero());
+    } else {
+      EXPECT_EQ(ctx.MulMod(xs[i], orig[i]), BigInt<4>::One()) << "i=" << i;
+    }
+  }
+}
+
+TEST(BatchInverseTest, Fe25519Adapter) {
+  SecureRng rng("batch-inverse-fe");
+  Fe25519Field f;
+  std::vector<Fe25519> xs;
+  for (int i = 0; i < 17; ++i) {
+    xs.push_back(Fe25519::FromBigInt(RandomBelow(Fe25519::P(), rng)));
+  }
+  xs[3] = Fe25519::Zero();
+  xs[11] = Fe25519::Zero();
+  std::vector<Fe25519> orig = xs;
+  EXPECT_EQ(BatchInverse(f, &xs), xs.size() - 2);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (orig[i].IsZero()) {
+      EXPECT_TRUE(xs[i].IsZero()) << "i=" << i;
+    } else {
+      EXPECT_TRUE(Fe25519::Mul(xs[i], orig[i]) == Fe25519::One()) << "i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdp

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/common/rng.h"
 
 namespace vdp {
@@ -58,6 +60,48 @@ TEST(MontgomeryTest, MultiLimbMatchesNaiveMulMod) {
       U256 b = RandomMod(m, rng);
       EXPECT_EQ(ctx.MulMod(a, b), MulMod(a, b, m));
     }
+  }
+}
+
+TEST(MontgomeryTest, SqrMontMatchesMulMont) {
+  // The dedicated squaring path (SOS: off-diagonal products once, doubled)
+  // must agree with the general CIOS multiply on every input, including
+  // values at the modulus boundary.
+  SecureRng rng("mont-sqr");
+  for (int trial = 0; trial < 10; ++trial) {
+    U256 m;
+    for (auto& w : m.limb) {
+      w = rng.NextU64();
+    }
+    m.limb[0] |= 1;
+    m.limb[3] |= uint64_t{1} << 63;
+    MontgomeryCtx<4> ctx(m);
+    std::vector<U256> cases;
+    for (int i = 0; i < 20; ++i) {
+      cases.push_back(RandomMod(m, rng));
+    }
+    cases.push_back(U256::Zero());
+    cases.push_back(U256::One());
+    U256 top = m;
+    U256::SubInto(top, top, U256::One());  // m - 1
+    cases.push_back(top);
+    for (const auto& a : cases) {
+      U256 am = ctx.ToMont(a);
+      EXPECT_EQ(ctx.SqrMont(am), ctx.MulMont(am, am)) << a.ToHex();
+      EXPECT_EQ(ctx.FromMont(ctx.SqrMont(am)), MulMod(a, a, m)) << a.ToHex();
+    }
+  }
+}
+
+TEST(MontgomeryTest, SqrMontSingleLimb) {
+  MontgomeryCtx<1> ctx(U64::FromU64(kPrime61));
+  SecureRng rng("mont-sqr-1");
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.UniformBelow(kPrime61);
+    uint64_t expected = static_cast<uint64_t>(
+        (static_cast<uint128_t>(a) * a) % kPrime61);
+    U64 am = ctx.ToMont(U64::FromU64(a));
+    EXPECT_EQ(ctx.FromMont(ctx.SqrMont(am)).limb[0], expected);
   }
 }
 

@@ -5,12 +5,18 @@
 //
 // Prints the safe prime p (hex). The subgroup of quadratic residues mod p has
 // prime order q = (p-1)/2; g = 4 generates it.
+//
+//   gen_params list
+//
+// Prints every registered group (the set reachable by name from the wire,
+// the benchmarks, and the VDP_GROUP conformance hook).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/common/timer.h"
+#include "src/group/registry.h"
 #include "src/math/primality.h"
 
 namespace {
@@ -43,6 +49,14 @@ void Generate(size_t bits) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "list") == 0) {
+    std::printf("%-20s %14s %12s\n", "group", "element_bytes", "order_bits");
+    for (const auto& info : vdp::RegisteredGroupInfos()) {
+      std::printf("%-20s %14zu %12zu\n", info.name.c_str(), info.element_bytes,
+                  info.scalar_bits);
+    }
+    return 0;
+  }
   if (argc == 3 && std::strcmp(argv[1], "schnorr") == 0) {
     size_t pbits = static_cast<size_t>(std::atoi(argv[2]));
     switch (pbits) {
@@ -58,8 +72,9 @@ int main(int argc, char** argv) {
     }
   }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <bits: 64|256|512|1024|2048> | %s schnorr <512|2048>\n",
-                 argv[0], argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <bits: 64|256|512|1024|2048> | %s schnorr <512|2048> | %s list\n",
+                 argv[0], argv[0], argv[0]);
     return 1;
   }
   size_t bits = static_cast<size_t>(std::atoi(argv[1]));
