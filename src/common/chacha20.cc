@@ -44,11 +44,11 @@ ChaCha20::ChaCha20(const std::array<uint8_t, kKeySize>& key,
   state_[1] = 0x3320646e;
   state_[2] = 0x79622d32;
   state_[3] = 0x6b206574;
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 8; ++i) {
     state_[4 + i] = LoadLe32(key.data() + 4 * i);
   }
   state_[12] = initial_counter;
-  for (int i = 0; i < 3; ++i) {
+  for (size_t i = 0; i < 3; ++i) {
     state_[13 + i] = LoadLe32(nonce.data() + 4 * i);
   }
 }
@@ -65,7 +65,7 @@ void ChaCha20::NextBlock(uint8_t out[kBlockSize]) {
     QuarterRound(x[2], x[7], x[8], x[13]);
     QuarterRound(x[3], x[4], x[9], x[14]);
   }
-  for (int i = 0; i < 16; ++i) {
+  for (size_t i = 0; i < 16; ++i) {
     StoreLe32(out + 4 * i, x[i] + state_[i]);
   }
   state_[12] += 1;  // Counter overflow after 256 GiB is out of scope here.

@@ -27,7 +27,7 @@ Sha256::Sha256()
 
 void Sha256::Compress(const uint8_t block[64]) {
   uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
+  for (size_t i = 0; i < 16; ++i) {
     w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
            (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
            (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
@@ -107,7 +107,7 @@ Sha256::Digest Sha256::Finalize() {
   Update(BytesView(len_bytes, 8));
 
   Digest digest;
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 8; ++i) {
     digest[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
     digest[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
     digest[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);

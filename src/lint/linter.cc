@@ -1,0 +1,366 @@
+#include "src/lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace vdp {
+namespace lint {
+namespace {
+
+// Every rule token below is spelled as a string literal, and token scanning
+// runs on comment- and string-stripped text, so the linter never flags its
+// own rule tables.
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsTestPath(const std::string& path) {
+  return path.find("tests/") != std::string::npos ||
+         path.find("test_") != std::string::npos ||
+         path.find("_test.") != std::string::npos;
+}
+
+// Splits content into lines, preserving empty trailing lines irrelevantly.
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+// Collects the rule IDs suppressed on this raw line via
+// `vdp-lint: allow(rule1, rule2)`.
+std::vector<std::string> ParseAllows(const std::string& raw_line) {
+  std::vector<std::string> allows;
+  const std::string marker = "vdp-lint: allow(";
+  size_t pos = raw_line.find(marker);
+  if (pos == std::string::npos) {
+    return allows;
+  }
+  pos += marker.size();
+  const size_t close = raw_line.find(')', pos);
+  if (close == std::string::npos) {
+    return allows;
+  }
+  std::string inside = raw_line.substr(pos, close - pos);
+  std::string token;
+  std::istringstream stream(inside);
+  while (std::getline(stream, token, ',')) {
+    token.erase(std::remove_if(token.begin(), token.end(),
+                               [](char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }),
+                token.end());
+    if (!token.empty()) {
+      allows.push_back(token);
+    }
+  }
+  return allows;
+}
+
+// One line of C++ with comments removed and literals neutralized. When
+// `keep_strings` is false, string/char literal contents are dropped
+// entirely; when true, string literals survive (the metric-name rule reads
+// them). Block-comment state threads across lines via `in_block_comment`.
+std::string StripLine(const std::string& line, bool* in_block_comment, bool keep_strings) {
+  std::string out;
+  out.reserve(line.size());
+  size_t i = 0;
+  while (i < line.size()) {
+    if (*in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        *in_block_comment = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      break;  // line comment: rest of line is gone
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < line.size()) {
+        if (line[j] == '\\') {
+          j += 2;
+          continue;
+        }
+        if (line[j] == quote) {
+          break;
+        }
+        ++j;
+      }
+      if (keep_strings && quote == '"') {
+        out.append(line, i, std::min(j + 1, line.size()) - i);
+      } else {
+        out.push_back(quote);
+        out.push_back(quote);
+      }
+      i = (j < line.size()) ? j + 1 : line.size();
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeIdentifiers(const std::string& stripped) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : stripped) {
+    if (IsIdentChar(c)) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+const std::vector<std::string>& BannedRngIdents() {
+  static const std::vector<std::string> kBanned = {
+      "rand",        "srand",         "rand_r",      "drand48",
+      "lrand48",     "random_device", "mt19937",     "mt19937_64",
+      "minstd_rand", "minstd_rand0",  "ranlux24",    "ranlux48",
+      "default_random_engine"};
+  return kBanned;
+}
+
+// An identifier that names key/MAC/digest material for the ct-compare rule.
+bool IsSecretishIdent(const std::string& ident) {
+  // kUpperCamel constants (enumerators, named sizes) are compile-time values,
+  // not secret buffers: comparing against FaultMode::kStaleDigest is fine.
+  if (ident.size() >= 2 && ident[0] == 'k' && std::isupper(static_cast<unsigned char>(ident[1]))) {
+    return false;
+  }
+  const std::string low = Lowered(ident);
+  if (Contains(low, "digest") || Contains(low, "hmac") || Contains(low, "secret") ||
+      Contains(low, "session_key")) {
+    return true;
+  }
+  // "mac"/"tag" need boundaries: "machine" and "stage" are innocent.
+  if (low == "mac" || low == "tag" || Contains(low, "mac_") || Contains(low, "_mac") ||
+      Contains(low, "tag_") || Contains(low, "_tag")) {
+    return true;
+  }
+  return false;
+}
+
+bool LineHasComparison(const std::string& stripped) {
+  if (Contains(stripped, "memcmp") || Contains(stripped, "std::equal")) {
+    return true;
+  }
+  for (size_t i = 0; i + 1 < stripped.size(); ++i) {
+    const char a = stripped[i];
+    const char b = stripped[i + 1];
+    if (b == '=' && (a == '=' || a == '!')) {
+      // Skip <=, >=, assignment, and ==/!= inside a wider operator.
+      if (i + 2 < stripped.size() && stripped[i + 2] == '=') {
+        continue;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// Registration entry points whose first argument must be a canonical name.
+const std::vector<std::string>& MetricEntryPoints() {
+  static const std::vector<std::string> kCalls = {
+      "GetCounter", "GetGauge", "GetHistogram",
+      "GlobalCounter", "GlobalGauge", "GlobalHistogram"};
+  return kCalls;
+}
+
+// Returns the string literal opening a call's argument list, if the call
+// site `name(` appears on the stripped-with-strings line.
+std::vector<std::string> MetricLiteralArgs(const std::string& with_strings) {
+  std::vector<std::string> literals;
+  for (const std::string& call : MetricEntryPoints()) {
+    size_t pos = 0;
+    while ((pos = with_strings.find(call, pos)) != std::string::npos) {
+      // Exact identifier match: no alnum on either side.
+      const bool left_ok = pos == 0 || !IsIdentChar(with_strings[pos - 1]);
+      size_t after = pos + call.size();
+      while (after < with_strings.size() &&
+             std::isspace(static_cast<unsigned char>(with_strings[after])) != 0) {
+        ++after;
+      }
+      if (!left_ok || after >= with_strings.size() || with_strings[after] != '(') {
+        pos += call.size();
+        continue;
+      }
+      ++after;
+      while (after < with_strings.size() &&
+             std::isspace(static_cast<unsigned char>(with_strings[after])) != 0) {
+        ++after;
+      }
+      if (after < with_strings.size() && with_strings[after] == '"') {
+        const size_t close = with_strings.find('"', after + 1);
+        if (close != std::string::npos) {
+          literals.push_back(with_strings.substr(after + 1, close - after - 1));
+        }
+      }
+      pos += call.size();
+    }
+  }
+  return literals;
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCanonicalMetricNames(const std::string& metrics_header) {
+  std::vector<std::string> names;
+  bool in_block = false;
+  for (const std::string& raw : SplitLines(metrics_header)) {
+    const std::string line = StripLine(raw, &in_block, /*keep_strings=*/true);
+    const size_t decl = line.find("constexpr const char*");
+    if (decl == std::string::npos) {
+      continue;
+    }
+    const size_t open = line.find('"', decl);
+    if (open == std::string::npos) {
+      continue;
+    }
+    const size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) {
+      continue;
+    }
+    names.push_back(line.substr(open + 1, close - open - 1));
+  }
+  return names;
+}
+
+std::vector<LintFinding> LintSource(const std::string& path, const std::string& content,
+                                    const LintConfig& config) {
+  std::vector<LintFinding> findings;
+  const bool is_test = IsTestPath(path);
+  const bool is_metrics_header = Contains(path, "obs/metrics.h");
+
+  bool in_block_tokens = false;
+  bool in_block_strings = false;
+  const std::vector<std::string> lines = SplitLines(content);
+  for (size_t n = 0; n < lines.size(); ++n) {
+    const std::string& raw = lines[n];
+    const std::vector<std::string> allows = ParseAllows(raw);
+    auto allowed = [&allows](const char* rule) {
+      return std::find(allows.begin(), allows.end(), rule) != allows.end();
+    };
+    auto report = [&](const char* rule, std::string message) {
+      findings.push_back({path, n + 1, rule, std::move(message)});
+    };
+
+    const std::string stripped = StripLine(raw, &in_block_tokens, /*keep_strings=*/false);
+    const std::string with_strings =
+        StripLine(raw, &in_block_strings, /*keep_strings=*/true);
+    const std::vector<std::string> idents = TokenizeIdentifiers(stripped);
+
+    if (!is_test && !allowed("rng")) {
+      for (const std::string& ident : idents) {
+        const auto& banned = BannedRngIdents();
+        if (std::find(banned.begin(), banned.end(), ident) != banned.end()) {
+          report("rng", "banned RNG '" + ident + "': use SecureRng (src/common/rng.h)");
+          break;
+        }
+      }
+    }
+
+    if (!is_test && !allowed("clock")) {
+      for (const std::string& ident : idents) {
+        if (ident == "system_clock") {
+          report("clock",
+                 "system_clock in a timing path: use steady_clock "
+                 "(src/common/timer.h), or annotate wall-clock timestamps");
+          break;
+        }
+      }
+    }
+
+    // static_assert comparisons happen at compile time and cannot leak.
+    if (!is_test && !allowed("ct-compare") && LineHasComparison(stripped) &&
+        !Contains(stripped, "static_assert")) {
+      for (const std::string& ident : idents) {
+        if (IsSecretishIdent(ident)) {
+          report("ct-compare",
+                 "raw comparison near secret material ('" + ident +
+                     "'): use ConstantTimeEqual (src/common/bytes.h)");
+          break;
+        }
+      }
+    }
+
+    if (!is_test && !is_metrics_header && !config.canonical_metric_names.empty() &&
+        !allowed("metric-name")) {
+      for (const std::string& literal : MetricLiteralArgs(with_strings)) {
+        const auto& canon = config.canonical_metric_names;
+        if (std::find(canon.begin(), canon.end(), literal) == canon.end()) {
+          report("metric-name",
+                 "metric literal \"" + literal +
+                     "\" is not in the canonical src/obs/metrics.h list; add the "
+                     "constant there and reference it");
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<LintFinding> LintChangedSet(const std::vector<std::string>& changed_paths) {
+  std::vector<LintFinding> findings;
+  std::vector<std::string> wire_struct_changes;
+  bool golden_touched = false;
+  for (const std::string& path : changed_paths) {
+    if (Contains(path, "src/wire/wire_format.")) {
+      wire_struct_changes.push_back(path);
+    }
+    if (Contains(path, "tests/wire/") && Contains(Lowered(path), "golden")) {
+      golden_touched = true;
+    }
+  }
+  if (!golden_touched) {
+    for (const std::string& path : wire_struct_changes) {
+      findings.push_back(
+          {path, 0, "wire-golden",
+           "wire-struct change without a golden-vector test update: edit the "
+           "tests/wire/ golden file in the same change so format drift is explicit"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace vdp

@@ -1,0 +1,63 @@
+// Repo-invariant linter (the lint CI job). Plain C++, no external
+// dependencies: the rule engine is a library so its verdicts are unit-tested
+// against seeded-violation fixtures, and tools/vdp_lint.cc is a thin CLI
+// that walks src/ + tools/ and self-tests the rules.
+//
+// Rules (IDs are what `// vdp-lint: allow(<rule>)` suppresses, per line):
+//   rng          -- rand()/std::mt19937/std::random_device and friends are
+//                   banned outside tests; all randomness flows through
+//                   SecureRng (src/common/rng.h) so streams are seedable and
+//                   audit-grade.
+//   clock        -- std::chrono::system_clock is banned in timing paths;
+//                   measurements use steady_clock (src/common/timer.h).
+//                   Wall-clock timestamps for run-logs carry an allow.
+//   ct-compare   -- raw memcmp/std::equal/==/!= over MAC/digest/secret
+//                   buffers is banned; verdict-relevant comparisons route
+//                   through ConstantTimeEqual (src/common/bytes.h).
+//   metric-name  -- metric registration takes the canonical constants from
+//                   src/obs/metrics.h, never ad-hoc string literals, so
+//                   dashboards and the run-log schema stay in sync.
+//   wire-golden  -- a change set touching the wire structs
+//                   (src/wire/wire_format.*) must also touch a golden-vector
+//                   test, so silent format drift cannot land.
+#ifndef SRC_LINT_LINTER_H_
+#define SRC_LINT_LINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace vdp {
+namespace lint {
+
+struct LintFinding {
+  std::string file;
+  size_t line = 0;  // 1-based; 0 for set-level findings (wire-golden)
+  std::string rule;
+  std::string message;
+};
+
+struct LintConfig {
+  // The canonical metric names (ParseCanonicalMetricNames over
+  // src/obs/metrics.h). Empty list disables the metric-name rule.
+  std::vector<std::string> canonical_metric_names;
+};
+
+// Extracts the quoted values of `inline constexpr const char* kFoo = "...";`
+// declarations from the metrics header.
+std::vector<std::string> ParseCanonicalMetricNames(const std::string& metrics_header);
+
+// Lints one file's content. `path` is reported verbatim in findings and used
+// for path-scoped exemptions (files under a tests/ directory skip the
+// rng/clock/metric-name rules; fixtures and tests legitimately seed
+// violations and register scratch metrics).
+std::vector<LintFinding> LintSource(const std::string& path, const std::string& content,
+                                    const LintConfig& config);
+
+// Set-level rules over a change list (repo-relative paths): currently
+// wire-golden. Line is 0; file names the offending wire source.
+std::vector<LintFinding> LintChangedSet(const std::vector<std::string>& changed_paths);
+
+}  // namespace lint
+}  // namespace vdp
+
+#endif  // SRC_LINT_LINTER_H_

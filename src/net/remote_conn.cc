@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/bytes.h"
 #include "src/common/rng.h"
 #include "src/net/socket.h"
 
@@ -9,8 +10,10 @@ namespace vdp {
 namespace net {
 
 bool AckMatchesSetup(const wire::WireSetupAck& ack, const Sha256::Digest& setup_digest) {
-  return std::equal(ack.params_digest.begin(), ack.params_digest.end(),
-                    setup_digest.begin());
+  // The ack digest binds the session to the negotiated parameters; compare
+  // in constant time like every other verdict-relevant digest check.
+  return ConstantTimeEqual(BytesView(ack.params_digest.data(), ack.params_digest.size()),
+                           BytesView(setup_digest.data(), setup_digest.size()));
 }
 
 RemoteConn ConnectAndHandshake(const Endpoint& endpoint, BytesView shared_secret,

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/hex.h"
 #include "src/common/timer.h"
 #include "src/net/remote_conn.h"
@@ -335,8 +336,9 @@ class RemoteVerifierFleet final : public ShardExecutor<G> {
       *blame = "malformed result frame";
       return false;
     }
-    if (!std::equal(wire_result->params_digest.begin(), wire_result->params_digest.end(),
-                    params_digest_.begin()) ||
+    if (!ConstantTimeEqual(BytesView(wire_result->params_digest.data(),
+                                     wire_result->params_digest.size()),
+                           BytesView(params_digest_.data(), params_digest_.size())) ||
         wire_result->shard_index != task.shard_index || wire_result->base != task.base ||
         wire_result->count != expected_count ||
         wire_result->partial_products.empty() == (task.compute_products == 1)) {

@@ -59,9 +59,12 @@ bool IsNumberArray(const JsonValue* v) {
 }  // namespace
 
 uint64_t UnixMillis() {
-  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
-                                   std::chrono::system_clock::now().time_since_epoch())
-                                   .count());
+  // Wall-clock run timestamp for the log header, never a duration
+  // measurement (those all go through Stopwatch/steady_clock).
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())  // vdp-lint: allow(clock)
+          .count());
 }
 
 const std::string& GitSha() {

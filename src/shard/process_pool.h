@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/timer.h"
 #include "src/shard/shard_result.h"
 #include "src/shard/stream_dispatch.h"
@@ -298,8 +299,9 @@ class MultiprocessVerifier final : public ShardExecutor<G> {
       *blame = "malformed result frame";
       return false;
     }
-    if (!std::equal(wire_result->params_digest.begin(), wire_result->params_digest.end(),
-                    params_digest_.begin()) ||
+    if (!ConstantTimeEqual(BytesView(wire_result->params_digest.data(),
+                                     wire_result->params_digest.size()),
+                           BytesView(params_digest_.data(), params_digest_.size())) ||
         wire_result->shard_index != task.shard_index || wire_result->base != task.base ||
         wire_result->count != expected_count ||
         wire_result->partial_products.empty() == (task.compute_products == 1)) {

@@ -230,11 +230,21 @@ class StreamDispatcher {
       verify_span_->End();
       verify_span_.reset();
     }
+    // The lanes are joined, but Progress()/PartialReport() observers may
+    // still be running on other threads: every read or write of the shared
+    // state below must stay under mu_ (pinned by
+    // tests/shard/stream_dispatch_stress_test.cc under TSan).
+    std::vector<ShardResult<G>> results;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      results = std::move(results_);
+      results_.clear();
+      last_backpressure_wait_ms_ = backpressure_wait_ms_;
+    }
     obs::TraceSpan combine_span(options_.tracer, kStageCombine, options_.trace_parent);
     VerifyReport<G> report =
-        CombineShardResults(config_, std::move(results_), options_.compute_products);
+        CombineShardResults(config_, std::move(results), options_.compute_products);
     combine_span.End();
-    last_backpressure_wait_ms_ = backpressure_wait_ms_;
     ResetState();
     return report;
   }
@@ -418,20 +428,26 @@ class StreamDispatcher {
         ->Set(static_cast<int64_t>(ingested - std::min(done, ingested)));
   }
 
+  // Runs between streams (lanes joined), but concurrent observers may still
+  // be reading the cross-thread state: hold mu_ for everything it shares
+  // with Progress()/PartialReport()/the backpressure getters.
   void ResetState() {
     current_.clear();
-    queue_.clear();
-    results_.clear();
     started_ = false;
-    closed_ = false;
     next_base_ = 0;
     next_shard_index_ = 0;
-    shards_cut_ = 0;
-    shards_done_ = 0;
-    inflight_ = 0;
-    accepted_so_far_ = 0;
-    rejected_so_far_ = 0;
-    backpressure_wait_ms_ = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.clear();
+      results_.clear();
+      closed_ = false;
+      shards_cut_ = 0;
+      shards_done_ = 0;
+      inflight_ = 0;
+      accepted_so_far_ = 0;
+      rejected_so_far_ = 0;
+      backpressure_wait_ms_ = 0;
+    }
     ingested_.store(0, std::memory_order_relaxed);
     done_uploads_.store(0, std::memory_order_relaxed);
     obs::GlobalGauge(obs::kStreamInflightShards)->Set(0);

@@ -23,6 +23,7 @@
 #define SRC_VERIFY_STREAMING_BACKEND_H_
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -108,7 +109,15 @@ class StreamingVerifyBackend : public VerifyBackend<G> {
   }
 
   VerifyProgress Progress() const override {
-    return dispatcher_.has_value() ? dispatcher_->Progress() : VerifyProgress{};
+    // The dispatcher is engaged lazily on the producer thread (EnsureStream),
+    // but Progress is documented any-thread-safe, so observers must not peek
+    // at the optional directly: has_value() and the dispatcher's constructor
+    // writes are unsynchronized with a concurrent emplace. Reading through
+    // the release-published pointer gives the needed happens-before (pinned
+    // by fleet_stress_test's RemoteBackendProgressWhileStreaming, which
+    // fails under TSan on the optional-based read).
+    const StreamDispatcher<G>* live = live_dispatcher_.load(std::memory_order_acquire);
+    return live != nullptr ? live->Progress() : VerifyProgress{};
   }
 
  protected:
@@ -137,6 +146,10 @@ class StreamingVerifyBackend : public VerifyBackend<G> {
   // destruction order.
   void AbortStream() {
     if (dispatcher_.has_value()) {
+      // Unpublish before teardown so a stale observer sees "no stream"
+      // rather than a dispatcher mid-destruction. (Teardown itself still
+      // requires observers to have quiesced, same as destruction.)
+      live_dispatcher_.store(nullptr, std::memory_order_release);
       dispatcher_->Abort();
       dispatcher_.reset();
     }
@@ -163,6 +176,9 @@ class StreamingVerifyBackend : public VerifyBackend<G> {
     dispatch_options.tracer = options_.tracer;
     dispatch_options.trace_parent = options_.trace_parent;
     dispatcher_.emplace(config(), executor_.get(), dispatch_options);
+    // Publish only after the dispatcher is fully constructed; Progress()
+    // acquires through this pointer instead of touching the optional.
+    live_dispatcher_.store(&*dispatcher_, std::memory_order_release);
   }
 
   void TrackFirstAdd() {
@@ -195,6 +211,10 @@ class StreamingVerifyBackend : public VerifyBackend<G> {
   // enforces the same order for every non-destructor teardown.
   std::unique_ptr<ShardExecutor<G>> executor_;
   std::optional<StreamDispatcher<G>> dispatcher_;
+  // Cross-thread view of dispatcher_: set (release) after emplace, cleared
+  // before reset, loaded (acquire) by Progress(). Observers only ever reach
+  // the dispatcher through this pointer.
+  std::atomic<StreamDispatcher<G>*> live_dispatcher_{nullptr};
   double add_wall_ms_ = 0;
   uint64_t first_add_us_ = 0;
   bool ingested_any_ = false;

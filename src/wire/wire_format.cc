@@ -37,7 +37,7 @@ std::optional<std::array<uint8_t, Sha256::kDigestSize>> GetDigest(Reader* r) {
   if (!raw.has_value()) {
     return std::nullopt;
   }
-  std::array<uint8_t, Sha256::kDigestSize> digest;
+  std::array<uint8_t, Sha256::kDigestSize> digest{};
   std::memcpy(digest.data(), raw->data(), Sha256::kDigestSize);
   return digest;
 }
@@ -431,7 +431,7 @@ std::optional<std::array<uint8_t, kHandshakeNonceSize>> GetNonce(Reader* r) {
   if (!raw.has_value()) {
     return std::nullopt;
   }
-  std::array<uint8_t, kHandshakeNonceSize> nonce;
+  std::array<uint8_t, kHandshakeNonceSize> nonce{};
   std::memcpy(nonce.data(), raw->data(), kHandshakeNonceSize);
   return nonce;
 }

@@ -1,0 +1,126 @@
+// ThreadPool under adversarial concurrency, written for the tsan CI job:
+// many caller threads share one pool, exceptions abort shards mid-flight,
+// and pools are constructed/destroyed while work is still being submitted
+// elsewhere. Functional assertions keep the tests meaningful in normal
+// builds; ThreadSanitizer turns any unsynchronized access in the
+// ParallelFor control block or the queue into a hard failure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace vdp {
+namespace {
+
+// N caller threads issue overlapping ParallelFor batches on one shared pool;
+// every iteration of every batch must run exactly once.
+TEST(ThreadPoolStressTest, ConcurrentCallersShareOnePool) {
+  ThreadPool pool(3);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kBatches = 25;
+  constexpr size_t kCount = 64;
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (size_t b = 0; b < kBatches; ++b) {
+        std::atomic<size_t> batch{0};
+        pool.ParallelFor(kCount, [&](size_t) {
+          batch.fetch_add(1, std::memory_order_relaxed);
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(batch.load(), kCount);
+      }
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), kCallers * kBatches * kCount);
+}
+
+// Exceptions racing normal completions: some batches throw from a random
+// iteration while sibling threads run clean batches on the same pool. The
+// first exception must surface on the throwing caller, clean batches must
+// be unaffected, and the pool must stay usable afterwards.
+TEST(ThreadPoolStressTest, ExceptionStormLeavesPoolUsable) {
+  ThreadPool pool(3);
+  constexpr size_t kRounds = 30;
+  std::atomic<size_t> clean_batches{0};
+  std::thread clean([&pool, &clean_batches] {
+    for (size_t b = 0; b < kRounds; ++b) {
+      std::atomic<size_t> batch{0};
+      pool.ParallelFor(48, [&](size_t) { batch.fetch_add(1, std::memory_order_relaxed); });
+      EXPECT_EQ(batch.load(), 48u);
+      clean_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  size_t caught = 0;
+  for (size_t b = 0; b < kRounds; ++b) {
+    try {
+      pool.ParallelFor(48, [&](size_t i) {
+        if (i == b % 48) {
+          throw std::runtime_error("shard bomb");
+        }
+      });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+  }
+  clean.join();
+  EXPECT_EQ(caught, kRounds);
+  EXPECT_EQ(clean_batches.load(), kRounds);
+  // Still alive after the storm.
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(16, [&](size_t) { after.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(after.load(), 16u);
+}
+
+// Pool lifecycle churn: construct, drive, and join pools in a loop while an
+// unrelated pool is busy -- the destructor's shutdown handshake must never
+// race the worker loop's queue access.
+TEST(ThreadPoolStressTest, LifecycleChurnUnderLoad) {
+  ThreadPool busy(2);
+  std::atomic<bool> stop{false};
+  std::thread driver([&busy, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      busy.ParallelFor(32, [](size_t) {});
+    }
+  });
+  for (size_t round = 0; round < 40; ++round) {
+    ThreadPool ephemeral(1 + round % 3);
+    std::atomic<size_t> ran{0};
+    ephemeral.ParallelFor(24, [&](size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(ran.load(), 24u);
+  }
+  stop.store(true, std::memory_order_release);
+  driver.join();
+}
+
+// The leaked global pool is shared by every subsystem; hammer it from
+// several threads at once the way overlapping backends do.
+TEST(ThreadPoolStressTest, GlobalPoolConcurrentUse) {
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < 3; ++c) {
+    callers.emplace_back([&total] {
+      for (size_t b = 0; b < 10; ++b) {
+        GlobalPool().ParallelFor(40, [&](size_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), 3u * 10u * 40u);
+}
+
+}  // namespace
+}  // namespace vdp

@@ -1,0 +1,13 @@
+// Seeded violation for the `clock` rule: wall-clock time in a timing path.
+// Never compiled; linted by vdp_lint --self-test and the unit tests.
+#include <chrono>
+
+namespace vdp {
+
+double MeasureMillis() {
+  const auto begin = std::chrono::system_clock::now();
+  const auto end = std::chrono::system_clock::now();
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+}  // namespace vdp

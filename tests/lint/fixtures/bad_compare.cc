@@ -1,0 +1,19 @@
+// Seeded violation for the `ct-compare` rule: early-exit comparisons over
+// MAC/digest material. Never compiled; linted by vdp_lint --self-test and
+// the unit tests.
+#include <array>
+#include <cstring>
+
+namespace vdp {
+
+bool TagMatches(const std::array<unsigned char, 32>& expected_tag,
+                const std::array<unsigned char, 32>& actual_tag) {
+  return std::memcmp(expected_tag.data(), actual_tag.data(), expected_tag.size()) == 0;
+}
+
+bool DigestMatches(const std::array<unsigned char, 32>& params_digest,
+                   const std::array<unsigned char, 32>& ack_digest) {
+  return params_digest == ack_digest;
+}
+
+}  // namespace vdp

@@ -1,0 +1,13 @@
+// Seeded violation for the `metric-name` rule: ad-hoc metric literals
+// instead of the canonical constants in src/obs/metrics.h. Never compiled;
+// linted by vdp_lint --self-test and the unit tests.
+#include "src/obs/metrics.h"
+
+namespace vdp {
+
+void CountSomething() {
+  obs::GlobalCounter("my.adhoc_counter")->Increment();
+  obs::GlobalHistogram("another.rogue_latency")->Record(1.0);
+}
+
+}  // namespace vdp

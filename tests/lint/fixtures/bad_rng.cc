@@ -1,0 +1,14 @@
+// Seeded violation for the `rng` rule: ad-hoc randomness instead of
+// SecureRng. Never compiled; linted by vdp_lint --self-test and the unit
+// tests as if it were production code.
+#include <cstdlib>
+#include <random>
+
+namespace vdp {
+
+unsigned NoiseSample() {
+  std::mt19937 gen(std::random_device{}());
+  return static_cast<unsigned>(gen()) ^ static_cast<unsigned>(rand());
+}
+
+}  // namespace vdp

@@ -1,0 +1,43 @@
+// Clean fixture: idiomatic use of every API the rules police, plus the
+// annotation escape hatch. Must produce zero findings. Never compiled;
+// linted by vdp_lint --self-test and the unit tests.
+#include <chrono>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/obs/metrics.h"
+
+namespace vdp {
+
+bool DigestMatches(BytesView params_digest, BytesView ack_digest) {
+  return ConstantTimeEqual(params_digest, ack_digest);
+}
+
+// Compile-time comparisons cannot leak, even when they mention digests.
+static_assert(sizeof(Sha256::Digest) == 32);
+
+enum class FaultMode { kNone, kStaleDigest };
+
+// Comparing against a kUpperCamel enumerator is an enum test, not a buffer
+// compare, even though the constant's name contains "Digest".
+bool IsStale(FaultMode fault) {
+  return fault == FaultMode::kStaleDigest;
+}
+
+uint64_t SampleAndCount() {
+  SecureRng rng("clean-fixture");
+  obs::GlobalCounter(obs::kFleetRetries)->Increment();
+  Stopwatch timer;  // steady_clock underneath
+  // Wall-clock for a run-log timestamp is fine when annotated:
+  const auto stamp = std::chrono::system_clock::now();  // vdp-lint: allow(clock)
+  (void)stamp;
+  (void)timer;
+  return rng.NextU64();
+}
+
+// Comments may discuss rand() or std::mt19937 freely, and strings mentioning
+// "system_clock" or memcmp on a digest are data, not code.
+const char* kDoc = "never memcmp a params_digest";
+
+}  // namespace vdp

@@ -1,0 +1,182 @@
+// Adversarial interleavings for the streaming dispatcher, written for the
+// tsan CI job (-DVDP_TSAN=ON): monitor threads hammer the documented
+// any-thread-safe observer API (Progress / PartialReport / the backpressure
+// getters) while a producer drives streams through Add / Finish / Abort at
+// full speed. Functionally the tests assert the fake-executor verdict, but
+// their real teeth are under ThreadSanitizer, where the pre-fix
+// Finish()-vs-Progress() race on the dispatcher's shared state (ResetState
+// and the last_backpressure handoff mutated without mu_) fails every one of
+// them deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/shard/stream_dispatch.h"
+
+namespace vdp {
+namespace {
+
+using G = ModP256;
+
+// Same synthetic-verdict shape as stream_dispatch_test.cc: global index i is
+// rejected iff i % 7 == 3, so any partition combines to one known report.
+class FakeExecutor final : public ShardExecutor<G> {
+ public:
+  explicit FakeExecutor(size_t lanes, int sleep_us = 0)
+      : lanes_(lanes), sleep_us_(sleep_us) {}
+
+  size_t lanes() const override { return lanes_; }
+
+  ShardResult<G> ExecuteShard(size_t /*lane*/, const ShardPayload<G>& shard) override {
+    if (sleep_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    }
+    ShardResult<G> result;
+    result.shard_index = shard.shard_index;
+    result.base = shard.base;
+    result.count = shard.count();
+    for (size_t i = 0; i < shard.count(); ++i) {
+      const size_t global = shard.base + i;
+      if (global % 7 == 3) {
+        result.rejections.emplace_back(global, "synthetic");
+      } else {
+        result.accepted.push_back(global);
+      }
+    }
+    return result;
+  }
+
+ private:
+  size_t lanes_;
+  int sleep_us_;
+};
+
+StreamDispatchOptions NoProducts(size_t capacity, size_t window) {
+  StreamDispatchOptions options;
+  options.shard_capacity = capacity;
+  options.max_inflight_shards = window;
+  options.compute_products = false;
+  return options;
+}
+
+void ExpectFakeVerdict(const VerifyReport<G>& report, size_t n) {
+  size_t accepted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    accepted += (i % 7 == 3) ? 0 : 1;
+  }
+  EXPECT_EQ(report.accepted.size(), accepted);
+  EXPECT_EQ(report.total_uploads, n);
+}
+
+// Spins observer threads against a dispatcher until `stop` flips. Every
+// observer entry point is exercised, including the cross-stream getters.
+std::vector<std::thread> StartMonitors(StreamDispatcher<G>* dispatcher,
+                                       std::atomic<bool>* stop, size_t n = 2) {
+  std::vector<std::thread> monitors;
+  monitors.reserve(n);
+  for (size_t m = 0; m < n; ++m) {
+    monitors.emplace_back([dispatcher, stop] {
+      while (!stop->load(std::memory_order_acquire)) {
+        const VerifyProgress p = dispatcher->Progress();
+        // Internal consistency only: the snapshot may straddle stream
+        // boundaries, but a snapshot itself must never tear.
+        EXPECT_LE(p.shards_done, p.shards_cut);
+        const VerifyReport<G> partial = dispatcher->PartialReport();
+        EXPECT_LE(partial.accepted.size() + partial.rejections.size(),
+                  p.uploads_ingested + partial.total_uploads);
+        (void)dispatcher->backpressure_wait_ms();
+        (void)dispatcher->last_backpressure_wait_ms();
+      }
+    });
+  }
+  return monitors;
+}
+
+// The minimized regression for the PR-9 TSan fix: Finish() used to move
+// results_ out, stamp last_backpressure_wait_ms_, and ResetState() -- all
+// without mu_ -- while Progress()/PartialReport() read the same fields under
+// the lock from other threads. Rapid back-to-back streams make the window
+// between CloseAndJoin and the next stream's first Add wide enough that the
+// monitors always land in it.
+TEST(StreamDispatchStressTest, MonitorsRaceFinishAcrossStreams) {
+  ProtocolConfig config;
+  FakeExecutor executor(/*lanes=*/2);
+  StreamDispatcher<G> dispatcher(config, &executor, NoProducts(3, 2));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> monitors = StartMonitors(&dispatcher, &stop);
+
+  for (size_t stream = 0; stream < 40; ++stream) {
+    const size_t n = 10 + (stream % 13);
+    for (size_t i = 0; i < n; ++i) {
+      dispatcher.Add(ClientUploadMsg<G>{});
+    }
+    VerifyReport<G> report = dispatcher.Finish();
+    ExpectFakeVerdict(report, n);
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : monitors) {
+    t.join();
+  }
+}
+
+// Abort()'s tail also resets shared state after the lanes drain; monitors
+// must never observe the teardown half-done. Alternates aborted and finished
+// streams to cover the reuse path both ways.
+TEST(StreamDispatchStressTest, MonitorsRaceAbortAndReuse) {
+  ProtocolConfig config;
+  FakeExecutor executor(/*lanes=*/2, /*sleep_us=*/200);
+  StreamDispatcher<G> dispatcher(config, &executor, NoProducts(2, 2));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> monitors = StartMonitors(&dispatcher, &stop);
+
+  for (size_t round = 0; round < 25; ++round) {
+    for (size_t i = 0; i < 9; ++i) {
+      dispatcher.Add(ClientUploadMsg<G>{});
+    }
+    dispatcher.Abort();
+    const size_t n = 6 + (round % 5);
+    for (size_t i = 0; i < n; ++i) {
+      dispatcher.Add(ClientUploadMsg<G>{});
+    }
+    VerifyReport<G> report = dispatcher.Finish();
+    ExpectFakeVerdict(report, n);
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : monitors) {
+    t.join();
+  }
+}
+
+// Backpressure path under observation: a window of 1 against a slow lane
+// keeps the producer parked in Enqueue's wait (which accumulates
+// backpressure_wait_ms_ under mu_) while monitors read the same accumulator
+// through the getters.
+TEST(StreamDispatchStressTest, MonitorsRaceBackpressureWait) {
+  ProtocolConfig config;
+  FakeExecutor executor(/*lanes=*/1, /*sleep_us=*/500);
+  StreamDispatcher<G> dispatcher(config, &executor, NoProducts(1, 1));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> monitors = StartMonitors(&dispatcher, &stop);
+
+  for (size_t stream = 0; stream < 4; ++stream) {
+    for (size_t i = 0; i < 30; ++i) {
+      dispatcher.Add(ClientUploadMsg<G>{});
+    }
+    VerifyReport<G> report = dispatcher.Finish();
+    ExpectFakeVerdict(report, 30);
+    EXPECT_GT(dispatcher.last_backpressure_wait_ms(), 0.0);
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : monitors) {
+    t.join();
+  }
+}
+
+}  // namespace
+}  // namespace vdp

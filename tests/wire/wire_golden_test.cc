@@ -5,6 +5,12 @@
 // breaking mixed-version fleets. If a change is intentional, bump
 // wire::kWireVersion and regenerate the fixtures (each assertion prints the
 // actual encoding on mismatch).
+//
+// vdp_lint's wire-golden rule enforces the pairing mechanically: any change
+// set touching src/wire/wire_format.* must touch this file too, so encoding
+// drift is always acknowledged next to the bytes it freezes. (PR 9's edits
+// to wire_format.cc were decode-internal -- zero-initialized scratch arrays
+// -- and every golden vector below is unchanged.)
 #include <gtest/gtest.h>
 
 #include "src/common/hex.h"

@@ -1,0 +1,250 @@
+// Dynamic constant-time audit (the ct-audit CI job): runs the dudect-style
+// timing engine in src/common/ct_check.h over every verdict-relevant
+// primitive, alongside positive controls that MUST be flagged for the run to
+// count. Exit status is the gate:
+//
+//   required checks  -- ConstantTimeEqual, HmacSha256::Verify / Mac,
+//                       DeriveSessionKey -- must show NO leak: their timing
+//                       may not separate a correct secret from an
+//                       adversarial one (first-byte difference, the
+//                       early-exit worst case).
+//   positive controls -- a raw memcmp over 4 KiB and a branchy
+//                       square-and-multiply -- must LEAK; if the machine is
+//                       too noisy to flag a deliberate early-exit, a clean
+//                       result on the required checks means nothing.
+//   info checks       -- group exponentiation. The verifier only ever
+//                       exponentiates public data (commitments, proof
+//                       elements), and the bigint stack underneath is
+//                       variable-time by design; reported for visibility,
+//                       never gating.
+//
+// Required checks get several attempts and keep the best |t|: a genuine leak
+// reproduces on every attempt, while a scheduler burst that fakes one does
+// not. Positive controls symmetrically keep the worst |t|.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/ct_check.h"
+#include "src/common/hmac.h"
+#include "src/common/rng.h"
+#include "src/group/modp_group.h"
+#include "src/net/auth.h"
+
+namespace vdp {
+namespace {
+
+enum class CheckKind { kRequiredConstantTime, kPositiveControl, kInfoOnly };
+
+struct CheckSpec {
+  std::string name;
+  CheckKind kind;
+  std::function<void(bool adversarial)> op;
+};
+
+// Keeps the optimizer from deleting a result the timing depends on.
+template <typename T>
+void Consume(const T& value) {
+  CtCompilerBarrier(&value);
+}
+
+std::vector<CheckSpec> BuildChecks() {
+  std::vector<CheckSpec> checks;
+  SecureRng rng("ct-audit-inputs");
+
+  // -- required: the comparison every MAC/digest verdict routes through.
+  {
+    auto secret = std::make_shared<Bytes>(rng.RandomBytes(32));
+    auto equal = std::make_shared<Bytes>(*secret);
+    auto differs = std::make_shared<Bytes>(*secret);
+    (*differs)[0] ^= 0x01;  // early-exit worst case for a naive compare
+    CtPoison(secret->data(), secret->size());
+    checks.push_back({"ConstantTimeEqual/32B", CheckKind::kRequiredConstantTime,
+                      [=](bool adversarial) {
+                        const Bytes& probe = adversarial ? *differs : *equal;
+                        bool ok = ConstantTimeEqual(*secret, probe);
+                        CtUnpoison(&ok, sizeof(ok));
+                        Consume(ok);
+                      }});
+  }
+
+  // -- required: full HMAC verification path (tag recompute + CT compare).
+  {
+    auto key = std::make_shared<Bytes>(rng.RandomBytes(32));
+    auto msg = std::make_shared<Bytes>(rng.RandomBytes(256));
+    auto good = std::make_shared<HmacSha256::Tag>(HmacSha256::Mac(*key, *msg));
+    auto bad = std::make_shared<HmacSha256::Tag>(*good);
+    (*bad)[0] ^= 0x01;
+    CtPoison(key->data(), key->size());
+    checks.push_back({"HmacSha256::Verify", CheckKind::kRequiredConstantTime,
+                      [=](bool adversarial) {
+                        const HmacSha256::Tag& expected = adversarial ? *bad : *good;
+                        bool ok = HmacSha256::Verify(
+                            expected, HmacSha256::Mac(*key, *msg));
+                        CtUnpoison(&ok, sizeof(ok));
+                        Consume(ok);
+                      }});
+  }
+
+  // -- required: MAC computation must not branch on key bytes.
+  {
+    auto fixed_key = std::make_shared<Bytes>(rng.RandomBytes(32));
+    auto sparse_key = std::make_shared<Bytes>(Bytes(32, 0x00));  // degenerate key
+    auto msg = std::make_shared<Bytes>(rng.RandomBytes(256));
+    CtPoison(fixed_key->data(), fixed_key->size());
+    checks.push_back({"HmacSha256::Mac/key-classes", CheckKind::kRequiredConstantTime,
+                      [=](bool adversarial) {
+                        const Bytes& key = adversarial ? *sparse_key : *fixed_key;
+                        Consume(HmacSha256::Mac(key, *msg));
+                      }});
+  }
+
+  // -- required: session-key derivation over the fleet's pre-shared secret.
+  {
+    auto fixed_secret = std::make_shared<Bytes>(rng.RandomBytes(32));
+    auto sparse_secret = std::make_shared<Bytes>(Bytes(32, 0xFF));
+    auto server_nonce = std::make_shared<Bytes>(rng.RandomBytes(16));
+    auto client_nonce = std::make_shared<Bytes>(rng.RandomBytes(16));
+    CtPoison(fixed_secret->data(), fixed_secret->size());
+    checks.push_back({"net::DeriveSessionKey", CheckKind::kRequiredConstantTime,
+                      [=](bool adversarial) {
+                        const Bytes& secret =
+                            adversarial ? *sparse_secret : *fixed_secret;
+                        Consume(net::DeriveSessionKey(secret, *server_nonce,
+                                                      *client_nonce));
+                      }});
+  }
+
+  // -- positive control: memcmp's early exit over 4 KiB must be flagged.
+  {
+    auto base = std::make_shared<Bytes>(rng.RandomBytes(4096));
+    auto equal = std::make_shared<Bytes>(*base);
+    auto differs = std::make_shared<Bytes>(*base);
+    (*differs)[0] ^= 0x01;
+    checks.push_back({"control:memcmp/4KiB-early-exit", CheckKind::kPositiveControl,
+                      [=](bool adversarial) {
+                        const Bytes& probe = adversarial ? *differs : *equal;
+                        int cmp = std::memcmp(base->data(), probe.data(),
+                                              base->size());  // vdp-lint: allow(ct-compare)
+                        Consume(cmp);
+                      }});
+  }
+
+  // -- positive control: branchy square-and-multiply over a secret exponent.
+  {
+    checks.push_back({"control:branchy-square-and-multiply",
+                      CheckKind::kPositiveControl, [](bool adversarial) {
+                        const uint64_t exponent =
+                            adversarial ? 0xFFFFFFFFFFFFFFFFull : 0ull;
+                        uint64_t acc = CtOpaque(3);
+                        uint64_t base = CtOpaque(7);
+                        for (int bit = 0; bit < 64; ++bit) {
+                          acc *= acc;
+                          if ((exponent >> bit) & 1ull) {  // the leak under test
+                            for (int k = 0; k < 16; ++k) {
+                              acc = acc * base + CtOpaque(1);
+                            }
+                          }
+                        }
+                        Consume(acc);
+                      }});
+  }
+
+  // -- info: group exponentiation (public-data operands in the verifier).
+  {
+    using G = ModP256;
+    auto fixed_scalar = std::make_shared<G::Scalar>(G::Scalar::Random(rng));
+    auto one = std::make_shared<G::Scalar>(G::Scalar::One());
+    checks.push_back({"info:ModP256::ExpG/scalar-classes", CheckKind::kInfoOnly,
+                      [=](bool adversarial) {
+                        const G::Scalar& s = adversarial ? *one : *fixed_scalar;
+                        Consume(G::ExpG(s));
+                      }});
+  }
+
+  return checks;
+}
+
+const char* KindLabel(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kRequiredConstantTime:
+      return "required";
+    case CheckKind::kPositiveControl:
+      return "control ";
+    case CheckKind::kInfoOnly:
+      return "info    ";
+  }
+  return "?";
+}
+
+}  // namespace
+}  // namespace vdp
+
+int main(int argc, char** argv) {
+  using namespace vdp;
+  TimingAuditOptions options;
+  int attempts = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--samples" && i + 1 < argc) {
+      options.samples_per_class = static_cast<size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--attempts" && i + 1 < argc) {
+      attempts = std::stoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: ct_audit [--samples N] [--attempts N]\n");
+      return 2;
+    }
+  }
+
+  bool failed = false;
+  std::printf("ct_audit: %zu samples/class, %d attempt(s), |t| threshold 10\n",
+              options.samples_per_class, attempts);
+  for (const CheckSpec& check : BuildChecks()) {
+    const bool want_leak = check.kind == CheckKind::kPositiveControl;
+    // Required checks keep the best attempt (a real leak reproduces every
+    // time); controls keep the worst (a real early-exit leaks every time).
+    double best_abs_t = want_leak ? 1e300 : 0.0;
+    double reported_t = 0.0;
+    for (int a = 0; a < attempts; ++a) {
+      const TimingAuditResult result = RunTimingAudit(check.op, options);
+      const double abs_t = result.t_stat < 0 ? -result.t_stat : result.t_stat;
+      const bool better = want_leak ? abs_t < best_abs_t : abs_t > best_abs_t;
+      if (a == 0 || better) {
+        best_abs_t = abs_t;
+        reported_t = result.t_stat;
+      }
+      // Early accept: a required check that measured clean, or a control
+      // that already leaked unambiguously, needs no further attempts.
+      if (!want_leak && abs_t <= 10.0) {
+        break;
+      }
+      if (want_leak && abs_t > 10.0) {
+        break;
+      }
+    }
+    const bool leaks = best_abs_t > 10.0;
+    bool ok = true;
+    if (check.kind == CheckKind::kRequiredConstantTime) {
+      ok = !leaks;
+    } else if (check.kind == CheckKind::kPositiveControl) {
+      ok = leaks;
+    }
+    failed = failed || !ok;
+    std::printf("  [%s] %-40s t=%+9.2f  %s\n", KindLabel(check.kind),
+                check.name.c_str(), reported_t,
+                check.kind == CheckKind::kInfoOnly ? (leaks ? "variable-time (expected)"
+                                                            : "no separation")
+                : ok                               ? "ok"
+                                                   : "FAIL");
+  }
+  if (failed) {
+    std::printf("ct_audit: FAIL\n");
+    return 1;
+  }
+  std::printf("ct_audit: PASS\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Repo-invariant linter CLI (the lint CI job). Thin shell over the rule
+// engine in src/lint/linter.h:
+//
+//   vdp_lint [--root DIR]                 lint src/ and tools/ (exit 1 on
+//                                         any finding)
+//   vdp_lint [--root DIR] --changed f...  also run set-level rules
+//                                         (wire-golden) over the change list
+//   vdp_lint [--root DIR] --self-test     prove the rules still bite: every
+//                                         seeded violation in
+//                                         tests/lint/fixtures/ must be
+//                                         flagged with exactly its expected
+//                                         rule, and the clean fixture must
+//                                         pass
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lint/linter.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool IsCppSource(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+int PrintFindings(const std::vector<vdp::lint::LintFinding>& findings) {
+  for (const vdp::lint::LintFinding& f : findings) {
+    if (f.line > 0) {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                   f.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s: [%s] %s\n", f.file.c_str(), f.rule.c_str(),
+                   f.message.c_str());
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+// Fixture expectations: file stem -> the one rule it seeds (empty = clean).
+struct FixtureCase {
+  const char* stem;
+  const char* rule;
+};
+constexpr FixtureCase kFixtureCases[] = {
+    {"bad_rng", "rng"},           {"bad_clock", "clock"},
+    {"bad_compare", "ct-compare"}, {"bad_metric", "metric-name"},
+    {"clean", ""},
+};
+
+int RunSelfTest(const fs::path& root, const vdp::lint::LintConfig& config) {
+  const fs::path fixtures = root / "tests" / "lint" / "fixtures";
+  int failures = 0;
+  for (const FixtureCase& c : kFixtureCases) {
+    const fs::path file = fixtures / (std::string(c.stem) + ".cc");
+    const std::string content = ReadFileOrEmpty(file);
+    if (content.empty()) {
+      std::fprintf(stderr, "self-test: missing fixture %s\n", file.string().c_str());
+      ++failures;
+      continue;
+    }
+    // Fixtures live under tests/ but must be linted as production code, so
+    // they are fed through a pseudo-path outside the tests/ exemption.
+    const std::string pseudo_path = std::string("fixture:") + c.stem + ".cc";
+    const auto findings = vdp::lint::LintSource(pseudo_path, content, config);
+    const std::string expected_rule = c.rule;
+    if (expected_rule.empty()) {
+      if (!findings.empty()) {
+        std::fprintf(stderr, "self-test: clean fixture flagged:\n");
+        PrintFindings(findings);
+        ++failures;
+      }
+      continue;
+    }
+    bool hit = false;
+    bool wrong_rule = false;
+    for (const auto& f : findings) {
+      if (f.rule == expected_rule) {
+        hit = true;
+      } else {
+        wrong_rule = true;
+      }
+    }
+    if (!hit || wrong_rule) {
+      std::fprintf(stderr, "self-test: fixture %s expected rule '%s', got:\n",
+                   c.stem, expected_rule.c_str());
+      PrintFindings(findings);
+      ++failures;
+    }
+  }
+  // The set-level rule must bite too: a wire-struct edit with no golden
+  // update is a violation, and pairing it with the golden test clears it.
+  const std::vector<std::string> bare = {"src/wire/wire_format.h"};
+  if (vdp::lint::LintChangedSet(bare).empty()) {
+    std::fprintf(stderr, "self-test: wire-golden rule missed a bare wire edit\n");
+    ++failures;
+  }
+  const std::vector<std::string> paired = {"src/wire/wire_format.h",
+                                           "tests/wire/wire_golden_test.cc"};
+  if (!vdp::lint::LintChangedSet(paired).empty()) {
+    std::fprintf(stderr, "self-test: wire-golden rule flagged a paired change\n");
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("vdp_lint self-test: PASS (%zu fixtures + wire-golden)\n",
+                std::size(kFixtureCases));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool self_test = false;
+  std::vector<std::string> changed;
+  bool collecting_changed = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+      collecting_changed = false;
+    } else if (arg == "--self-test") {
+      self_test = true;
+      collecting_changed = false;
+    } else if (arg == "--changed") {
+      collecting_changed = true;
+    } else if (collecting_changed) {
+      changed.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: vdp_lint [--root DIR] [--self-test] [--changed FILE...]\n");
+      return 2;
+    }
+  }
+
+  vdp::lint::LintConfig config;
+  config.canonical_metric_names = vdp::lint::ParseCanonicalMetricNames(
+      ReadFileOrEmpty(root / "src" / "obs" / "metrics.h"));
+  if (config.canonical_metric_names.empty()) {
+    std::fprintf(stderr, "vdp_lint: cannot read src/obs/metrics.h under --root %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  if (self_test) {
+    return RunSelfTest(root, config);
+  }
+
+  std::vector<vdp::lint::LintFinding> findings;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !IsCppSource(entry.path())) {
+        continue;
+      }
+      const std::string rel = fs::relative(entry.path(), root).string();
+      const auto file_findings =
+          vdp::lint::LintSource(rel, ReadFileOrEmpty(entry.path()), config);
+      findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    }
+  }
+  const auto set_findings = vdp::lint::LintChangedSet(changed);
+  findings.insert(findings.end(), set_findings.begin(), set_findings.end());
+
+  const int status = PrintFindings(findings);
+  if (status == 0) {
+    std::printf("vdp_lint: clean\n");
+  }
+  return status;
+}

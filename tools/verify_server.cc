@@ -56,6 +56,7 @@
 #include <string>
 #include <thread>
 
+#include "src/common/bytes.h"
 #include "src/common/hex.h"
 #include "src/common/rng.h"
 #include "src/net/auth.h"
@@ -156,8 +157,8 @@ void ServeTasks(net::AuthChannel* channel, const wire::WireSetup& setup,
       SendError(channel, "malformed task payload");
       return;
     }
-    if (!std::equal(task->params_digest.begin(), task->params_digest.end(),
-                    digest.begin())) {
+    if (!ConstantTimeEqual(BytesView(task->params_digest.data(), task->params_digest.size()),
+                           BytesView(digest.data(), digest.size()))) {
       SendError(channel, "task params digest does not match session setup");
       continue;  // refuse this task; the session itself is still good
     }

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/common/bytes.h"
 #include "src/obs/runlog.h"
 #include "src/shard/sharded_verifier.h"
 #include "src/shard/worker_process.h"
@@ -121,8 +122,8 @@ int Serve(const wire::WireSetup& setup, FaultMode fault) {
       SendError("malformed task payload");
       return 1;
     }
-    if (!std::equal(task->params_digest.begin(), task->params_digest.end(),
-                    digest.begin())) {
+    if (!ConstantTimeEqual(BytesView(task->params_digest.data(), task->params_digest.size()),
+                           BytesView(digest.data(), digest.size()))) {
       SendError("task params digest does not match session setup");
       continue;  // refuse this task; the session itself is still good
     }
