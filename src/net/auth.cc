@@ -74,10 +74,15 @@ wire::WriteStatus AuthChannel::Write(wire::FrameType type, BytesView payload,
   if (payload.size() + kMacTagSize > wire::kMaxFramePayload) {
     return wire::WriteStatus::kError;
   }
-  Bytes sealed = SealPayload(key_, send_dir_, send_seq_, type, payload);
+  // Admin frames seal under the admin direction byte and the admin plane's
+  // own counter: probe/stats traffic never moves the data-plane sequence.
+  const bool admin = IsAdminFrameType(type);
+  const uint8_t dir = admin ? static_cast<uint8_t>(send_dir_ + 2) : send_dir_;
+  uint64_t& seq = admin ? admin_send_seq_ : send_seq_;
+  Bytes sealed = SealPayload(key_, dir, seq, type, payload);
   wire::WriteStatus status = wire::WriteFrame(fd_, type, sealed, timeout_ms);
   if (status == wire::WriteStatus::kOk) {
-    ++send_seq_;
+    ++seq;
   }
   return status;
 }
@@ -88,12 +93,17 @@ wire::ReadStatus AuthChannel::Read(wire::Frame* out, int timeout_ms) {
   if (status != wire::ReadStatus::kOk) {
     return status;
   }
-  auto payload = OpenPayload(key_, recv_dir_, recv_seq_, frame.type, frame.payload);
+  // The header's type picks the plane; the MAC binds the type, so a data
+  // frame relabeled as admin (or vice versa) fails verification here.
+  const bool admin = IsAdminFrameType(frame.type);
+  const uint8_t dir = admin ? static_cast<uint8_t>(recv_dir_ + 2) : recv_dir_;
+  uint64_t& seq = admin ? admin_recv_seq_ : recv_seq_;
+  auto payload = OpenPayload(key_, dir, seq, frame.type, frame.payload);
   if (!payload.has_value()) {
     obs::GlobalCounter(obs::kAuthFailures)->Increment();
     return wire::ReadStatus::kAuthFailed;
   }
-  ++recv_seq_;
+  ++seq;
   out->type = frame.type;
   out->payload = std::move(*payload);
   return wire::ReadStatus::kOk;

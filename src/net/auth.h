@@ -44,9 +44,25 @@ inline constexpr size_t kMinAuthKeyBytes = 16;
 using SessionKey = std::array<uint8_t, HmacSha256::kTagSize>;
 
 // Frame directions (the MAC binds them so a server cannot echo a driver
-// frame back as its own).
+// frame back as its own). The admin plane -- health probes and stats
+// requests (wire::FrameType::kHealthProbe..kStatsReply) -- runs on its own
+// direction bytes AND its own sequence counters: interleaving probes with
+// shard traffic must never perturb the task/result sequence space, and the
+// distinct direction byte makes a cross-plane splice fail the MAC even at
+// an equal sequence number.
 inline constexpr uint8_t kClientToServer = 0;
 inline constexpr uint8_t kServerToClient = 1;
+inline constexpr uint8_t kClientToServerAdmin = 2;
+inline constexpr uint8_t kServerToClientAdmin = 3;
+
+// True for the admin-plane frame types. The frame type is MAC-bound, so the
+// two planes can never be confused by relabeling.
+inline constexpr bool IsAdminFrameType(wire::FrameType type) {
+  return type == wire::FrameType::kHealthProbe ||
+         type == wire::FrameType::kHealthReply ||
+         type == wire::FrameType::kStatsRequest ||
+         type == wire::FrameType::kStatsReply;
+}
 
 // Derives the per-connection MAC key from the fleet secret and the two
 // hello nonces. Both sides compute it; it never crosses the wire.
@@ -72,6 +88,12 @@ std::optional<Bytes> OpenPayload(const SessionKey& key, uint8_t direction, uint6
 // applied. A failed read never advances the receive counter, so one
 // tampered frame poisons the connection (the driver's blame/reconnect
 // machinery handles the rest) instead of desynchronizing silently.
+//
+// Admin-plane frames (IsAdminFrameType) are sealed/opened under the admin
+// direction bytes and tracked on separate sequence counters, so a channel
+// can carry probe/stats traffic between shards without shifting the data
+// plane's sequence numbers -- frames_sent()/frames_received() count the
+// data plane only.
 class AuthChannel {
  public:
   AuthChannel() = default;
@@ -92,6 +114,8 @@ class AuthChannel {
   int fd() const { return fd_; }
   uint64_t frames_sent() const { return send_seq_; }
   uint64_t frames_received() const { return recv_seq_; }
+  uint64_t admin_frames_sent() const { return admin_send_seq_; }
+  uint64_t admin_frames_received() const { return admin_recv_seq_; }
 
  private:
   int fd_ = -1;
@@ -100,6 +124,9 @@ class AuthChannel {
   uint8_t recv_dir_ = kServerToClient;
   uint64_t send_seq_ = 0;
   uint64_t recv_seq_ = 0;
+  // The admin plane's independent sequence space (probe/stats frames).
+  uint64_t admin_send_seq_ = 0;
+  uint64_t admin_recv_seq_ = 0;
 };
 
 }  // namespace net

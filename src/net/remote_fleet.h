@@ -38,6 +38,7 @@
 #include "src/common/bytes.h"
 #include "src/common/hex.h"
 #include "src/common/timer.h"
+#include "src/net/health.h"
 #include "src/net/remote_conn.h"
 #include "src/shard/shard_result.h"
 #include "src/shard/stream_dispatch.h"
@@ -79,6 +80,12 @@ struct RemoteFleetOptions {
   // entry point; dispatcher streams override it via BeginStream.
   obs::TraceCollector* tracer = nullptr;
   obs::TraceContext trace_parent{};
+  // When set, dispatch consults the health registry (fed by a background
+  // prober): shards skip endpoints it calls dead (straight to the
+  // in-process fallback, kFleetDispatchSkips) instead of paying the connect
+  // ladder, and a lane whose own circuit breaker tripped is re-armed once
+  // the registry sees the endpoint answer probes again. Not owned.
+  net::HealthRegistry* health = nullptr;
 };
 
 // Farms shards to the fleet named by config.remote_verifiers, authenticated
@@ -146,6 +153,19 @@ class RemoteVerifierFleet final : public ShardExecutor<G> {
     LaneState& lane = lanes_[lane_index];
     const net::Endpoint& endpoint = endpoints_[lane_index];
     const std::string endpoint_name = net::FormatEndpoint(endpoint);
+    bool skip_remote = false;
+    if (options_.health != nullptr) {
+      if (!options_.health->Dispatchable(endpoint_name)) {
+        // The prober says this endpoint is dead: go straight to the
+        // in-process fallback instead of burning the connect ladder.
+        skip_remote = true;
+        obs::GlobalCounter(obs::kFleetDispatchSkips)->Increment();
+      } else if (lane.endpoint_dead) {
+        // The lane's own breaker tripped earlier in the stream, but the
+        // prober has since seen the endpoint answer: re-adopt it.
+        lane.endpoint_dead = false;
+      }
+    }
     // One dispatch span covers every attempt at this shard; the server's own
     // spans parent under it via the task's trace extension.
     obs::TraceSpan dispatch_span(this->tracer_, "dispatch", this->verify_ctx_);
@@ -174,7 +194,7 @@ class RemoteVerifierFleet final : public ShardExecutor<G> {
                         " bytes); shard too large -- raise num_verify_shards");
     }
     for (size_t attempt = 0; attempt < options_.max_attempts_per_shard && !done &&
-                             !oversized && !lane.endpoint_dead;
+                             !oversized && !skip_remote && !lane.endpoint_dead;
          ++attempt) {
       if (attempt > 0) {
         obs::GlobalCounter(obs::kFleetRetries)->Increment();

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -66,6 +67,24 @@ inline constexpr const char* kBackpressureWaitUs = "backpressure.wait_us";
 // Process peak RSS (VmHWM), stamped into the run-log footer by
 // RunLogWriter::Footer so bounded-memory claims are machine-checkable.
 inline constexpr const char* kMemRssHwmKb = "mem.rss_hwm_kb";
+// Live fleet introspection (src/net/health.h): the prober's probe traffic,
+// state-machine transitions, and the per-state endpoint population gauges.
+inline constexpr const char* kHealthProbes = "health.probes";
+inline constexpr const char* kHealthProbeFailures = "health.probe_failures";
+inline constexpr const char* kHealthTransitions = "health.transitions";
+inline constexpr const char* kHealthRestartsSeen = "health.restarts_seen";
+inline constexpr const char* kHealthEndpointsHealthy = "health.endpoints_healthy";
+inline constexpr const char* kHealthEndpointsDegraded = "health.endpoints_degraded";
+inline constexpr const char* kHealthEndpointsDead = "health.endpoints_dead";
+inline constexpr const char* kHealthEndpointsRecovering = "health.endpoints_recovering";
+inline constexpr const char* kHealthProbeRttUs = "health.probe_rtt_us";
+// Shards that skipped their remote endpoint because the health registry had
+// it marked dead at dispatch time (verified in process instead).
+inline constexpr const char* kFleetDispatchSkips = "fleet.dispatch_skips";
+// Server-side admin plane (tools/verify_server): probes and stats requests
+// answered.
+inline constexpr const char* kAdminProbesServed = "admin.probes_served";
+inline constexpr const char* kAdminStatsServed = "admin.stats_served";
 
 // A monotone event count. Add/Increment are wait-free.
 class Counter {
@@ -110,22 +129,36 @@ class Gauge {
   std::atomic<int64_t> max_{0};
 };
 
-// A fixed-bucket latency histogram. The bucket upper bounds are fixed at
-// construction (kLatencyBucketsUs below fits microsecond-per-proof through
-// multi-second shard costs); Record is wait-free: one binary search over a
-// small constant array plus three relaxed atomics.
+// A fixed-bucket latency histogram with log-scaled (HDR-style) bounds. The
+// bucket upper bounds are fixed at construction; Record is wait-free: one
+// binary search over a small constant array plus three relaxed atomics.
+// Percentiles (p50/p90/p99) are extracted from snapshots by bucket
+// interpolation -- see HistogramSnapshot::Percentile.
 class Histogram {
  public:
-  // 2-5-10 ladder from 1us to 100s; the last bucket is +inf.
-  static std::vector<double> DefaultLatencyBuckets() {
+  // Log-scaled ladder: `per_decade` geometrically spaced bounds per power
+  // of ten, from lo to hi inclusive. Relative quantization error of any
+  // recorded value is bounded by the bucket ratio (10^(1/per_decade)),
+  // uniformly across the whole range -- the HDR histogram property.
+  static std::vector<double> LogBuckets(double lo, double hi, int per_decade) {
     std::vector<double> bounds;
-    for (double decade = 1; decade <= 1e7; decade *= 10) {
-      bounds.push_back(decade);
-      bounds.push_back(2 * decade);
-      bounds.push_back(5 * decade);
+    if (!(lo > 0) || !(hi >= lo) || per_decade <= 0) {
+      return bounds;
     }
-    bounds.push_back(1e8);
+    const long k_lo = std::lround(std::log10(lo) * per_decade);
+    const long k_hi = std::lround(std::log10(hi) * per_decade);
+    bounds.reserve(static_cast<size_t>(k_hi - k_lo + 1));
+    for (long k = k_lo; k <= k_hi; ++k) {
+      bounds.push_back(std::pow(10.0, static_cast<double>(k) / per_decade));
+    }
     return bounds;
+  }
+
+  // Six buckets per decade from 1us to 100s (49 bounds; the last bucket is
+  // +inf): ~47% worst-case quantization per bucket, tight enough that p99
+  // on an interpolated bucket is within one bucket ratio of the true value.
+  static std::vector<double> DefaultLatencyBuckets() {
+    return LogBuckets(1.0, 1e8, 6);
   }
 
   explicit Histogram(std::vector<double> bucket_bounds)
@@ -183,6 +216,40 @@ struct HistogramSnapshot {
   std::vector<uint64_t> counts;
   uint64_t count = 0;
   double sum = 0;
+
+  // The q-quantile (q in [0, 1]) by cumulative-bucket linear interpolation:
+  // the rank'th recorded value is located in its bucket and interpolated
+  // between the bucket's bounds (0 below the first bound; the overflow
+  // bucket clamps to the last bound). Exact for the bucket, approximate
+  // within it -- the log-scaled ladder bounds the relative error.
+  double Percentile(double q) const {
+    if (count == 0 || counts.empty()) {
+      return 0.0;
+    }
+    const double rank = q * static_cast<double>(count);
+    double cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      const double in_bucket = static_cast<double>(counts[i]);
+      if (in_bucket == 0) {
+        continue;
+      }
+      if (cumulative + in_bucket >= rank) {
+        if (i >= bounds.size()) {
+          return bounds.empty() ? 0.0 : bounds.back();  // overflow bucket
+        }
+        const double lower = i == 0 ? 0.0 : bounds[i - 1];
+        const double fraction =
+            std::min(1.0, std::max(0.0, (rank - cumulative) / in_bucket));
+        return lower + (bounds[i] - lower) * fraction;
+      }
+      cumulative += in_bucket;
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+  }
+
+  double P50() const { return Percentile(0.50); }
+  double P90() const { return Percentile(0.90); }
+  double P99() const { return Percentile(0.99); }
 };
 
 struct MetricsSnapshot {

@@ -222,6 +222,9 @@ void RunLogWriter::Metrics(const MetricsSnapshot& snapshot) {
     obj.Set("name", JsonValue::String(h.name));
     obj.Set("count", JsonValue::Number(static_cast<double>(h.count)));
     obj.Set("sum", JsonValue::Number(h.sum));
+    obj.Set("p50", JsonValue::Number(h.P50()));
+    obj.Set("p90", JsonValue::Number(h.P90()));
+    obj.Set("p99", JsonValue::Number(h.P99()));
     obj.Set("bounds", std::move(bounds));
     obj.Set("counts", std::move(counts));
     Line("histogram", std::move(obj));
@@ -357,6 +360,18 @@ bool ValidateRunLogLine(const JsonValue& line, std::string* error) {
     if (counts->items().size() != bounds->items().size() + 1) {
       *error = "histogram line: counts must have exactly bounds+1 buckets";
       return false;
+    }
+    // Percentiles (PR 10) are optional -- pre-upgrade logs stay valid --
+    // but when present they must be numbers, and they come as a set.
+    const bool any_percentile = line.Find("p50") != nullptr ||
+                                line.Find("p90") != nullptr ||
+                                line.Find("p99") != nullptr;
+    if (any_percentile) {
+      for (const char* field : {"p50", "p90", "p99"}) {
+        if (!IsNumber(line.Find(field))) {
+          return Missing("histogram", field, error);
+        }
+      }
     }
     return true;
   }

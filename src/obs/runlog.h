@@ -21,7 +21,8 @@
 //   stages     one verification run: scenario, backend, the named stage
 //              timings (ingest/verify/combine), total_ms, and counts.
 //   metric     one counter or gauge by canonical name (src/obs/metrics.h).
-//   histogram  one fixed-bucket histogram: bounds, per-bucket counts, sum.
+//   histogram  one log-bucket histogram: bounds, per-bucket counts, sum,
+//              and interpolated p50/p90/p99 (optional for pre-PR-10 logs).
 //   span       one finished trace span (src/obs/trace.h); 64-bit ids travel
 //              as hex strings because JSON numbers are doubles.
 //

@@ -10,7 +10,7 @@ namespace {
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kSetupAck);
+         t <= static_cast<uint8_t>(FrameType::kStatsReply);
 }
 
 // Strings ride as blobs; decoding rejects embedded NULs so reasons and
@@ -502,6 +502,96 @@ std::optional<WireSetupAck> WireSetupAck::Deserialize(BytesView data) {
   ack.params_digest = *digest;
   ack.server_id = *server_id;
   return ack;
+}
+
+// --- Live-introspection admin plane --------------------------------------
+
+Bytes WireHealthProbe::Serialize() const {
+  Writer w;
+  w.U64(nonce);
+  return w.Take();
+}
+
+std::optional<WireHealthProbe> WireHealthProbe::Deserialize(BytesView data) {
+  Reader r(data);
+  auto nonce = r.U64();
+  if (!nonce || *nonce == 0 || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  WireHealthProbe probe;
+  probe.nonce = *nonce;
+  return probe;
+}
+
+Bytes WireHealthReply::Serialize() const {
+  Writer w;
+  w.U64(nonce);
+  w.U64(server_id);
+  w.U64(uptime_ms);
+  w.Raw(BytesView(params_digest.data(), params_digest.size()));
+  w.U64(inflight_shards);
+  w.U64(queue_depth);
+  return w.Take();
+}
+
+std::optional<WireHealthReply> WireHealthReply::Deserialize(BytesView data) {
+  Reader r(data);
+  auto nonce = r.U64();
+  auto server_id = r.U64();
+  auto uptime = r.U64();
+  auto digest = GetDigest(&r);
+  auto inflight = r.U64();
+  auto queue = r.U64();
+  // Optional has-value checks, not byte compares: nothing here is secret.
+  if (!nonce || *nonce == 0 || !server_id || !uptime || !digest ||  // vdp-lint: allow(ct-compare)
+      !inflight || !queue || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  WireHealthReply reply;
+  reply.nonce = *nonce;
+  reply.server_id = *server_id;
+  reply.uptime_ms = *uptime;
+  reply.params_digest = *digest;
+  reply.inflight_shards = *inflight;
+  reply.queue_depth = *queue;
+  return reply;
+}
+
+Bytes WireStatsRequest::Serialize() const {
+  Writer w;
+  w.U8(include_spans);
+  return w.Take();
+}
+
+std::optional<WireStatsRequest> WireStatsRequest::Deserialize(BytesView data) {
+  Reader r(data);
+  auto spans = r.U8();
+  if (!spans || *spans > 1 || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  WireStatsRequest request;
+  request.include_spans = *spans;
+  return request;
+}
+
+Bytes WireStatsReply::Serialize() const {
+  Writer w;
+  w.U64(server_id);
+  PutString(&w, stats_json);
+  return w.Take();
+}
+
+std::optional<WireStatsReply> WireStatsReply::Deserialize(BytesView data) {
+  Reader r(data);
+  auto server_id = r.U64();
+  auto json = GetString(&r);
+  if (!server_id || !json || json->empty() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  WireStatsReply reply;
+  reply.server_id = *server_id;
+  reply.stats_json = std::move(*json);
+  return reply;
 }
 
 // --- WireError ----------------------------------------------------------

@@ -68,6 +68,16 @@ enum class FrameType : uint8_t {
   kServerHello = 6,  // server -> driver, first frame after accept
   kClientHello = 7,  // driver -> server, answers the server hello
   kSetupAck = 8,     // server -> driver, authenticated echo of the setup digest
+  // Live-introspection admin plane (still wire v1, socket transport only).
+  // These travel MAC'd under the session key like every other post-hello
+  // frame, but on the admin plane's own sequence counters (src/net/auth.h),
+  // so probing a server mid-stream can never perturb the task/result
+  // sequence space. A prober needs no kSetup: the hello pair plus the MAC
+  // already prove fleet membership.
+  kHealthProbe = 9,    // prober -> server, nonce challenge
+  kHealthReply = 10,   // server -> prober, nonce echo + liveness snapshot
+  kStatsRequest = 11,  // prober -> server, ask for a metrics/span dump
+  kStatsReply = 12,    // server -> prober, JSON-serialized registry snapshot
 };
 
 struct FrameHeader {
@@ -268,6 +278,70 @@ struct WireSetupAck {
   static std::optional<WireSetupAck> Deserialize(BytesView data);
 
   bool operator==(const WireSetupAck&) const = default;
+};
+
+// --- Live-introspection admin plane --------------------------------------
+//
+// Health probes and stats requests (PR 10): an authenticated side channel
+// into a running verify_server. A probe is a nonce challenge; the reply
+// echoes the nonce (binding reply to probe even across a reconnect) and
+// carries the liveness facts the fleet's HealthRegistry feeds on. A stats
+// request pulls the server's full MetricsRegistry snapshot plus recent
+// spans, serialized as one JSON document by src/obs/json.h.
+
+// Prober -> server. The nonce is caller-chosen (probers draw it from
+// SecureRng); zero is rejected so "no nonce" can never masquerade as one.
+struct WireHealthProbe {
+  uint64_t nonce = 0;
+
+  Bytes Serialize() const;
+  static std::optional<WireHealthProbe> Deserialize(BytesView data);
+
+  bool operator==(const WireHealthProbe&) const = default;
+};
+
+// Server -> prober. params_digest is the digest of the last setup this
+// server installed (all zeros before any session), so a prober can detect a
+// server stuck on a stale epoch. uptime_ms is steady-clock time since the
+// daemon started -- a value that *decreases* between probes means the
+// process restarted behind its endpoint.
+struct WireHealthReply {
+  uint64_t nonce = 0;  // echo of the probe's nonce, nonzero
+  uint64_t server_id = 0;
+  uint64_t uptime_ms = 0;
+  std::array<uint8_t, Sha256::kDigestSize> params_digest{};
+  uint64_t inflight_shards = 0;  // tasks being verified right now
+  uint64_t queue_depth = 0;      // live authenticated task sessions
+
+  Bytes Serialize() const;
+  static std::optional<WireHealthReply> Deserialize(BytesView data);
+
+  bool operator==(const WireHealthReply&) const = default;
+};
+
+// Prober -> server. include_spans asks for the server's recent trace spans
+// alongside the metrics snapshot.
+struct WireStatsRequest {
+  uint8_t include_spans = 0;
+
+  Bytes Serialize() const;
+  static std::optional<WireStatsRequest> Deserialize(BytesView data);
+
+  bool operator==(const WireStatsRequest&) const = default;
+};
+
+// Server -> prober: one JSON document (schema vdp.stats/v1, written by
+// net::StatsToJson) holding the registry snapshot and optional spans. JSON
+// rides as a string so the wire layer stays schema-agnostic; consumers
+// parse with the total src/obs/json.h parser.
+struct WireStatsReply {
+  uint64_t server_id = 0;
+  std::string stats_json;  // nonempty
+
+  Bytes Serialize() const;
+  static std::optional<WireStatsReply> Deserialize(BytesView data);
+
+  bool operator==(const WireStatsReply&) const = default;
 };
 
 // Worker-side diagnostic accompanying a refusal (bad digest, undecodable

@@ -208,6 +208,84 @@ TEST_F(AuthChannelTest, FailedReadDoesNotAdvanceReceiveCounter) {
   EXPECT_EQ(server_.Read(&frame, 1000), wire::ReadStatus::kOk);
 }
 
+TEST_F(AuthChannelTest, AdminPlaneInterleavesWithoutPerturbingDataPlane) {
+  // S2 regression: health probes and stats requests ride the same channel
+  // as shard traffic but live on their own direction bytes and sequence
+  // counters. Interleave the two planes heavily and assert the data-plane
+  // counters advance exactly once per data frame.
+  wire::Frame frame;
+  for (int i = 0; i < 8; ++i) {
+    // One data frame...
+    Bytes task = {static_cast<uint8_t>(i)};
+    ASSERT_EQ(client_.Write(wire::FrameType::kTask, task), wire::WriteStatus::kOk);
+    ASSERT_EQ(server_.Read(&frame, 1000), wire::ReadStatus::kOk);
+    EXPECT_EQ(frame.type, wire::FrameType::kTask);
+    EXPECT_EQ(frame.payload, task);
+
+    // ...then a burst of admin frames in both directions.
+    wire::WireHealthProbe probe;
+    probe.nonce = 0x1000u + static_cast<uint64_t>(i);
+    ASSERT_EQ(client_.Write(wire::FrameType::kHealthProbe, probe.Serialize()),
+              wire::WriteStatus::kOk);
+    ASSERT_EQ(server_.Read(&frame, 1000), wire::ReadStatus::kOk);
+    EXPECT_EQ(frame.type, wire::FrameType::kHealthProbe);
+    auto decoded = wire::WireHealthProbe::Deserialize(frame.payload);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->nonce, probe.nonce);
+
+    wire::WireHealthReply reply;
+    reply.nonce = probe.nonce;
+    reply.server_id = 3;
+    reply.uptime_ms = 1234;
+    ASSERT_EQ(server_.Write(wire::FrameType::kHealthReply, reply.Serialize()),
+              wire::WriteStatus::kOk);
+    ASSERT_EQ(client_.Read(&frame, 1000), wire::ReadStatus::kOk);
+    EXPECT_EQ(frame.type, wire::FrameType::kHealthReply);
+
+    // The matching data-plane result still verifies after the admin burst.
+    Bytes result = {static_cast<uint8_t>(i), 0xFF};
+    ASSERT_EQ(server_.Write(wire::FrameType::kResult, result), wire::WriteStatus::kOk);
+    ASSERT_EQ(client_.Read(&frame, 1000), wire::ReadStatus::kOk);
+    EXPECT_EQ(frame.type, wire::FrameType::kResult);
+    EXPECT_EQ(frame.payload, result);
+  }
+
+  // Data plane saw exactly 8 frames each way; admin plane 8 each way too.
+  EXPECT_EQ(client_.frames_sent(), 8u);
+  EXPECT_EQ(client_.frames_received(), 8u);
+  EXPECT_EQ(client_.admin_frames_sent(), 8u);
+  EXPECT_EQ(client_.admin_frames_received(), 8u);
+  EXPECT_EQ(server_.frames_sent(), 8u);
+  EXPECT_EQ(server_.frames_received(), 8u);
+  EXPECT_EQ(server_.admin_frames_sent(), 8u);
+  EXPECT_EQ(server_.admin_frames_received(), 8u);
+}
+
+TEST_F(AuthChannelTest, CrossPlaneSpliceFailsAuthentication) {
+  // A probe payload sealed under the DATA direction byte at the matching
+  // admin sequence number must not verify as an admin frame: the direction
+  // byte separates the planes even when an attacker lines the sequence
+  // numbers up.
+  wire::WireHealthProbe probe;
+  probe.nonce = 42;
+  Bytes sealed =
+      SealPayload(key_, kClientToServer, 0, wire::FrameType::kHealthProbe,
+                  probe.Serialize());
+  ASSERT_EQ(wire::WriteFrame(client_fd_, wire::FrameType::kHealthProbe, sealed),
+            wire::WriteStatus::kOk);
+  wire::Frame frame;
+  EXPECT_EQ(server_.Read(&frame, 1000), wire::ReadStatus::kAuthFailed);
+  // Neither plane's receive counter moved.
+  EXPECT_EQ(server_.frames_received(), 0u);
+  EXPECT_EQ(server_.admin_frames_received(), 0u);
+
+  // And the genuine admin-plane seq-0 probe still verifies afterwards.
+  ASSERT_EQ(client_.Write(wire::FrameType::kHealthProbe, probe.Serialize()),
+            wire::WriteStatus::kOk);
+  EXPECT_EQ(server_.Read(&frame, 1000), wire::ReadStatus::kOk);
+  EXPECT_EQ(server_.admin_frames_received(), 1u);
+}
+
 TEST_F(AuthChannelTest, OversizedPayloadRefusedAtWrite) {
   // A payload that would exceed kMaxFramePayload once the tag is appended
   // must be refused on the send side. The size check runs before any byte

@@ -1,0 +1,260 @@
+// HealthRegistry state machine under an adversarial probe corpus: hung
+// probes (timeouts), a lying/regressing uptime (restart behind our back), a
+// stale epoch digest, and a flapping endpoint -- asserting the state
+// transitions, the metric deltas, and the dispatch policy. No sockets: the
+// state machine is driven directly through Report*; the prober's loop is
+// exercised with an injected probe function.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/net/health.h"
+
+namespace vdp {
+namespace net {
+namespace {
+
+wire::WireHealthReply GoodReply(uint64_t uptime_ms, uint64_t server_id = 7) {
+  wire::WireHealthReply reply;
+  reply.nonce = 1;  // the transport layer already checked the echo
+  reply.server_id = server_id;
+  reply.uptime_ms = uptime_ms;
+  reply.inflight_shards = 2;
+  reply.queue_depth = 1;
+  return reply;
+}
+
+TEST(HealthRegistryTest, FullLifecycleWithMetricDeltas) {
+  obs::MetricsRegistry metrics;
+  HealthRegistry registry(HealthPolicy{}, &metrics);
+  const std::string ep = "tcp:127.0.0.1:7001";
+  registry.AddEndpoint(ep);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kHealthy);
+  EXPECT_TRUE(registry.Dispatchable(ep));
+  EXPECT_EQ(metrics.Snapshot().CounterValue(obs::kHealthTransitions), 0u);
+
+  // Hung probe #1: healthy -> degraded on the first consecutive failure
+  // (degraded_after_failures = 1), i.e. within two probe intervals of the
+  // hang starting.
+  registry.ReportProbeFailure(ep, "no health reply (timeout)");
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kDegraded);
+  EXPECT_TRUE(registry.Dispatchable(ep));  // degraded still takes shards
+
+  // Hung probes #2 and #3: degraded -> dead at dead_after_failures = 3.
+  registry.ReportProbeFailure(ep, "no health reply (timeout)");
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kDegraded);
+  registry.ReportProbeFailure(ep, "no health reply (timeout)");
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kDead);
+  EXPECT_FALSE(registry.Dispatchable(ep));  // ONLY dead is skipped
+
+  // Back from the dead: one success moves to recovering (still not enough),
+  // the second completes recovery.
+  registry.ReportProbeSuccess(ep, GoodReply(1000), 150);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kRecovering);
+  EXPECT_TRUE(registry.Dispatchable(ep));
+  registry.ReportProbeSuccess(ep, GoodReply(2000), 150);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kHealthy);
+
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue(obs::kHealthProbes), 5u);
+  EXPECT_EQ(snap.CounterValue(obs::kHealthProbeFailures), 3u);
+  // healthy->degraded->dead->recovering->healthy = 4 transitions.
+  EXPECT_EQ(snap.CounterValue(obs::kHealthTransitions), 4u);
+  EXPECT_EQ(snap.CounterValue(obs::kHealthRestartsSeen), 0u);
+
+  auto statuses = registry.Snapshot();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].transitions, 4u);
+  EXPECT_EQ(statuses[0].failures, 3u);
+  EXPECT_EQ(statuses[0].last_uptime_ms, 2000u);
+  EXPECT_EQ(statuses[0].inflight_shards, 2u);
+  EXPECT_TRUE(statuses[0].last_error.empty());
+}
+
+TEST(HealthRegistryTest, LyingUptimeRegressionIsARestart) {
+  obs::MetricsRegistry metrics;
+  HealthRegistry registry(HealthPolicy{}, &metrics);
+  const std::string ep = "tcp:127.0.0.1:7002";
+  registry.AddEndpoint(ep);
+
+  registry.ReportProbeSuccess(ep, GoodReply(60'000), 100);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kHealthy);
+
+  // Uptime goes BACKWARDS: the server restarted (or lies). Either way it
+  // lost session state -- it must re-enter through recovering.
+  registry.ReportProbeSuccess(ep, GoodReply(500), 100);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kRecovering);
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue(obs::kHealthRestartsSeen), 1u);
+
+  // It recovers by answering steadily with a sane (monotone) uptime.
+  registry.ReportProbeSuccess(ep, GoodReply(1500), 100);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kHealthy);
+  auto statuses = registry.Snapshot();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].restarts_seen, 1u);
+}
+
+TEST(HealthRegistryTest, StaleEpochDigestIsAProbeFailure) {
+  obs::MetricsRegistry metrics;
+  HealthRegistry registry(HealthPolicy{}, &metrics);
+  const std::string ep = "tcp:127.0.0.1:7003";
+  registry.AddEndpoint(ep);
+  std::array<uint8_t, 32> expected{};
+  expected.fill(0xAA);
+  registry.SetExpectedDigest(expected);
+
+  // A reply with a zero digest is fine: no session has installed a setup.
+  registry.ReportProbeSuccess(ep, GoodReply(1000), 100);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kHealthy);
+
+  // The right digest is fine too.
+  wire::WireHealthReply good = GoodReply(2000);
+  good.params_digest = expected;
+  registry.ReportProbeSuccess(ep, good, 100);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kHealthy);
+
+  // A nonzero digest that differs: alive but on a stale epoch -- judged a
+  // probe failure even though the reply MAC-verified.
+  wire::WireHealthReply stale = GoodReply(3000);
+  stale.params_digest.fill(0xBB);
+  registry.ReportProbeSuccess(ep, stale, 100);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kDegraded);
+  auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.CounterValue(obs::kHealthProbeFailures), 1u);
+  auto statuses = registry.Snapshot();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].last_error, "stale params digest");
+}
+
+TEST(HealthRegistryTest, FlappingEndpointNeverSettlesHealthyCheaply) {
+  obs::MetricsRegistry metrics;
+  HealthRegistry registry(HealthPolicy{}, &metrics);
+  const std::string ep = "tcp:127.0.0.1:7004";
+  registry.AddEndpoint(ep);
+
+  // Flap to dead: fail, succeed, fail, fail, fail...
+  registry.ReportProbeFailure(ep, "timeout");  // -> degraded
+  registry.ReportProbeSuccess(ep, GoodReply(100), 50);  // -> healthy
+  registry.ReportProbeFailure(ep, "timeout");  // -> degraded
+  registry.ReportProbeFailure(ep, "timeout");
+  registry.ReportProbeFailure(ep, "timeout");  // -> dead
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kDead);
+
+  // One success starts recovery; a single failure during recovery drops it
+  // straight back to dead -- a flapper gets no shard traffic by oscillating.
+  registry.ReportProbeSuccess(ep, GoodReply(200), 50);
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kRecovering);
+  registry.ReportProbeFailure(ep, "timeout");
+  EXPECT_EQ(registry.State(ep), EndpointHealth::kDead);
+  EXPECT_FALSE(registry.Dispatchable(ep));
+
+  // healthy->degraded->healthy->degraded->dead->recovering->dead = 6.
+  EXPECT_EQ(metrics.Snapshot().CounterValue(obs::kHealthTransitions), 6u);
+}
+
+TEST(HealthRegistryTest, PerStateGaugesTrackThePopulation) {
+  obs::MetricsRegistry metrics;
+  HealthRegistry registry(HealthPolicy{}, &metrics);
+  registry.AddEndpoint("a");
+  registry.AddEndpoint("b");
+  registry.AddEndpoint("c");
+
+  registry.ReportProbeFailure("b", "timeout");  // degraded
+  for (int i = 0; i < 3; ++i) {
+    registry.ReportProbeFailure("c", "timeout");  // dead
+  }
+  auto snap = metrics.Snapshot();
+  auto gauge = [&](const char* name) -> int64_t {
+    for (const obs::GaugeSnapshot& g : snap.gauges) {
+      if (g.name == name) {
+        return g.value;
+      }
+    }
+    return -1;
+  };
+  EXPECT_EQ(gauge(obs::kHealthEndpointsHealthy), 1);
+  EXPECT_EQ(gauge(obs::kHealthEndpointsDegraded), 1);
+  EXPECT_EQ(gauge(obs::kHealthEndpointsDead), 1);
+  EXPECT_EQ(gauge(obs::kHealthEndpointsRecovering), 0);
+
+  registry.ReportProbeSuccess("c", GoodReply(10), 5);
+  snap = metrics.Snapshot();
+  EXPECT_EQ(gauge(obs::kHealthEndpointsDead), 0);
+  EXPECT_EQ(gauge(obs::kHealthEndpointsRecovering), 1);
+}
+
+TEST(HealthRegistryTest, UnknownEndpointsReadAsDispatchable) {
+  HealthRegistry registry;
+  EXPECT_EQ(registry.State("never-registered"), EndpointHealth::kHealthy);
+  EXPECT_TRUE(registry.Dispatchable("never-registered"));
+}
+
+TEST(HealthRegistryTest, RttHistogramRecordsSuccessfulProbes) {
+  obs::MetricsRegistry metrics;
+  HealthRegistry registry(HealthPolicy{}, &metrics);
+  registry.AddEndpoint("a");
+  registry.ReportProbeSuccess("a", GoodReply(10), 120);
+  registry.ReportProbeSuccess("a", GoodReply(20), 180);
+  auto snap = metrics.Snapshot();
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == obs::kHealthProbeRttUs) {
+      EXPECT_EQ(h.count, 2u);
+      EXPECT_NEAR(h.sum, 300.0, 1e-6);
+      return;
+    }
+  }
+  FAIL() << "rtt histogram not registered";
+}
+
+TEST(HealthProberTest, SweepsEveryEndpointAndFeedsTheRegistry) {
+  obs::MetricsRegistry metrics;
+  HealthPolicy policy;
+  policy.probe_interval_ms = 10;
+  policy.probe_jitter_ms = 5;
+  HealthRegistry registry(policy, &metrics);
+  registry.AddEndpoint("good");
+  registry.AddEndpoint("hung");
+
+  std::atomic<int> probes{0};
+  HealthProber prober(&registry, [&](const std::string& endpoint, int) {
+    probes.fetch_add(1);
+    ProbeOutcome outcome;
+    if (endpoint == "good") {
+      outcome.ok = true;
+      outcome.reply = GoodReply(1000 + static_cast<uint64_t>(probes.load()));
+      outcome.rtt_us = 100;
+    } else {
+      outcome.error = "no health reply (timeout)";
+    }
+    return outcome;
+  });
+  prober.Start();
+  // Wait until both endpoints have been probed at least 3 times.
+  for (int spins = 0; spins < 500 && probes.load() < 6; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  prober.Stop();
+  ASSERT_GE(probes.load(), 6);
+  EXPECT_EQ(registry.State("good"), EndpointHealth::kHealthy);
+  EXPECT_EQ(registry.State("hung"), EndpointHealth::kDead);  // >= 3 failures
+  EXPECT_GE(metrics.Snapshot().CounterValue(obs::kHealthProbes), 6u);
+}
+
+TEST(HealthProberTest, StopIsIdempotentAndStartRestarts) {
+  HealthRegistry registry;
+  HealthProber prober(&registry, [](const std::string&, int) { return ProbeOutcome{}; });
+  prober.Stop();  // never started: no-op
+  prober.Start();
+  prober.Start();  // double start: no-op
+  prober.Stop();
+  prober.Stop();
+  prober.Start();
+  prober.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace vdp

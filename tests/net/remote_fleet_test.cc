@@ -302,6 +302,45 @@ TEST_F(RemoteFleetTest, KilledServerRecoversOnSurvivors) {
   EXPECT_GE(report.shards_from_remote, 1u);
 }
 
+TEST_F(RemoteFleetTest, DeadEndpointsAreSkippedAtDispatchVerdictUnchanged) {
+  // Two live servers, but the health registry has already judged one dead
+  // (three straight probe failures). Dispatch must never even try that
+  // endpoint -- its shards fall back in-process -- and the verdict must stay
+  // bit-identical to the oracle.
+  net::LoopbackFleet fleet(2);
+  ASSERT_EQ(fleet.servers().size(), 2u);
+  ProtocolConfig config = BaseConfig();
+  fleet.ApplyTo(&config);
+  auto uploads = Corpus(config, ped_);
+
+  net::HealthRegistry health;
+  const std::string dead_ep = fleet.servers()[1].endpoint;
+  health.AddEndpoint(fleet.servers()[0].endpoint);
+  health.AddEndpoint(dead_ep);
+  for (int i = 0; i < 3; ++i) {
+    health.ReportProbeFailure(dead_ep, "no health reply (timeout)");
+  }
+  ASSERT_EQ(health.State(dead_ep), net::EndpointHealth::kDead);
+  ASSERT_FALSE(health.Dispatchable(dead_ep));
+
+  RemoteFleetOptions options = FastOptions();
+  options.health = &health;
+  const uint64_t skips_before =
+      obs::GlobalCounter(obs::kFleetDispatchSkips)->value();
+  RemoteVerifierFleet<G> verifier(config, ped_, options);
+  RemoteFleetReport report;
+  auto verdict = verifier.VerifyAll(uploads, /*compute_products=*/true, &report);
+
+  ExpectMatchesOracle(config, verdict, uploads);
+  EXPECT_GT(obs::GlobalCounter(obs::kFleetDispatchSkips)->value(), skips_before);
+  // The dead lane's shards were recovered locally; the live lane still
+  // carried real remote work; a skip is a policy decision, not a failure.
+  EXPECT_GT(report.shards_recovered_in_process, 0u);
+  EXPECT_GT(report.shards_from_remote, 0u);
+  EXPECT_EQ(report.shards_from_remote + report.shards_recovered_in_process,
+            report.shards_total);
+}
+
 TEST_F(RemoteFleetTest, RemoteBackendThroughFactory) {
   net::LoopbackFleet fleet(2);
   ASSERT_EQ(fleet.servers().size(), 2u);

@@ -54,6 +54,76 @@ TEST(MetricsTest, HistogramBucketsAndSum) {
   EXPECT_EQ(counts[2], 1u);
 }
 
+TEST(MetricsTest, LogBucketsAreGeometric) {
+  // One bound per decade: exactly the powers of ten, inclusive both ends.
+  auto decade = Histogram::LogBuckets(1.0, 1000.0, 1);
+  ASSERT_EQ(decade.size(), 4u);
+  EXPECT_DOUBLE_EQ(decade[0], 1.0);
+  EXPECT_DOUBLE_EQ(decade[1], 10.0);
+  EXPECT_DOUBLE_EQ(decade[2], 100.0);
+  EXPECT_DOUBLE_EQ(decade[3], 1000.0);
+
+  // per_decade bounds per power of ten: adjacent ratio is 10^(1/per_decade),
+  // uniformly across the range (the HDR property).
+  auto ladder = Histogram::LogBuckets(1.0, 1e6, 6);
+  ASSERT_EQ(ladder.size(), 37u);
+  const double ratio = std::pow(10.0, 1.0 / 6.0);
+  for (size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_NEAR(ladder[i] / ladder[i - 1], ratio, 1e-9) << "at " << i;
+  }
+
+  // Degenerate inputs return no bounds rather than UB.
+  EXPECT_TRUE(Histogram::LogBuckets(0.0, 100.0, 6).empty());
+  EXPECT_TRUE(Histogram::LogBuckets(10.0, 1.0, 6).empty());
+  EXPECT_TRUE(Histogram::LogBuckets(1.0, 100.0, 0).empty());
+
+  // The default latency ladder spans 1us..100s at 6 per decade.
+  auto latency = Histogram::DefaultLatencyBuckets();
+  ASSERT_EQ(latency.size(), 49u);
+  EXPECT_DOUBLE_EQ(latency.front(), 1.0);
+  EXPECT_NEAR(latency.back(), 1e8, 1.0);
+}
+
+TEST(MetricsTest, PercentilesInterpolateWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.pct", {10.0, 20.0, 30.0});
+  // 10 values in (10, 20]: every quantile lands inside bucket 1 and
+  // interpolates linearly between its bounds.
+  for (int i = 0; i < 10; ++i) {
+    h->Record(15.0);
+  }
+  auto snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& s = snap.histograms[0];
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 15.0);   // rank 5 of 10 -> midpoint
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 20.0);   // rank 10 -> upper bound
+  EXPECT_DOUBLE_EQ(s.P90(), 19.0);
+  EXPECT_GT(s.P99(), s.P90());
+
+  // An empty histogram reports 0 for every percentile.
+  Histogram* empty = registry.GetHistogram("test.pct_empty", {1.0});
+  (void)empty;
+  auto snap2 = registry.Snapshot();
+  for (const HistogramSnapshot& hist : snap2.histograms) {
+    if (hist.name == "test.pct_empty") {
+      EXPECT_DOUBLE_EQ(hist.P50(), 0.0);
+      EXPECT_DOUBLE_EQ(hist.P99(), 0.0);
+    }
+  }
+}
+
+TEST(MetricsTest, PercentileOverflowBucketClampsToLastBound) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.pct_overflow", {10.0, 100.0});
+  h->Record(5.0);
+  h->Record(1e9);  // overflow bucket
+  auto snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  // The overflow bucket has no upper bound to interpolate toward; the
+  // estimate clamps to the last finite bound instead of inventing one.
+  EXPECT_DOUBLE_EQ(snap.histograms[0].Percentile(0.99), 100.0);
+}
+
 TEST(MetricsTest, RegistryReturnsStablePointers) {
   MetricsRegistry registry;
   Counter* a = registry.GetCounter("same.name");

@@ -146,9 +146,13 @@ TEST_F(RunLogSchemaTest, MetricAndHistogramLinesAreGolden) {
   EXPECT_EQ(lines[2].StringOr("kind", ""), "histogram");
   EXPECT_EQ(Keys(lines[2]),
             (std::set<std::string>{"schema", "kind", "t_ms", "pid", "name", "count",
-                                   "sum", "bounds", "counts"}));
+                                   "sum", "bounds", "counts", "p50", "p90", "p99"}));
   EXPECT_EQ(lines[2].Find("counts")->items().size(),
             lines[2].Find("bounds")->items().size() + 1);
+  // The percentile fields are estimates derived from the buckets; the
+  // validator accepts lines without them (pre-PR-10 writers) but requires
+  // all three once any is present.
+  EXPECT_GE(lines[2].NumberOr("p99", -1), lines[2].NumberOr("p50", -1));
 }
 
 TEST_F(RunLogSchemaTest, SpanLineIsGoldenWithHexIds) {

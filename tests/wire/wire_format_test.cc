@@ -180,7 +180,7 @@ TEST(WireRoundTrip, ShardResultBitIdentical) {
 TEST(WireRoundTrip, FrameBitIdentical) {
   SecureRng rng("wire-roundtrip-frame");
   for (int iter = 0; iter < 200; ++iter) {
-    FrameType type = static_cast<FrameType>(rng.UniformBelow(5) + 1);
+    FrameType type = static_cast<FrameType>(rng.UniformBelow(12) + 1);
     Bytes payload = rng.RandomBytes(rng.UniformBelow(256));
     Bytes encoded = EncodeFrame(type, payload);
     auto frame = DecodeFrame(encoded);
@@ -189,6 +189,92 @@ TEST(WireRoundTrip, FrameBitIdentical) {
     EXPECT_EQ(frame->payload, payload);
     EXPECT_EQ(EncodeFrame(frame->type, frame->payload), encoded);
   }
+}
+
+// Admin-plane payloads (health probe/reply, stats request/reply) round-trip
+// bit-identically and reject out-of-spec encodings, like every other wire
+// struct: one valid encoding per payload.
+TEST(WireRoundTrip, AdminPlaneBitIdentical) {
+  SecureRng rng("wire-roundtrip-admin");
+  for (int iter = 0; iter < 100; ++iter) {
+    WireHealthProbe probe;
+    probe.nonce = rng.UniformBelow(UINT64_MAX - 1) + 1;  // nonzero
+    Bytes encoded = probe.Serialize();
+    auto decoded = WireHealthProbe::Deserialize(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, probe);
+    EXPECT_EQ(decoded->Serialize(), encoded);
+
+    WireHealthReply reply;
+    reply.nonce = probe.nonce;
+    reply.server_id = rng.UniformBelow(16);
+    reply.uptime_ms = rng.UniformBelow(1u << 30);
+    for (auto& b : reply.params_digest) {
+      b = static_cast<uint8_t>(rng.UniformBelow(256));
+    }
+    reply.inflight_shards = rng.UniformBelow(64);
+    reply.queue_depth = rng.UniformBelow(64);
+    encoded = reply.Serialize();
+    auto reply2 = WireHealthReply::Deserialize(encoded);
+    ASSERT_TRUE(reply2.has_value());
+    EXPECT_EQ(*reply2, reply);
+    EXPECT_EQ(reply2->Serialize(), encoded);
+
+    WireStatsRequest request;
+    request.include_spans = static_cast<uint8_t>(rng.UniformBelow(2));
+    encoded = request.Serialize();
+    auto request2 = WireStatsRequest::Deserialize(encoded);
+    ASSERT_TRUE(request2.has_value());
+    EXPECT_EQ(*request2, request);
+    EXPECT_EQ(request2->Serialize(), encoded);
+
+    WireStatsReply stats;
+    stats.server_id = rng.UniformBelow(16);
+    stats.stats_json = "{\"schema\":\"vdp.stats/v1\",\"n\":" +
+                       std::to_string(rng.UniformBelow(1000)) + "}";
+    encoded = stats.Serialize();
+    auto stats2 = WireStatsReply::Deserialize(encoded);
+    ASSERT_TRUE(stats2.has_value());
+    EXPECT_EQ(*stats2, stats);
+    EXPECT_EQ(stats2->Serialize(), encoded);
+  }
+}
+
+TEST(WireInvariants, AdminPlaneRejectsOutOfSpecPayloads) {
+  // Zero probe nonce must be rejected ("no nonce" cannot masquerade).
+  WireHealthProbe probe;
+  probe.nonce = 7;
+  Bytes encoded = probe.Serialize();
+  Bytes zeroed(encoded.size(), 0);
+  EXPECT_FALSE(WireHealthProbe::Deserialize(zeroed).has_value());
+  // Trailing bytes are rejected everywhere.
+  Bytes trailing = encoded;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(WireHealthProbe::Deserialize(trailing).has_value());
+
+  WireHealthReply reply;
+  reply.nonce = 7;
+  Bytes reply_bytes = reply.Serialize();
+  for (size_t i = 0; i < 8; ++i) {
+    reply_bytes[i] = 0;  // zero the nonce echo
+  }
+  EXPECT_FALSE(WireHealthReply::Deserialize(reply_bytes).has_value());
+  EXPECT_FALSE(
+      WireHealthReply::Deserialize(BytesView(reply_bytes.data(), reply_bytes.size() - 1))
+          .has_value());
+
+  WireStatsRequest request;
+  Bytes request_bytes = request.Serialize();
+  request_bytes[0] = 2;  // include_spans is a boolean
+  EXPECT_FALSE(WireStatsRequest::Deserialize(request_bytes).has_value());
+
+  // Stats JSON must be nonempty and NUL-free.
+  WireStatsReply stats;
+  stats.server_id = 1;
+  stats.stats_json = "";
+  EXPECT_FALSE(WireStatsReply::Deserialize(stats.Serialize()).has_value());
+  stats.stats_json = std::string("{\"a\":1}\0x", 9);
+  EXPECT_FALSE(WireStatsReply::Deserialize(stats.Serialize()).has_value());
 }
 
 // Typed shard values survive the in-memory -> wire -> in-memory conversion
@@ -530,7 +616,7 @@ TEST(WireInvariants, FrameHeaderRejectsWrongMagicVersionTypeAndHugePayload) {
   bad = header;
   bad[5] = 0;  // frame type below range
   EXPECT_FALSE(DecodeFrameHeader(bad).has_value());
-  bad[5] = 9;  // frame type above range (8 = kSetupAck is the last valid)
+  bad[5] = 13;  // frame type above range (12 = kStatsReply is the last valid)
   EXPECT_FALSE(DecodeFrameHeader(bad).has_value());
 
   bad = header;

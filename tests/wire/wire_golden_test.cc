@@ -319,6 +319,141 @@ TEST(WireGolden, StaleSetupDigestIsRejected) {
   EXPECT_FALSE(net::AckMatchesSetup(stale_ack, current));
 }
 
+// --- Introspection-plane fixtures (PR 10) -------------------------------
+//
+// The health/stats admin frames and one fully sealed admin-plane frame.
+// The sealed fixture pins the admin direction byte (data direction + 2) in
+// the MAC transform: a v1 peer that sealed kHealthProbe on the data plane
+// would produce different bytes and fail to authenticate.
+
+// EncodeFrame(kHealthProbe, ...): nonce 0x1122334455667788.
+constexpr char kGoldenHealthProbeFrameHex[] =
+    "564450570109080000008877665544332211";
+
+// EncodeFrame(kHealthReply, ...): nonce echoed, server id 7, uptime
+// 123456 ms, digest 60..7f, 2 inflight shards, queue depth 1.
+constexpr char kGoldenHealthReplyFrameHex[] =
+    "56445057010a480000008877665544332211070000000000000040e2010000000000"
+    "606162636465666768696a6b6c6d6e6f707172737475767778797a7b7c7d7e7f"
+    "02000000000000000100000000000000";
+
+// EncodeFrame(kStatsRequest, ...): include_spans on.
+constexpr char kGoldenStatsRequestFrameHex[] = "56445057010b0100000001";
+
+// EncodeFrame(kStatsReply, ...): server id 7, minimal schema-stamped JSON.
+constexpr char kGoldenStatsReplyFrameHex[] =
+    "56445057010c250000000700000000000000190000007b22736368656d61223a2276"
+    "64702e73746174732f7631227d";
+
+// EncodeFrame(kHealthProbe, SealPayload(session key, client->server ADMIN
+// direction, seq 0, kHealthProbe, probe payload)): the probe payload plus
+// its 32-byte HMAC trailer under the pinned session key.
+constexpr char kGoldenSealedAdminProbeFrameHex[] =
+    "564450570109280000008877665544332211d9f9621111c28c40d4ace33cfe636c85"
+    "847203b3eaa6a47f9672db59a221d72c";
+
+WireHealthProbe GoldenHealthProbe() {
+  WireHealthProbe probe;
+  probe.nonce = 0x1122334455667788ULL;
+  return probe;
+}
+
+WireHealthReply GoldenHealthReply() {
+  WireHealthReply reply;
+  reply.nonce = 0x1122334455667788ULL;
+  reply.server_id = 7;
+  reply.uptime_ms = 123456;
+  for (size_t i = 0; i < reply.params_digest.size(); ++i) {
+    reply.params_digest[i] = static_cast<uint8_t>(0x60 + i);
+  }
+  reply.inflight_shards = 2;
+  reply.queue_depth = 1;
+  return reply;
+}
+
+WireStatsReply GoldenStatsReply() {
+  WireStatsReply reply;
+  reply.server_id = 7;
+  reply.stats_json = R"({"schema":"vdp.stats/v1"})";
+  return reply;
+}
+
+TEST(WireGolden, IntrospectionFrameBytesArePinned) {
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kHealthProbe,
+                                  GoldenHealthProbe().Serialize())),
+            kGoldenHealthProbeFrameHex);
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kHealthReply,
+                                  GoldenHealthReply().Serialize())),
+            kGoldenHealthReplyFrameHex);
+  WireStatsRequest request;
+  request.include_spans = 1;
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kStatsRequest, request.Serialize())),
+            kGoldenStatsRequestFrameHex);
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kStatsReply,
+                                  GoldenStatsReply().Serialize())),
+            kGoldenStatsReplyFrameHex);
+}
+
+TEST(WireGolden, SealedAdminProbeFrameBytesArePinned) {
+  Bytes sealed =
+      net::SealPayload(GoldenSessionKey(), net::kClientToServerAdmin, 0,
+                       FrameType::kHealthProbe, GoldenHealthProbe().Serialize());
+  EXPECT_EQ(HexEncode(EncodeFrame(FrameType::kHealthProbe, sealed)),
+            kGoldenSealedAdminProbeFrameHex);
+  // The same bytes sealed on the DATA plane must differ: the direction byte
+  // is inside the MAC, so the planes can never be spliced into each other.
+  Bytes data_plane =
+      net::SealPayload(GoldenSessionKey(), net::kClientToServer, 0,
+                       FrameType::kHealthProbe, GoldenHealthProbe().Serialize());
+  EXPECT_NE(HexEncode(EncodeFrame(FrameType::kHealthProbe, data_plane)),
+            kGoldenSealedAdminProbeFrameHex);
+}
+
+TEST(WireGolden, IntrospectionFixturesDecode) {
+  auto probe_frame = HexDecode(kGoldenHealthProbeFrameHex);
+  ASSERT_TRUE(probe_frame.has_value());
+  auto frame = DecodeFrame(*probe_frame);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kHealthProbe);
+  auto probe = WireHealthProbe::Deserialize(frame->payload);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(*probe, GoldenHealthProbe());
+
+  auto reply_frame = HexDecode(kGoldenHealthReplyFrameHex);
+  ASSERT_TRUE(reply_frame.has_value());
+  frame = DecodeFrame(*reply_frame);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kHealthReply);
+  auto reply = WireHealthReply::Deserialize(frame->payload);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, GoldenHealthReply());
+
+  auto stats_frame = HexDecode(kGoldenStatsReplyFrameHex);
+  ASSERT_TRUE(stats_frame.has_value());
+  frame = DecodeFrame(*stats_frame);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kStatsReply);
+  auto stats = WireStatsReply::Deserialize(frame->payload);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(*stats, GoldenStatsReply());
+
+  // The sealed admin fixture opens ONLY with the admin direction; the data
+  // direction at the same sequence number is rejected.
+  auto sealed_frame = HexDecode(kGoldenSealedAdminProbeFrameHex);
+  ASSERT_TRUE(sealed_frame.has_value());
+  frame = DecodeFrame(*sealed_frame);
+  ASSERT_TRUE(frame.has_value());
+  auto opened = net::OpenPayload(GoldenSessionKey(), net::kClientToServerAdmin, 0,
+                                 FrameType::kHealthProbe, frame->payload);
+  ASSERT_TRUE(opened.has_value());
+  auto sealed_probe = WireHealthProbe::Deserialize(*opened);
+  ASSERT_TRUE(sealed_probe.has_value());
+  EXPECT_EQ(*sealed_probe, GoldenHealthProbe());
+  EXPECT_FALSE(net::OpenPayload(GoldenSessionKey(), net::kClientToServer, 0,
+                                FrameType::kHealthProbe, frame->payload)
+                   .has_value());
+}
+
 // An unknown (future) wire version must be rejected at the frame header,
 // before any payload is interpreted -- a version bump can never be
 // misparsed as the current format.

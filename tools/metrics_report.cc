@@ -176,8 +176,13 @@ void RenderMetrics(const std::vector<ParsedLine>& lines) {
     const JsonValue& v = line->value;
     const double count = v.NumberOr("count", 0);
     const double sum = v.NumberOr("sum", 0);
-    std::printf("  pid=%-8d %-24s count=%-8.0f mean=%.2f\n", key.first,
+    std::printf("  pid=%-8d %-24s count=%-8.0f mean=%.2f", key.first,
                 key.second.c_str(), count, count > 0 ? sum / count : 0.0);
+    if (v.Find("p50") != nullptr) {
+      std::printf("  p50=%.2f p90=%.2f p99=%.2f", v.NumberOr("p50", 0),
+                  v.NumberOr("p90", 0), v.NumberOr("p99", 0));
+    }
+    std::printf("\n");
   }
 }
 

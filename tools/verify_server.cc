@@ -13,6 +13,14 @@
 //   5. repeat: driver sends kTask, server answers kResult (or kError with a
 //      diagnostic when it refuses the task); EOF ends the connection.
 //
+// Admin plane: when the FIRST authenticated frame is kHealthProbe or
+// kStatsRequest instead of kSetup, the connection is served as an
+// introspection session (src/net/introspect.h): probes are answered with
+// uptime / installed setup digest / in-flight shard count / live session
+// count, stats requests with a vdp.stats/v1 metrics+spans dump. No setup is
+// required, so a verifier that was never handed parameters still answers.
+// Replies ride the admin direction bytes and counters (src/net/auth.h).
+//
 // Connections are served one thread each and are independent sessions; the
 // server is stateless across connections. Verification itself is the same
 // VerifyShard (src/shard/sharded_verifier.h) every other backend runs, so
@@ -36,8 +44,11 @@
 //                holds a pipe to our stdin takes the fleet down with it,
 //                even if it crashes without cleanup.
 // --metrics-out  append the vdp.runlog/v1 JSONL run-log here (src/obs/):
-//                a header at startup and a counters snapshot on every
-//                session setup ack. $VDP_METRICS_OUT is the env twin.
+//                a header at startup, a counters snapshot on every session
+//                setup ack, and a footer (peak RSS) on SIGTERM/SIGINT.
+//                $VDP_METRICS_OUT is the env twin.
+// --health-interval  also flush a metrics snapshot to the run-log every N
+//                milliseconds, so a daemon between sessions still trends.
 // --fault        test hook, same spirit as verify_worker's VDP_WORKER_FAULT
 //                (env VDP_SERVER_FAULT is honored too): mode one of
 //                crash | garbage | hang (on task, like the worker), plus the
@@ -47,12 +58,16 @@
 //                digest). Applies when <id|all> matches --id.
 #include <errno.h>
 #include <poll.h>
+#include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -60,6 +75,7 @@
 #include "src/common/hex.h"
 #include "src/common/rng.h"
 #include "src/net/auth.h"
+#include "src/net/introspect.h"
 #include "src/net/socket.h"
 #include "src/obs/runlog.h"
 #include "src/shard/sharded_verifier.h"
@@ -81,6 +97,46 @@ void FlushMetrics() {
   if (g_metrics_log != nullptr) {
     g_metrics_log->Metrics(obs::MetricsRegistry::Global().Snapshot());
   }
+}
+
+// Process-wide liveness state the admin plane reports. Written by the
+// per-connection threads, read by any admin session.
+struct ServerState {
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  uint64_t server_id = 0;
+  std::atomic<uint64_t> inflight_shards{0};  // tasks inside VerifyShard right now
+  std::atomic<int64_t> active_sessions{0};   // authenticated connections alive
+  std::mutex digest_mutex;
+  Sha256::Digest last_digest{};  // most recently installed setup; all-zero before any
+};
+ServerState g_state;
+
+uint64_t UptimeMs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now() - g_state.start)
+                                   .count());
+}
+
+// Recent finished spans for kStatsReply, a small mutex-guarded ring. Tasks
+// append copies of the spans they ship back to the driver.
+constexpr size_t kRecentSpanCap = 64;
+std::mutex g_spans_mutex;
+std::vector<obs::SpanRecord> g_recent_spans;
+
+void RememberSpans(const std::vector<obs::SpanRecord>& spans) {
+  std::lock_guard<std::mutex> lock(g_spans_mutex);
+  for (const obs::SpanRecord& span : spans) {
+    g_recent_spans.push_back(span);
+  }
+  if (g_recent_spans.size() > kRecentSpanCap) {
+    g_recent_spans.erase(g_recent_spans.begin(),
+                         g_recent_spans.end() - static_cast<long>(kRecentSpanCap));
+  }
+}
+
+std::vector<obs::SpanRecord> RecentSpans() {
+  std::lock_guard<std::mutex> lock(g_spans_mutex);
+  return g_recent_spans;
 }
 
 enum class FaultMode { kNone, kCrash, kGarbage, kHang, kClose, kWrongShard, kStaleDigest };
@@ -120,6 +176,81 @@ void SendError(net::AuthChannel* channel, const std::string& message) {
   wire::WireError error;
   error.message = message;
   channel->Write(wire::FrameType::kError, error.Serialize());
+}
+
+// The introspection loop of one authenticated admin session. `first` is the
+// already-read first frame; the loop keeps answering so a watch client can
+// hold one connection. The hang/crash/close faults apply to probes exactly
+// like tasks -- the fleet-health CI job degrades a hung server through this
+// path.
+void ServeAdmin(net::AuthChannel* channel, wire::Frame first, FaultMode fault) {
+  constexpr int kAdminIdleTimeoutMs = 60'000;
+  wire::Frame frame = std::move(first);
+  for (;;) {
+    switch (fault) {
+      case FaultMode::kCrash:
+        _exit(134);
+      case FaultMode::kHang:
+        for (;;) {
+          sleep(1);
+        }
+      case FaultMode::kClose:
+        return;
+      default:
+        break;
+    }
+    if (frame.type == wire::FrameType::kHealthProbe) {
+      auto probe = wire::WireHealthProbe::Deserialize(frame.payload);
+      if (!probe.has_value()) {
+        SendError(channel, "malformed health probe");
+        return;
+      }
+      wire::WireHealthReply reply;
+      reply.nonce = probe->nonce;
+      reply.server_id = g_state.server_id;
+      reply.uptime_ms = UptimeMs();
+      {
+        std::lock_guard<std::mutex> lock(g_state.digest_mutex);
+        reply.params_digest = g_state.last_digest;
+      }
+      // Fault hook comparing against the public all-zero sentinel; the
+      // digest itself is wire-visible, so timing is not a concern here.
+      if (fault == FaultMode::kStaleDigest &&
+          reply.params_digest != Sha256::Digest{}) {  // vdp-lint: allow(ct-compare)
+        reply.params_digest[0] ^= 0xFF;  // lie about the installed epoch
+      }
+      reply.inflight_shards = g_state.inflight_shards.load(std::memory_order_relaxed);
+      reply.queue_depth = static_cast<uint64_t>(
+          std::max<int64_t>(0, g_state.active_sessions.load(std::memory_order_relaxed)));
+      if (channel->Write(wire::FrameType::kHealthReply, reply.Serialize()) !=
+          wire::WriteStatus::kOk) {
+        return;
+      }
+      obs::GlobalCounter(obs::kAdminProbesServed)->Increment();
+    } else if (frame.type == wire::FrameType::kStatsRequest) {
+      auto request = wire::WireStatsRequest::Deserialize(frame.payload);
+      if (!request.has_value()) {
+        SendError(channel, "malformed stats request");
+        return;
+      }
+      wire::WireStatsReply reply;
+      reply.server_id = g_state.server_id;
+      reply.stats_json = net::StatsToJson(
+          obs::MetricsRegistry::Global().Snapshot(),
+          request->include_spans == 1 ? RecentSpans() : std::vector<obs::SpanRecord>{});
+      if (channel->Write(wire::FrameType::kStatsReply, reply.Serialize()) !=
+          wire::WriteStatus::kOk) {
+        return;
+      }
+      obs::GlobalCounter(obs::kAdminStatsServed)->Increment();
+    } else {
+      SendError(channel, "unexpected frame type on admin session");
+      return;
+    }
+    if (channel->Read(&frame, kAdminIdleTimeoutMs) != wire::ReadStatus::kOk) {
+      return;  // client done (EOF), idle, or tampered stream
+    }
+  }
 }
 
 // The task loop of one authenticated session.
@@ -192,10 +323,12 @@ void ServeTasks(net::AuthChannel* channel, const wire::WireSetup& setup,
     const obs::TraceContext parent{task->trace_id, task->parent_span_id};
 
     std::vector<ClientUploadMsg<G>> uploads = wire::UploadsFromWire<G>(*task);
+    g_state.inflight_shards.fetch_add(1, std::memory_order_relaxed);
     ShardResult<G> result =
         VerifyShard(config, ped, uploads.data(), uploads.size(), task->base,
                     task->shard_index, /*pool=*/nullptr, task->compute_products == 1,
                     tracing ? &tracer : nullptr, parent);
+    g_state.inflight_shards.fetch_sub(1, std::memory_order_relaxed);
     if (fault == FaultMode::kWrongShard) {
       // Well-formed, authentically MACed -- but for the wrong shard
       // identity. The driver's result-matches-task check must catch it.
@@ -203,7 +336,9 @@ void ServeTasks(net::AuthChannel* channel, const wire::WireSetup& setup,
     }
     wire::WireShardResult wire_result = wire::ResultToWire<G>(digest, result);
     if (tracing) {
-      wire_result.spans = wire::SpansToWire(tracer.TakeSpans());
+      std::vector<obs::SpanRecord> spans = tracer.TakeSpans();
+      RememberSpans(spans);  // the admin plane serves these as "recent spans"
+      wire_result.spans = wire::SpansToWire(spans);
     }
     if (channel->Write(wire::FrameType::kResult, wire_result.Serialize()) !=
         wire::WriteStatus::kOk) {
@@ -242,10 +377,21 @@ void ServeConnection(int fd, Bytes auth_key, size_t server_id, FaultMode fault) 
       BytesView(client_hello->nonce.data(), client_hello->nonce.size()));
   net::AuthChannel channel(fd, key, /*is_client=*/false);
 
-  // First authenticated frame: the setup. A bad MAC here is a driver with
-  // the wrong fleet secret -- drop the connection without serving it.
-  if (channel.Read(&frame, kHandshakeTimeoutMs) != wire::ReadStatus::kOk ||
-      frame.type != wire::FrameType::kSetup) {
+  // First authenticated frame decides the session kind: kSetup opens a
+  // verification session, an admin frame opens an introspection session (no
+  // setup needed -- an idle, never-configured verifier still answers). A
+  // bad MAC either way is a peer with the wrong fleet secret -- drop the
+  // connection without serving it.
+  if (channel.Read(&frame, kHandshakeTimeoutMs) != wire::ReadStatus::kOk) {
+    net::CloseFd(&fd);
+    return;
+  }
+  if (net::IsAdminFrameType(frame.type)) {
+    ServeAdmin(&channel, std::move(frame), fault);
+    net::CloseFd(&fd);
+    return;
+  }
+  if (frame.type != wire::FrameType::kSetup) {
     net::CloseFd(&fd);
     return;
   }
@@ -267,8 +413,15 @@ void ServeConnection(int fd, Bytes auth_key, size_t server_id, FaultMode fault) 
     net::CloseFd(&fd);
     return;
   }
+  {
+    // The honest digest, even under the staledigest fault: the fault lies
+    // on the wire, not in the server's own bookkeeping.
+    std::lock_guard<std::mutex> lock(g_state.digest_mutex);
+    g_state.last_digest = setup->Digest();
+  }
   FlushMetrics();  // one counters snapshot per session start
 
+  g_state.active_sessions.fetch_add(1, std::memory_order_relaxed);
   bool known_group = wire::DispatchGroup(setup->group_name, [&](auto tag) {
     using G = typename decltype(tag)::Group;
     ServeTasks<G>(&channel, *setup, fault);
@@ -276,6 +429,7 @@ void ServeConnection(int fd, Bytes auth_key, size_t server_id, FaultMode fault) 
   if (!known_group) {
     SendError(&channel, "unknown group backend: " + setup->group_name);
   }
+  g_state.active_sessions.fetch_sub(1, std::memory_order_relaxed);
   net::CloseFd(&fd);
 }
 
@@ -305,6 +459,21 @@ void WatchStdin() {
   }
 }
 
+// SIGTERM/SIGINT are blocked in every thread (the mask is installed before
+// any thread spawns); this dedicated thread consumes one synchronously and
+// stamps the run-log footer before exiting -- the async-signal-safe way to
+// run non-signal-safe shutdown work (RunLogWriter takes a mutex).
+void AwaitShutdownSignal(sigset_t set) {
+  int sig = 0;
+  while (sigwait(&set, &sig) != 0) {
+  }
+  FlushMetrics();
+  if (g_metrics_log != nullptr) {
+    g_metrics_log->Footer();  // peak RSS; makes daemon memory trendable
+  }
+  _exit(0);
+}
+
 int ServerMain(int argc, char** argv) {
   IgnoreSigpipe();
   std::string listen_spec = "tcp:127.0.0.1:0";
@@ -312,6 +481,7 @@ int ServerMain(int argc, char** argv) {
   std::string fault_spec;
   std::string metrics_out;
   size_t server_id = 0;
+  long health_interval_ms = 0;
   bool once = false;
   bool watch_stdin = false;
   for (int i = 1; i < argc; ++i) {
@@ -352,6 +522,13 @@ int ServerMain(int argc, char** argv) {
         return 2;
       }
       metrics_out = v;
+    } else if (arg == "--health-interval") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "verify_server: --health-interval needs milliseconds\n");
+        return 2;
+      }
+      health_interval_ms = std::strtol(v, nullptr, 10);
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--watch-stdin") {
@@ -426,9 +603,27 @@ int ServerMain(int argc, char** argv) {
       fault = ParseFault(env, server_id);
     }
   }
+  g_state.server_id = server_id;
+
+  // Block SIGTERM/SIGINT process-wide BEFORE any thread spawns (threads
+  // inherit the mask), then hand both to the footer-stamping sigwait thread.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGTERM);
+  sigaddset(&shutdown_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+  std::thread(AwaitShutdownSignal, shutdown_signals).detach();
 
   if (watch_stdin) {
     std::thread(WatchStdin).detach();
+  }
+  if (health_interval_ms > 0) {
+    std::thread([health_interval_ms] {
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(health_interval_ms));
+        FlushMetrics();
+      }
+    }).detach();
   }
 
   for (;;) {

@@ -191,13 +191,15 @@ int WorkerMain(int argc, char** argv) {
     exit_code = 1;
   }
   // $VDP_METRICS_OUT: flush this worker's counters on the way out, so a
-  // fleet run leaves one run-log with every process's contribution.
+  // fleet run leaves one run-log with every process's contribution. The
+  // footer stamps peak RSS -- per-worker memory is trendable from the log.
   if (auto log = obs::RunLogWriter::FromEnv(); log != nullptr) {
     obs::RunHeader header;
     header.tool = "verify_worker";
     header.notes = "worker_id=" + std::to_string(worker_id);
     log->Header(header);
     log->Metrics(obs::MetricsRegistry::Global().Snapshot());
+    log->Footer();
   }
   return exit_code;
 }
